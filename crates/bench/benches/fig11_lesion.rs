@@ -1,0 +1,85 @@
+//! Figure 11 (and Figure 14): lesion study of the materialization strategies.
+//!
+//! Compares incremental inference for a supervision-style update when (a) the
+//! optimizer is free to choose, (b) the sampling approach is disabled
+//! (NoSamplingAll → always variational), and (c) the variational approach is
+//! disabled (NoRelaxation → always sampling, even when its acceptance rate
+//! collapses).  The full per-rule table is produced by `reproduce_fig11`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_factorgraph::{EvidenceChange, GraphDelta, VariableRole};
+use dd_inference::{
+    DistributionChange, GibbsOptions, SampleMaterialization, VariationalMaterialization,
+    VariationalOptions,
+};
+use dd_workloads::{pairwise_graph, SyntheticConfig};
+use deepdive::{choose_strategy, StrategyChoice};
+
+fn setup() -> (
+    dd_factorgraph::FactorGraph,
+    GraphDelta,
+    SampleMaterialization,
+    VariationalMaterialization,
+) {
+    let g = pairwise_graph(&SyntheticConfig {
+        num_variables: 80,
+        sparsity: 0.4,
+        seed: 3,
+        ..Default::default()
+    });
+    // A supervision-style update: a batch of variables becomes evidence.
+    let delta = GraphDelta {
+        evidence_changes: (0..20)
+            .map(|v| EvidenceChange {
+                var: v,
+                new_role: if v % 2 == 0 {
+                    VariableRole::PositiveEvidence
+                } else {
+                    VariableRole::NegativeEvidence
+                },
+            })
+            .collect(),
+        ..Default::default()
+    };
+    let sampling = SampleMaterialization::materialize(&g, 600, 60, 9);
+    let variational = VariationalMaterialization::materialize(
+        &g,
+        &VariationalOptions {
+            num_samples: 300,
+            burn_in: 30,
+            exact_solver_max_vars: 0,
+            ..Default::default()
+        },
+    );
+    (g, delta, sampling, variational)
+}
+
+fn bench_lesion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_supervision_update");
+    group.sample_size(10);
+    let (g, delta, sampling, variational) = setup();
+    let mut updated = g.clone();
+    let change = DistributionChange::apply_and_describe(&mut updated, &delta);
+    let gibbs = GibbsOptions::new(80, 20, 4);
+
+    group.bench_function("full_optimizer", |b| {
+        b.iter(|| match choose_strategy(&change, sampling.num_samples()) {
+            StrategyChoice::Sampling => {
+                let _ = sampling.infer(&updated, &change, 300, 5);
+            }
+            StrategyChoice::Variational => {
+                let _ = variational.infer(&delta, &gibbs);
+            }
+        })
+    });
+    group.bench_function("no_sampling (always variational)", |b| {
+        b.iter(|| variational.infer(&delta, &gibbs))
+    });
+    group.bench_function("no_relaxation (always sampling)", |b| {
+        b.iter(|| sampling.infer(&updated, &change, 300, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lesion);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figures 12–13: Gibbs convergence of the Voting program under the three
+//! semantics.  The bench measures the per-sweep cost and the convergence
+//! measurement at one size; the |U|+|D| sweep is produced by `reproduce_fig13`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_factorgraph::Semantics;
+use dd_inference::{iterations_to_converge, GibbsOptions, GibbsSampler};
+use dd_workloads::voting_graph;
+
+fn bench_sweep_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_voting_sweeps");
+    group.sample_size(10);
+    for s in Semantics::all() {
+        let (g, _q) = voting_graph(50, 50, 0.5, s);
+        group.bench_with_input(BenchmarkId::new("run_200_sweeps", s.label()), &g, |b, g| {
+            b.iter(|| GibbsSampler::new(g, 1).run(&GibbsOptions::new(200, 20, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_voting_convergence");
+    group.sample_size(10);
+    for s in Semantics::all() {
+        let (g, q) = voting_graph(20, 20, 0.5, s);
+        group.bench_with_input(
+            BenchmarkId::new("iterations_to_1pct", s.label()),
+            &g,
+            |b, g| b.iter(|| iterations_to_converge(g, q, 0.5, 0.01, 20_000, 100, 7)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_cost, bench_convergence);
+criterion_main!(benches);

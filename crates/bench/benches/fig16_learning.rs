@@ -1,0 +1,58 @@
+//! Figure 16: incremental learning strategies.
+//!
+//! Benchmarks one learning run with SGD+warmstart, cold-start SGD, and
+//! full-batch gradient descent with warmstart over the same updated graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_factorgraph::{Factor, FactorGraph, FactorGraphBuilder};
+use dd_inference::{LearnOptions, LearnStrategy, Learner};
+
+fn classifier(n: usize) -> FactorGraph {
+    let mut b = FactorGraphBuilder::new();
+    let wa = b.tied_weight("feat:A", 0.0, false);
+    let wb = b.tied_weight("feat:B", 0.0, false);
+    for i in 0..n {
+        let label = i % 2 == 0;
+        let v = b.add_evidence_variable(label);
+        b.add_factor(Factor::is_true(if label { wa } else { wb }, v));
+    }
+    b.build()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_learning_strategies");
+    group.sample_size(10);
+
+    // A warm model obtained before the (simulated) update.
+    let mut warm_graph = classifier(120);
+    let warm = Learner::new(&mut warm_graph)
+        .learn(&LearnOptions {
+            epochs: 20,
+            learning_rate: 0.3,
+            ..Default::default()
+        })
+        .final_weights;
+
+    let fresh = classifier(160);
+    let run = |strategy: LearnStrategy, warmstart: Option<Vec<f64>>| {
+        let mut g = fresh.clone();
+        Learner::new(&mut g).learn(&LearnOptions {
+            strategy,
+            epochs: 5,
+            warmstart,
+            ..Default::default()
+        })
+    };
+
+    group.bench_function("sgd_warmstart", |b| {
+        b.iter(|| run(LearnStrategy::Sgd, Some(warm.clone())))
+    });
+    group.bench_function("sgd_cold", |b| b.iter(|| run(LearnStrategy::Sgd, None)));
+    group.bench_function("gd_warmstart", |b| {
+        b.iter(|| run(LearnStrategy::GradientDescent, Some(warm.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

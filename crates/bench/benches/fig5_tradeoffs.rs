@@ -1,0 +1,85 @@
+//! Figure 5: the materialization/inference tradeoff space.
+//!
+//! Benchmarks the materialization cost of the three strategies (strawman,
+//! sampling, variational) as the synthetic pairwise graph grows, and the
+//! incremental-inference cost of sampling vs variational for a small and a large
+//! distribution change (the acceptance-rate axis).  The full sweep with the
+//! paper's parameter grid is produced by the `reproduce_fig5` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dd_factorgraph::GraphDelta;
+use dd_inference::{
+    DistributionChange, SampleMaterialization, StrawmanMaterialization,
+    VariationalMaterialization, VariationalOptions,
+};
+use dd_workloads::{pairwise_graph, weight_perturbation, SyntheticConfig};
+
+fn graph(n: usize) -> dd_factorgraph::FactorGraph {
+    pairwise_graph(&SyntheticConfig {
+        num_variables: n,
+        sparsity: 0.5,
+        seed: 5,
+        ..Default::default()
+    })
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_materialization");
+    group.sample_size(10);
+    for &n in &[10usize, 17, 100] {
+        let g = graph(n);
+        if n <= 17 {
+            group.bench_with_input(BenchmarkId::new("strawman", n), &g, |b, g| {
+                b.iter(|| StrawmanMaterialization::materialize(g))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("sampling", n), &g, |b, g| {
+            b.iter(|| SampleMaterialization::materialize(g, 100, 20, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("variational", n), &g, |b, g| {
+            b.iter(|| {
+                VariationalMaterialization::materialize(
+                    g,
+                    &VariationalOptions {
+                        num_samples: 100,
+                        burn_in: 20,
+                        exact_solver_max_vars: 0,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference_by_change(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_inference_by_change");
+    group.sample_size(10);
+    let g0 = graph(100);
+    let sampling = SampleMaterialization::materialize(&g0, 500, 50, 2);
+    let variational = VariationalMaterialization::materialize(
+        &g0,
+        &VariationalOptions {
+            num_samples: 300,
+            burn_in: 30,
+            exact_solver_max_vars: 0,
+            ..Default::default()
+        },
+    );
+    for (label, magnitude) in [("small_change", 0.05f64), ("large_change", 1.5f64)] {
+        let delta: GraphDelta = weight_perturbation(&g0, 0.3, magnitude, 7);
+        let mut updated = g0.clone();
+        let change = DistributionChange::apply_and_describe(&mut updated, &delta);
+        group.bench_function(BenchmarkId::new("sampling", label), |b| {
+            b.iter(|| sampling.infer(&updated, &change, 300, 3))
+        });
+        group.bench_function(BenchmarkId::new("variational", label), |b| {
+            b.iter(|| variational.infer(&delta, &dd_inference::GibbsOptions::new(60, 10, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_materialization, bench_inference_by_change);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 9: Rerun vs Incremental execution of one rule-template update.
+//!
+//! Benchmarks the learning + inference cost of applying the FE2 (new feature)
+//! update to a scaled-down News system from scratch vs incrementally.  The full
+//! 5-systems × 6-rules table is produced by `reproduce_fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepdive::{DeepDive, EngineConfig, ExecutionMode};
+use dd_grounding::standard_udfs;
+use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
+
+fn prepared_engine() -> (DeepDive, dd_grounding::KbcUpdate) {
+    let system = KbcSystem::generate(SystemKind::News, 0.15, 11);
+    let mut engine = DeepDive::new(
+        system.program.clone(),
+        system.corpus.database.clone(),
+        standard_udfs(),
+        EngineConfig::fast(),
+    )
+    .expect("engine builds");
+    // Bring the system to the state just before the FE2 iteration.
+    engine
+        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .expect("FE1 applies");
+    engine
+        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+        .expect("S1 applies");
+    engine.materialize();
+    (engine, system.template_update(RuleTemplate::FE2))
+}
+
+fn bench_rerun_vs_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fe2_update_news");
+    group.sample_size(10);
+    let (engine, update) = prepared_engine();
+
+    group.bench_function("rerun", |b| {
+        b.iter_batched(
+            || engine_clone(&engine),
+            |mut e| e.run_update(&update, ExecutionMode::Rerun).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || engine_clone(&engine),
+            |mut e| e.run_update(&update, ExecutionMode::Incremental).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// The engine is not `Clone` (it owns a grounder with interior state), so the
+/// benchmark rebuilds it from the same seed for every batch.
+fn engine_clone(_proto: &DeepDive) -> DeepDive {
+    prepared_engine().0
+}
+
+criterion_group!(benches, bench_rerun_vs_incremental);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 16: convergence of the incremental learning strategies —
+//! SGD+warmstart (DeepDive's choice), SGD from a cold start, and full gradient
+//! descent with warmstart — after an update (new features + new labels) to the
+//! News system.
+
+use dd_bench::print_table;
+use dd_grounding::standard_udfs;
+use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
+use deepdive::{compare_learning_strategies, DeepDive, EngineConfig, ExecutionMode};
+
+fn main() {
+    println!("# Figure 16 — incremental learning strategies (News, FE2 + S2 update)");
+    let system = KbcSystem::generate(SystemKind::News, 0.25, 91);
+    let mut engine = DeepDive::new(
+        system.program.clone(),
+        system.corpus.database.clone(),
+        standard_udfs(),
+        EngineConfig::fast(),
+    )
+    .expect("engine builds");
+    // Learn the "previous" model on FE1 + S1.
+    engine
+        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .expect("FE1 applies");
+    engine
+        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+        .expect("S1 applies");
+    let warm = engine.learned_weights().to_vec();
+
+    // Apply the update that introduces new features and new labels (FE2 + S2),
+    // then compare restart strategies on the resulting graph.
+    engine
+        .run_update(&system.template_update(RuleTemplate::FE2), ExecutionMode::Incremental)
+        .expect("FE2 applies");
+    engine
+        .run_update(&system.template_update(RuleTemplate::S2), ExecutionMode::Incremental)
+        .expect("S2 applies");
+
+    let mut warm_padded = warm.clone();
+    warm_padded.resize(engine.graph().num_weights(), 0.0);
+    let comparisons = compare_learning_strategies(engine.graph(), &warm_padded, 12, 5);
+
+    let optimal = comparisons
+        .iter()
+        .map(|c| c.trace.best_loss())
+        .fold(f64::INFINITY, f64::min);
+
+    let mut rows = Vec::new();
+    for c in &comparisons {
+        rows.push(vec![
+            c.strategy.clone(),
+            format!("{:.4}", c.trace.losses[0]),
+            format!("{:.4}", c.trace.best_loss()),
+            c.trace
+                .epochs_to_within(optimal, 0.10)
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "not reached".into()),
+            format!("{:.2}s", c.seconds),
+        ]);
+    }
+    print_table(
+        "Loss trajectories per strategy",
+        &[
+            "strategy",
+            "loss after epoch 1",
+            "best loss",
+            "epochs to within 10% of optimal",
+            "time",
+        ],
+        &rows,
+    );
+    println!(
+        "Paper shape: SGD+Warmstart reaches within 10% of the optimal loss fastest\n\
+         (≈2× faster than cold-start SGD, ≈10× faster than batch gradient descent)."
+    );
+}

@@ -1,0 +1,707 @@
+//! The DeepDive engine: end-to-end KBC execution, Rerun vs Incremental.
+//!
+//! The engine owns a [`Grounder`] (program + database + factor graph), an
+//! [`EngineConfig`], the current marginals, the learned model, and — after
+//! [`DeepDive::materialize`] has been called — the combined materialization of
+//! §3.3.  A KBC iteration ([`KbcUpdate`]: new data and/or new rules) can then be
+//! executed in either mode:
+//!
+//! * [`ExecutionMode::Rerun`] — the baseline of §4.2: learning restarts from a
+//!   cold model and inference runs full Gibbs sampling over the whole updated
+//!   factor graph;
+//! * [`ExecutionMode::Incremental`] — the paper's system: learning warmstarts
+//!   from the previous model (Appendix B.3), the rule-based optimizer (§3.3)
+//!   picks the sampling or variational strategy for the observed change, and
+//!   inference touches only the changed part of the graph (falling back from
+//!   sampling to variational when the stored samples run out).
+//!
+//! Grounding is incremental in both modes; the relational (DRed) speedup is
+//! measured separately by the `grounding_dred` benchmark, matching how the paper
+//! reports it separately from Figure 9.
+
+use crate::config::EngineConfig;
+use crate::materialization::Materialization;
+use crate::optimizer::{choose_strategy, StrategyChoice};
+use crate::quality::{evaluate_quality, QualityReport};
+use dd_factorgraph::FactorGraph;
+use dd_grounding::{Grounder, KbcUpdate, Program, UdfRegistry};
+use dd_inference::{
+    DistributionChange, GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals,
+};
+use dd_relstore::{Database, Tuple};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Whether an update is executed from scratch or incrementally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    Rerun,
+    Incremental,
+}
+
+impl ExecutionMode {
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionMode::Rerun => "Rerun",
+            ExecutionMode::Incremental => "Incremental",
+        }
+    }
+}
+
+/// Timing and bookkeeping for one executed iteration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationReport {
+    pub mode: ExecutionMode,
+    /// Strategy chosen by the optimizer (None for Rerun / the initial run).
+    pub strategy: Option<StrategyChoice>,
+    pub grounding_secs: f64,
+    pub learning_secs: f64,
+    pub inference_secs: f64,
+    /// Acceptance rate of the MH chain, when the sampling strategy ran.
+    pub acceptance_rate: Option<f64>,
+    pub new_variables: usize,
+    pub new_factors: usize,
+    /// True if the sampling strategy exhausted its samples and fell back.
+    pub fell_back_to_variational: bool,
+}
+
+impl IterationReport {
+    /// Learning + inference time — the quantity Figure 9 tabulates.
+    pub fn inference_and_learning_secs(&self) -> f64 {
+        self.learning_secs + self.inference_secs
+    }
+
+    /// Total time including grounding.
+    pub fn total_secs(&self) -> f64 {
+        self.grounding_secs + self.learning_secs + self.inference_secs
+    }
+}
+
+/// The end-to-end engine.
+pub struct DeepDive {
+    grounder: Grounder,
+    config: EngineConfig,
+    materialization: Option<Materialization>,
+    /// The distribution change accumulated since the materialization was taken:
+    /// successive incremental updates all reuse the same stored samples, so the
+    /// MH acceptance test must compare against the *materialized* distribution,
+    /// not just the previous iteration's.
+    cumulative_change: DistributionChange,
+    marginals: Option<Marginals>,
+    learned_weights: Vec<f64>,
+}
+
+/// Merge `next` into `acc` (older entries win for weight old-values).
+fn merge_change(acc: &mut DistributionChange, next: &DistributionChange) {
+    acc.new_factors.extend(next.new_factors.iter().copied());
+    acc.new_variables.extend(next.new_variables.iter().copied());
+    for &(v, val) in &next.new_evidence {
+        if let Some(entry) = acc.new_evidence.iter_mut().find(|(ev, _)| *ev == v) {
+            entry.1 = val;
+        } else {
+            acc.new_evidence.push((v, val));
+        }
+    }
+    for &(w, old) in &next.changed_weights {
+        if !acc.changed_weights.iter().any(|(aw, _)| *aw == w) {
+            acc.changed_weights.push((w, old));
+        }
+    }
+}
+
+impl DeepDive {
+    /// Create an engine from a program, loaded base data, and UDFs.
+    pub fn new(
+        program: Program,
+        db: Database,
+        udfs: UdfRegistry,
+        config: EngineConfig,
+    ) -> Result<Self, String> {
+        Ok(DeepDive {
+            grounder: Grounder::new(program, db, udfs)?,
+            config,
+            materialization: None,
+            cumulative_change: DistributionChange::default(),
+            marginals: None,
+            learned_weights: Vec::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------ access
+
+    pub fn graph(&self) -> &FactorGraph {
+        self.grounder.graph()
+    }
+
+    pub fn grounder(&self) -> &Grounder {
+        &self.grounder
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn marginals(&self) -> Option<&Marginals> {
+        self.marginals.as_ref()
+    }
+
+    pub fn materialization(&self) -> Option<&Materialization> {
+        self.materialization.as_ref()
+    }
+
+    pub fn learned_weights(&self) -> &[f64] {
+        &self.learned_weights
+    }
+
+    // ------------------------------------------------------------ initial run
+
+    /// Run the full pipeline once: grounding, learning, inference.
+    pub fn initial_run(&mut self) -> Result<IterationReport, String> {
+        let t0 = Instant::now();
+        self.grounder.ground()?;
+        let grounding_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let learn = LearnOptions {
+            seed: self.config.seed,
+            ..self.config.learn.clone()
+        };
+        let trace = Learner::new(self.grounder.graph_mut()).learn(&learn);
+        self.learned_weights = trace.final_weights;
+        let learning_secs = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let marginals = self.full_gibbs();
+        let inference_secs = t2.elapsed().as_secs_f64();
+        self.write_back(&marginals);
+        self.marginals = Some(marginals);
+
+        let stats = self.grounder.graph().stats();
+        Ok(IterationReport {
+            mode: ExecutionMode::Rerun,
+            strategy: None,
+            grounding_secs,
+            learning_secs,
+            inference_secs,
+            acceptance_rate: None,
+            new_variables: stats.num_variables,
+            new_factors: stats.num_factors,
+            fell_back_to_variational: false,
+        })
+    }
+
+    /// Build the combined materialization (sampling + variational + strawman).
+    pub fn materialize(&mut self) {
+        self.materialization = Some(Materialization::build(self.grounder.graph(), &self.config));
+        self.cumulative_change = DistributionChange::default();
+    }
+
+    // --------------------------------------------------------------- updates
+
+    /// Execute one KBC update in the given mode.
+    pub fn run_update(
+        &mut self,
+        update: &KbcUpdate,
+        mode: ExecutionMode,
+    ) -> Result<IterationReport, String> {
+        // Grounding is incremental in both modes.
+        let pre_update_graph = self.grounder.graph().clone();
+        let t0 = Instant::now();
+        let incremental = self.grounder.ground_incremental(update)?;
+        let grounding_secs = t0.elapsed().as_secs_f64();
+
+        // Describe the distribution change against a clone of the pre-update
+        // graph (applying the same delta reproduces the grounder's ids).
+        let mut change_graph = pre_update_graph;
+        let mut change = DistributionChange::apply_and_describe(&mut change_graph, &incremental.delta);
+
+        let new_variables = incremental.delta.new_variables.len();
+        let new_factors = incremental.delta.new_factors.len();
+
+        match mode {
+            ExecutionMode::Rerun => {
+                // Learning from scratch over the whole updated graph.
+                let t1 = Instant::now();
+                let learn = LearnOptions {
+                    seed: self.config.seed,
+                    warmstart: None,
+                    ..self.config.learn.clone()
+                };
+                let trace = Learner::new(self.grounder.graph_mut()).learn(&learn);
+                self.learned_weights = trace.final_weights;
+                let learning_secs = t1.elapsed().as_secs_f64();
+
+                // Full Gibbs over the whole updated graph.
+                let t2 = Instant::now();
+                let marginals = self.full_gibbs();
+                let inference_secs = t2.elapsed().as_secs_f64();
+                self.write_back(&marginals);
+                self.marginals = Some(marginals);
+
+                Ok(IterationReport {
+                    mode,
+                    strategy: None,
+                    grounding_secs,
+                    learning_secs,
+                    inference_secs,
+                    acceptance_rate: None,
+                    new_variables,
+                    new_factors,
+                    fell_back_to_variational: false,
+                })
+            }
+            ExecutionMode::Incremental => {
+                // Incremental learning: only needed when the model itself must
+                // change (new features or new evidence); warmstarted from the
+                // previous weights.
+                let t1 = Instant::now();
+                let needs_learning =
+                    change.new_factors.iter().any(|_| true) || !change.new_evidence.is_empty();
+                if needs_learning {
+                    let mut warm = self.learned_weights.clone();
+                    warm.resize(self.grounder.graph().num_weights(), 0.0);
+                    let learn = LearnOptions {
+                        epochs: (self.config.learn.epochs / 2).max(1),
+                        warmstart: Some(warm),
+                        seed: self.config.seed,
+                        ..self.config.learn.clone()
+                    };
+                    let pre_learn_weights = self.grounder.graph().weight_values();
+                    let trace = Learner::new(self.grounder.graph_mut()).learn(&learn);
+                    self.learned_weights = trace.final_weights;
+                    // Weight updates are part of the distribution change the
+                    // sampling strategy must account for.
+                    for (w, (&old, &new)) in pre_learn_weights
+                        .iter()
+                        .zip(self.grounder.graph().weight_values().iter())
+                        .enumerate()
+                    {
+                        if (old - new).abs() > 1e-12 && !change.changed_weights.iter().any(|(id, _)| *id == w)
+                        {
+                            change.changed_weights.push((w, old));
+                        }
+                    }
+                }
+                let learning_secs = t1.elapsed().as_secs_f64();
+
+                // Strategy selection follows §3.3's rules on *this* update's
+                // change; the MH acceptance test, however, must account for the
+                // change accumulated since materialization, because the stored
+                // samples are reused across iterations.
+                let samples_remaining = self
+                    .materialization
+                    .as_ref()
+                    .map(|m| m.sampling.num_samples())
+                    .unwrap_or(0);
+                let strategy = choose_strategy(&change, samples_remaining);
+                merge_change(&mut self.cumulative_change, &change);
+                let change = self.cumulative_change.clone();
+
+                // A materialization taken before the graph grew cannot interpret a
+                // delta that references variables/weights it has never seen; in
+                // that (stale) case fall back to full Gibbs, as a user would
+                // re-materialize.
+                let variational_ok = self
+                    .materialization
+                    .as_ref()
+                    .map(|mat| {
+                        delta_compatible_with(&incremental.delta, mat.variational.approx_graph())
+                    })
+                    .unwrap_or(false);
+
+                let t2 = Instant::now();
+                let (marginals, acceptance_rate, fell_back) = match (&self.materialization, strategy)
+                {
+                    (Some(mat), StrategyChoice::Sampling) => {
+                        let outcome = mat.sampling.infer(
+                            self.grounder.graph(),
+                            &change,
+                            self.config.inference_samples,
+                            self.config.seed,
+                        );
+                        if outcome.exhausted {
+                            // Rule 4: out of samples → variational.
+                            let m = if variational_ok {
+                                mat.variational.infer(
+                                    &incremental.delta,
+                                    &self.incremental_gibbs_options(),
+                                )
+                            } else {
+                                self.full_gibbs()
+                            };
+                            (m, Some(outcome.acceptance_rate), true)
+                        } else {
+                            (outcome.marginals, Some(outcome.acceptance_rate), false)
+                        }
+                    }
+                    (Some(mat), StrategyChoice::Variational) if variational_ok => {
+                        let m = mat
+                            .variational
+                            .infer(&incremental.delta, &self.incremental_gibbs_options());
+                        (m, None, false)
+                    }
+                    _ => {
+                        // Not materialized (or stale): fall back to full Gibbs.
+                        (self.full_gibbs(), None, false)
+                    }
+                };
+                let inference_secs = t2.elapsed().as_secs_f64();
+                self.write_back(&marginals);
+                self.marginals = Some(marginals);
+
+                Ok(IterationReport {
+                    mode,
+                    strategy: Some(strategy),
+                    grounding_secs,
+                    learning_secs,
+                    inference_secs,
+                    acceptance_rate,
+                    new_variables,
+                    new_factors,
+                    fell_back_to_variational: fell_back,
+                })
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- outputs
+
+    /// Facts of `relation` whose marginal probability is at least `threshold`.
+    pub fn extract_facts(&self, relation: &str, threshold: f64) -> Vec<(Tuple, f64)> {
+        let Some(marginals) = &self.marginals else {
+            return Vec::new();
+        };
+        let mut facts: Vec<(Tuple, f64)> = self
+            .grounder
+            .variable_catalog()
+            .filter(|((rel, _), _)| rel == relation)
+            .filter_map(|((_, tuple), &var)| {
+                if var < marginals.len() {
+                    let p = marginals.get(var);
+                    if p >= threshold {
+                        return Some((tuple.clone(), p));
+                    }
+                }
+                None
+            })
+            .collect();
+        facts.sort_by(|a, b| a.0.cmp(&b.0));
+        facts
+    }
+
+    /// Probability currently assigned to one tuple of a variable relation.
+    pub fn probability_of(&self, relation: &str, tuple: &Tuple) -> Option<f64> {
+        let var = self.grounder.variable_for(relation, tuple)?;
+        let m = self.marginals.as_ref()?;
+        if var < m.len() {
+            Some(m.get(var))
+        } else {
+            None
+        }
+    }
+
+    /// Quality of the facts currently extracted from `relation` (using the
+    /// configured threshold) against a ground-truth set.
+    pub fn quality(&self, relation: &str, truth: &HashSet<Tuple>) -> QualityReport {
+        let extracted: Vec<Tuple> = self
+            .extract_facts(relation, self.config.fact_threshold)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        evaluate_quality(&extracted, truth)
+    }
+
+    // ---------------------------------------------------------------- helpers
+
+    fn full_gibbs(&self) -> Marginals {
+        let options = GibbsOptions {
+            seed: self.config.seed,
+            ..self.config.gibbs.clone()
+        };
+        GibbsSampler::new(self.grounder.graph(), self.config.seed).run(&options)
+    }
+
+    fn incremental_gibbs_options(&self) -> GibbsOptions {
+        GibbsOptions {
+            seed: self.config.seed,
+            ..self.config.gibbs.clone()
+        }
+    }
+
+    fn write_back(&mut self, marginals: &Marginals) {
+        self.grounder.write_back_marginals(&marginals.values().to_vec());
+    }
+}
+
+/// True if every existing-entity reference of `delta` resolves inside `graph`
+/// (i.e. the materialization the delta will be applied to is not stale).
+fn delta_compatible_with(delta: &dd_factorgraph::GraphDelta, graph: &FactorGraph) -> bool {
+    let nv = graph.num_variables();
+    let nw = graph.num_weights();
+    let var_ok = |r: &dd_factorgraph::NewVarRef| match r {
+        dd_factorgraph::NewVarRef::Existing(v) => *v < nv,
+        dd_factorgraph::NewVarRef::New(_) => true,
+    };
+    delta.evidence_changes.iter().all(|e| e.var < nv)
+        && delta.weight_changes.iter().all(|w| w.weight_id < nw)
+        && delta.new_factors.iter().all(|f| {
+            f.var_refs.iter().all(var_ok)
+                && match f.weight {
+                    dd_factorgraph::NewWeightRef::Existing(w) => w < nw,
+                    dd_factorgraph::NewWeightRef::New(_) => true,
+                }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_grounding::{parse_program, standard_udfs};
+    use dd_relstore::{tuple, DataType, Schema};
+
+    const PROGRAM: &str = r#"
+        relation Sentence(s: int, content: text) base.
+        relation PersonCandidate(s: int, m: int, t: text) base.
+        relation EL(m: int, e: text) base.
+        relation Married(e1: text, e2: text) base.
+        relation MarriedCandidate(m1: int, m2: int) derived.
+        relation MarriedMentions(m1: int, m2: int) variable.
+
+        rule R1 candidate:
+          MarriedCandidate(m1, m2) :-
+            PersonCandidate(s, m1, t1), PersonCandidate(s, m2, t2), m1 < m2.
+
+        rule FE1 feature:
+          MarriedMentions(m1, m2) :-
+            MarriedCandidate(m1, m2),
+            PersonCandidate(s, m1, t1), PersonCandidate(s, m2, t2),
+            Sentence(s, content)
+          weight = phrase(t1, t2, content).
+
+        rule S1 supervision+:
+          MarriedMentions(m1, m2) :-
+            MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+    "#;
+
+    fn database() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "Sentence",
+            Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
+        )
+        .unwrap();
+        db.create_table(
+            "PersonCandidate",
+            Schema::of(&[
+                ("s", DataType::Int),
+                ("m", DataType::Int),
+                ("t", DataType::Text),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "EL",
+            Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+        )
+        .unwrap();
+        db.create_table(
+            "Married",
+            Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
+        )
+        .unwrap();
+        // Three "documents": two with the spouse phrase, one with a neutral one.
+        db.insert_all(
+            "Sentence",
+            vec![
+                tuple![1i64, "Barack and his wife Michelle attended the dinner"],
+                tuple![2i64, "George and his wife Laura were married"],
+                tuple![3i64, "Malia and Sasha attended the state dinner"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "PersonCandidate",
+            vec![
+                tuple![1i64, 10i64, "Barack"],
+                tuple![1i64, 11i64, "Michelle"],
+                tuple![2i64, 20i64, "George"],
+                tuple![2i64, 21i64, "Laura"],
+                tuple![3i64, 30i64, "Malia"],
+                tuple![3i64, 31i64, "Sasha"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "EL",
+            vec![
+                tuple![10i64, "Barack_Obama_1"],
+                tuple![11i64, "Michelle_Obama_1"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("Married", vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]])
+            .unwrap();
+        db
+    }
+
+    fn engine() -> DeepDive {
+        DeepDive::new(
+            parse_program(PROGRAM).unwrap(),
+            database(),
+            standard_udfs(),
+            EngineConfig::fast(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_run_learns_the_spouse_phrase() {
+        let mut dd = engine();
+        let report = dd.initial_run().unwrap();
+        assert!(report.new_variables >= 3);
+        assert!(report.total_secs() >= 0.0);
+
+        // The supervised pair has probability 1; the George/Laura pair shares the
+        // "and his wife" feature and should get a high probability; the
+        // Malia/Sasha pair should not.
+        let supervised = dd
+            .probability_of("MarriedMentions", &tuple![10i64, 11i64])
+            .unwrap();
+        assert_eq!(supervised, 1.0);
+        let same_phrase = dd
+            .probability_of("MarriedMentions", &tuple![20i64, 21i64])
+            .unwrap();
+        let other = dd
+            .probability_of("MarriedMentions", &tuple![30i64, 31i64])
+            .unwrap();
+        assert!(
+            same_phrase > other,
+            "same-phrase pair {same_phrase} should beat {other}"
+        );
+    }
+
+    #[test]
+    fn incremental_update_with_new_document() {
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        dd.materialize();
+
+        let mut update = KbcUpdate::new();
+        update
+            .insert(
+                "Sentence",
+                tuple![4i64, "Franklin and his wife Eleanor hosted the gala"],
+            )
+            .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
+            .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
+
+        let report = dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+        assert_eq!(report.mode, ExecutionMode::Incremental);
+        assert_eq!(report.new_variables, 1);
+        // New factors → the optimizer picks the sampling strategy.
+        assert_eq!(report.strategy, Some(StrategyChoice::Sampling));
+        let p = dd
+            .probability_of("MarriedMentions", &tuple![40i64, 41i64])
+            .unwrap();
+        assert!(
+            p > 0.5,
+            "new pair sharing the learned spouse phrase should be likely, got {p}"
+        );
+    }
+
+    #[test]
+    fn supervision_update_routes_to_variational() {
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        dd.materialize();
+
+        // New distant-supervision fact labels the George/Laura pair.
+        let mut update = KbcUpdate::new();
+        update
+            .insert("EL", tuple![20i64, "George_Bush_1"])
+            .insert("EL", tuple![21i64, "Laura_Bush_1"])
+            .insert("Married", tuple!["George_Bush_1", "Laura_Bush_1"]);
+
+        let report = dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+        assert_eq!(report.strategy, Some(StrategyChoice::Variational));
+        let p = dd
+            .probability_of("MarriedMentions", &tuple![20i64, 21i64])
+            .unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn rerun_and_incremental_agree_on_high_confidence_facts() {
+        let mut update = KbcUpdate::new();
+        update
+            .insert(
+                "Sentence",
+                tuple![4i64, "Franklin and his wife Eleanor hosted the gala"],
+            )
+            .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
+            .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
+
+        let mut incremental = engine();
+        incremental.initial_run().unwrap();
+        incremental.materialize();
+        incremental
+            .run_update(&update, ExecutionMode::Incremental)
+            .unwrap();
+
+        let mut rerun = engine();
+        rerun.initial_run().unwrap();
+        rerun.run_update(&update, ExecutionMode::Rerun).unwrap();
+
+        // §4.2: high-confidence facts of the two executions overlap heavily.
+        let inc_facts: HashSet<Tuple> = incremental
+            .extract_facts("MarriedMentions", 0.9)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let rerun_facts: HashSet<Tuple> = rerun
+            .extract_facts("MarriedMentions", 0.9)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        // The supervised fact must be in both.
+        assert!(inc_facts.contains(&tuple![10i64, 11i64]));
+        assert!(rerun_facts.contains(&tuple![10i64, 11i64]));
+    }
+
+    #[test]
+    fn quality_against_planted_truth() {
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        let truth: HashSet<Tuple> = [tuple![10i64, 11i64], tuple![20i64, 21i64]]
+            .into_iter()
+            .collect();
+        let q = dd.quality("MarriedMentions", &truth);
+        assert!(q.precision > 0.0);
+        assert!(q.recall > 0.0);
+        assert!(q.extracted >= 1);
+    }
+
+    #[test]
+    fn extract_facts_respects_threshold() {
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        let all = dd.extract_facts("MarriedMentions", 0.0);
+        let high = dd.extract_facts("MarriedMentions", 0.99);
+        assert!(all.len() >= high.len());
+        assert!(high.iter().all(|(_, p)| *p >= 0.99));
+        // unknown relation -> empty
+        assert!(dd.extract_facts("Nothing", 0.0).is_empty());
+    }
+
+    #[test]
+    fn update_without_materialization_falls_back_to_full_gibbs() {
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        let mut update = KbcUpdate::new();
+        update.insert("PersonCandidate", tuple![3i64, 32i64, "Joe"]);
+        let report = dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+        assert!(report.strategy.is_some());
+        assert!(report.inference_secs >= 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # deepdive — the end-to-end incremental KBC engine
+//!
+//! This crate ties the substrates together into the system the paper describes:
+//! a DeepDive program plus input data goes through *candidate generation &
+//! feature extraction*, *supervision*, *grounding*, *learning & inference*, and
+//! *error analysis* (Figure 1), and — after an initial run has been
+//! *materialized* — every subsequent KBC iteration can be executed either from
+//! scratch (`Rerun`) or incrementally (`Incremental`), which is the comparison
+//! of the paper's evaluation (§4).
+//!
+//! Modules:
+//!
+//! * [`config`]   — engine configuration (sampler, learner, materialization).
+//! * [`engine`]   — the [`DeepDive`] engine: initial run, materialization,
+//!   Rerun vs Incremental update execution, fact extraction.
+//! * [`materialization`] — the combined sampling + variational materialization
+//!   (§3.3: both are materialized, the choice is deferred to inference time).
+//! * [`optimizer`] — the rule-based strategy optimizer of §3.3.
+//! * [`decomposition`] — Algorithm 2: grouping inactive variables (Appendix B.1).
+//! * [`incremental_learning`] — SGD/GD with and without warmstart (Appendix B.3).
+//! * [`quality`]  — precision / recall / F1 against a ground-truth fact set.
+
+pub mod config;
+pub mod decomposition;
+pub mod engine;
+pub mod incremental_learning;
+pub mod materialization;
+pub mod optimizer;
+pub mod quality;
+
+pub use config::EngineConfig;
+pub use decomposition::{decompose, DecompositionGroup};
+pub use engine::{DeepDive, ExecutionMode, IterationReport};
+pub use incremental_learning::{compare_learning_strategies, LearningComparison};
+pub use materialization::Materialization;
+pub use optimizer::{choose_strategy, StrategyChoice};
+pub use quality::{evaluate_quality, QualityReport};

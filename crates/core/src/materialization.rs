@@ -1,0 +1,140 @@
+//! The combined materialization of §3.3.
+//!
+//! "We propose to materialize the factor graph using both the sampling approach
+//! and the variational approach, and defer the decision to the inference phase."
+//! Both strategies need Gibbs samples from the original distribution — "this is
+//! the dominant cost during materialization" — so the engine draws one sample set
+//! and feeds it to both.  The strawman (complete enumeration) is also retained
+//! for graphs small enough to afford it, mirroring its role as the exactness
+//! anchor of the tradeoff study.
+
+use crate::config::EngineConfig;
+use dd_factorgraph::FactorGraph;
+use dd_inference::{
+    GibbsSampler, SampleMaterialization, StrawmanMaterialization, VariationalMaterialization,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Everything stored by the materialization phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Materialization {
+    pub sampling: SampleMaterialization,
+    pub variational: VariationalMaterialization,
+    /// Present only when the graph has few enough query variables to enumerate.
+    pub strawman: Option<StrawmanMaterialization>,
+    /// Weight values at materialization time (the warmstart model).
+    pub weights: Vec<f64>,
+    /// Wall-clock seconds spent materializing.
+    pub seconds: f64,
+    /// Number of samples drawn.
+    pub num_samples: usize,
+}
+
+impl Materialization {
+    /// Materialize both strategies from one Gibbs run over `graph`.
+    pub fn build(graph: &FactorGraph, config: &EngineConfig) -> Self {
+        let start = Instant::now();
+        let mut sampler = GibbsSampler::new(graph, config.seed);
+        let samples = sampler.draw_samples(
+            config.materialization_samples,
+            config.gibbs.burn_in.max(config.variational.burn_in),
+        );
+        let sampling = SampleMaterialization::from_samples(samples.clone(), graph.num_variables());
+        let variational =
+            VariationalMaterialization::from_samples(graph, &samples, &config.variational);
+        let strawman = StrawmanMaterialization::materialize(graph);
+        Materialization {
+            sampling,
+            variational,
+            strawman,
+            weights: graph.weight_values(),
+            seconds: start.elapsed().as_secs_f64(),
+            num_samples: config.materialization_samples,
+        }
+    }
+
+    /// Materialize as many samples as possible within a wall-clock budget — the
+    /// "best-effort approach: it generates as many samples as possible when idle
+    /// or within a user-specified time interval" (§3.3), measured by Figure 15.
+    pub fn build_with_budget(
+        graph: &FactorGraph,
+        config: &EngineConfig,
+        budget_seconds: f64,
+    ) -> Self {
+        let start = Instant::now();
+        let mut sampler = GibbsSampler::new(graph, config.seed);
+        let mut samples = dd_inference::SampleSet::new(graph.num_variables());
+        for _ in 0..config.gibbs.burn_in {
+            sampler.sweep();
+        }
+        while start.elapsed().as_secs_f64() < budget_seconds {
+            sampler.sweep();
+            samples.push(sampler.world());
+        }
+        let num_samples = samples.len();
+        let sampling = SampleMaterialization::from_samples(samples.clone(), graph.num_variables());
+        let variational =
+            VariationalMaterialization::from_samples(graph, &samples, &config.variational);
+        let strawman = StrawmanMaterialization::materialize(graph);
+        Materialization {
+            sampling,
+            variational,
+            strawman,
+            weights: graph.weight_values(),
+            seconds: start.elapsed().as_secs_f64(),
+            num_samples,
+        }
+    }
+
+    /// Total storage used by the stored samples, in bytes.
+    pub fn sample_storage_bytes(&self) -> usize {
+        self.sampling.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_factorgraph::{Factor, FactorGraphBuilder};
+
+    fn graph(n: usize) -> FactorGraph {
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(n);
+        let w = b.tied_weight("w", 0.5, false);
+        for i in 1..n {
+            b.add_factor(Factor::equal(w, vs[i - 1], vs[i]));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builds_both_strategies_from_one_sample_run() {
+        let g = graph(6);
+        let config = EngineConfig::fast();
+        let m = Materialization::build(&g, &config);
+        assert_eq!(m.sampling.num_samples(), config.materialization_samples);
+        assert_eq!(m.variational.approx_graph().num_variables(), 6);
+        assert!(m.strawman.is_some());
+        assert_eq!(m.weights.len(), 1);
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn strawman_absent_for_large_graphs() {
+        let g = graph(40);
+        let m = Materialization::build(&g, &EngineConfig::fast());
+        assert!(m.strawman.is_none());
+    }
+
+    #[test]
+    fn budgeted_materialization_scales_with_budget() {
+        let g = graph(10);
+        let config = EngineConfig::fast();
+        let small = Materialization::build_with_budget(&g, &config, 0.02);
+        let large = Materialization::build_with_budget(&g, &config, 0.1);
+        assert!(small.num_samples >= 1);
+        assert!(large.num_samples >= small.num_samples);
+        assert!(large.sample_storage_bytes() >= small.sample_storage_bytes());
+    }
+}

@@ -1,0 +1,182 @@
+//! Possible worlds (assignments of truth values to variables).
+
+use crate::variable::VarId;
+use serde::{Deserialize, Serialize};
+
+/// Read-only view of a possible world.
+///
+/// Both the sequential sampler's [`World`] and the parallel sampler's atomic
+/// assignment (in `dd-inference`) implement this, so factor energies can be
+/// evaluated against either representation.
+pub trait WorldView {
+    /// Truth value of variable `v` in this world.
+    fn value(&self, v: VarId) -> bool;
+}
+
+/// A dense possible world: one bool per variable.
+///
+/// Paper §2.4: "An assignment to each of the query variables yields a possible
+/// world I that must contain all positive evidence variables … and must not
+/// contain any negatives."  Evidence handling is done by the samplers, which
+/// never flip evidence variables; `World` itself is just the assignment vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct World {
+    values: Vec<bool>,
+}
+
+impl World {
+    /// A world with all variables false.
+    pub fn all_false(num_vars: usize) -> Self {
+        World {
+            values: vec![false; num_vars],
+        }
+    }
+
+    /// A world from an explicit assignment vector.
+    pub fn from_values(values: Vec<bool>) -> Self {
+        World { values }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the world has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Set the value of a variable.
+    pub fn set(&mut self, v: VarId, value: bool) {
+        self.values[v] = value;
+    }
+
+    /// Flip a variable, returning the new value.
+    pub fn flip(&mut self, v: VarId) -> bool {
+        self.values[v] = !self.values[v];
+        self.values[v]
+    }
+
+    /// Underlying slice.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Number of true variables.
+    pub fn count_true(&self) -> usize {
+        self.values.iter().filter(|&&b| b).count()
+    }
+
+    /// Hamming distance to another world of the same length.
+    pub fn hamming_distance(&self, other: &World) -> usize {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Pack the world into bytes (8 variables per byte), the "1 bit per variable"
+    /// tuple-bundle storage of the sampling materialization approach (§3.2.2).
+    pub fn to_bitvec(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.values.len().div_ceil(8)];
+        for (i, &b) in self.values.iter().enumerate() {
+            if b {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Unpack a bit-packed world.
+    pub fn from_bitvec(bits: &[u8], num_vars: usize) -> Self {
+        let mut values = vec![false; num_vars];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = (bits[i / 8] >> (i % 8)) & 1 == 1;
+        }
+        World { values }
+    }
+
+    /// Enumerate every possible world over `num_vars` variables (2^n of them).
+    /// Used by the strawman materialization strategy and by exact-inference tests;
+    /// callers must keep `num_vars` small.
+    pub fn enumerate(num_vars: usize) -> impl Iterator<Item = World> {
+        assert!(
+            num_vars < usize::BITS as usize,
+            "cannot enumerate worlds over {num_vars} variables"
+        );
+        (0..(1usize << num_vars)).map(move |mask| {
+            World::from_values((0..num_vars).map(|i| (mask >> i) & 1 == 1).collect())
+        })
+    }
+}
+
+impl WorldView for World {
+    fn value(&self, v: VarId) -> bool {
+        self.values[v]
+    }
+}
+
+impl WorldView for Vec<bool> {
+    fn value(&self, v: VarId) -> bool {
+        self[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_mutation() {
+        let mut w = World::all_false(4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.count_true(), 0);
+        w.set(2, true);
+        assert!(w.value(2));
+        assert!(!w.value(0));
+        assert!(w.flip(0));
+        assert!(!w.flip(0));
+        assert_eq!(w.count_true(), 1);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = World::from_values(vec![true, false, true]);
+        let b = World::from_values(vec![true, true, false]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn bitvec_round_trip() {
+        let w = World::from_values((0..37).map(|i| i % 3 == 0).collect());
+        let bits = w.to_bitvec();
+        assert_eq!(bits.len(), 5);
+        let back = World::from_bitvec(&bits, 37);
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn bitvec_is_one_bit_per_variable() {
+        let w = World::all_false(1024);
+        assert_eq!(w.to_bitvec().len(), 128);
+    }
+
+    #[test]
+    fn enumerate_covers_all_worlds() {
+        let worlds: Vec<World> = World::enumerate(3).collect();
+        assert_eq!(worlds.len(), 8);
+        let distinct: std::collections::HashSet<Vec<bool>> =
+            worlds.iter().map(|w| w.values().to_vec()).collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn worldview_for_vec() {
+        let v = vec![false, true];
+        assert!(!WorldView::value(&v, 0));
+        assert!(WorldView::value(&v, 1));
+    }
+}

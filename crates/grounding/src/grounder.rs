@@ -1,0 +1,743 @@
+//! Full grounding: program + database → factor graph.
+//!
+//! "Grounding: … one evaluates a sequence of SQL queries to produce a data
+//! structure called a factor graph … Essentially, every tuple in the database or
+//! result of a query is a random variable (node) in this factor graph" (§1,
+//! Figure 3).  The [`Grounder`] owns the database, the catalogs mapping tuples to
+//! variables and tying keys to weights, and the factor graph it produces; the
+//! incremental grounder in [`crate::incremental`] updates all of them in place.
+
+use crate::ast::{Rule, RuleKind, WeightSpec};
+use crate::program::{Program, RelationRole};
+use crate::udf::UdfRegistry;
+use dd_factorgraph::{
+    Factor, FactorKind, FactorGraph, Lit, Semantics, VarId, Variable, VariableRole, Weight,
+    WeightId,
+};
+use dd_relstore::view::Term;
+use dd_relstore::{Database, MaterializedView, RelError, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Summary of one grounding run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroundingResult {
+    pub num_variables: usize,
+    pub num_factors: usize,
+    pub num_weights: usize,
+    pub num_evidence: usize,
+    /// Per-rule number of groundings produced.
+    pub groundings_per_rule: HashMap<String, usize>,
+}
+
+/// The grounding engine.
+pub struct Grounder {
+    pub(crate) program: Program,
+    pub(crate) db: Database,
+    pub(crate) udfs: UdfRegistry,
+    pub(crate) graph: FactorGraph,
+    /// (relation, tuple) → variable id.
+    pub(crate) var_catalog: HashMap<(String, Tuple), VarId>,
+    /// weight description → weight id.
+    pub(crate) weight_catalog: HashMap<String, WeightId>,
+    /// rule name → set of body-query bindings already grounded (prevents
+    /// duplicate factors across incremental runs).
+    pub(crate) grounded_bindings: HashMap<String, HashSet<Tuple>>,
+    /// Materialized views for candidate-mapping rules (incremental maintenance).
+    pub(crate) candidate_views: HashMap<String, MaterializedView>,
+}
+
+impl Grounder {
+    /// Create a grounder over a program, database, and UDF registry.  Declared
+    /// relations missing from the database are created empty.
+    pub fn new(program: Program, mut db: Database, udfs: UdfRegistry) -> Result<Self, String> {
+        program.validate()?;
+        program.create_schema(&mut db);
+        Ok(Grounder {
+            program,
+            db,
+            udfs,
+            graph: FactorGraph::new(),
+            var_catalog: HashMap::new(),
+            weight_catalog: HashMap::new(),
+            grounded_bindings: HashMap::new(),
+            candidate_views: HashMap::new(),
+        })
+    }
+
+    // ---------------------------------------------------------------- accessors
+
+    /// The current factor graph.
+    pub fn graph(&self) -> &FactorGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the factor graph (the engine's learner needs it).
+    pub fn graph_mut(&mut self) -> &mut FactorGraph {
+        &mut self.graph
+    }
+
+    /// The database (post-grounding it also holds derived candidate tuples).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (used to load base data before grounding).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Variable id of a tuple, if it has one.
+    pub fn variable_for(&self, relation: &str, tuple: &Tuple) -> Option<VarId> {
+        self.var_catalog
+            .get(&(relation.to_string(), tuple.clone()))
+            .copied()
+    }
+
+    /// Iterate over the `(relation, tuple) → variable` catalog.
+    pub fn variable_catalog(&self) -> impl Iterator<Item = (&(String, Tuple), &VarId)> {
+        self.var_catalog.iter()
+    }
+
+    /// Weight id for a tying key, if known.
+    pub fn weight_for(&self, description: &str) -> Option<WeightId> {
+        self.weight_catalog.get(description).copied()
+    }
+
+    /// Number of distinct bindings grounded for a rule so far.
+    pub fn groundings_of(&self, rule: &str) -> usize {
+        self.grounded_bindings.get(rule).map(|s| s.len()).unwrap_or(0)
+    }
+
+    // ---------------------------------------------------------------- grounding
+
+    /// Ground the whole program from scratch.
+    pub fn ground(&mut self) -> Result<GroundingResult, String> {
+        // Phase 1: candidate mappings in stratified order.
+        let ordered: Vec<Rule> = self
+            .program
+            .stratified_candidate_rules()
+            .ok_or_else(|| "candidate-mapping rules are cyclic".to_string())?
+            .into_iter()
+            .cloned()
+            .collect();
+        for rule in &ordered {
+            self.evaluate_candidate_rule(rule).map_err(|e| e.to_string())?;
+        }
+
+        // Phase 2: weighted and supervision rules.
+        let rules: Vec<Rule> = self
+            .program
+            .rules
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    RuleKind::FeatureExtraction | RuleKind::Inference | RuleKind::Supervision
+                )
+            })
+            .cloned()
+            .collect();
+        for rule in &rules {
+            self.ground_rule(rule).map_err(|e| e.to_string())?;
+        }
+
+        Ok(self.result())
+    }
+
+    /// Ground a single rule (weighted or supervision) over the current database,
+    /// skipping bindings already grounded.  Used both by full grounding and when
+    /// a brand-new rule is added incrementally.
+    pub fn ground_rule(&mut self, rule: &Rule) -> Result<usize, RelError> {
+        let query = rule.body_query();
+        let bindings = query.evaluate(&self.db)?;
+        let tuples: Vec<Tuple> = bindings.iter().cloned().collect();
+        let mut new_groundings = 0usize;
+        for binding in tuples {
+            if self.ground_binding(rule, &binding)? {
+                new_groundings += 1;
+            }
+        }
+        Ok(new_groundings)
+    }
+
+    /// Evaluate one candidate-mapping rule, inserting the (distinct) head tuples
+    /// into the head relation and remembering the materialized view.
+    pub fn evaluate_candidate_rule(&mut self, rule: &Rule) -> Result<usize, RelError> {
+        let head_vars = rule.head_vars();
+        let query = dd_relstore::ConjunctiveQuery::new(
+            rule.head.relation.clone(),
+            head_vars,
+            rule.body.clone(),
+        )
+        .with_filters(rule.filters.clone());
+        let view = MaterializedView::materialize(query, &self.db)?;
+        let mut inserted = 0usize;
+        {
+            let head_table = self.db.table_mut(&rule.head.relation)?;
+            for tuple in view.result().iter() {
+                if !head_table.contains(tuple) {
+                    head_table.insert(tuple.clone())?;
+                    inserted += 1;
+                }
+            }
+        }
+        self.candidate_views.insert(rule.name.clone(), view);
+        Ok(inserted)
+    }
+
+    /// Ground one body-query binding of a weighted/supervision rule.  Returns
+    /// `false` if the binding was grounded before.
+    pub fn ground_binding(&mut self, rule: &Rule, binding: &Tuple) -> Result<bool, RelError> {
+        let already = self
+            .grounded_bindings
+            .entry(rule.name.clone())
+            .or_default();
+        if !already.insert(binding.clone()) {
+            return Ok(false);
+        }
+
+        let projection_vars = rule.projection_vars();
+        let value_of = |var: &str| -> Value {
+            projection_vars
+                .iter()
+                .position(|v| v == var)
+                .and_then(|i| binding.get(i).cloned())
+                .unwrap_or(Value::Null)
+        };
+
+        // Resolve the head tuple and its variable.
+        let head_tuple = Self::instantiate_atom_tuple(&rule.head.terms, &value_of);
+        let head_var = self.var_for_tuple(&rule.head.relation, &head_tuple);
+
+        match (&rule.kind, &rule.weight) {
+            (RuleKind::Supervision, WeightSpec::Label(polarity)) => {
+                let var = self.graph.variable_mut(head_var);
+                var.role = if *polarity {
+                    VariableRole::PositiveEvidence
+                } else {
+                    VariableRole::NegativeEvidence
+                };
+                var.initial_value = *polarity;
+            }
+            _ => {
+                let weight_id = self.weight_for_rule(rule, &value_of);
+                // Body atoms over variable relations become body literals.
+                let mut body_lits = Vec::new();
+                for atom in &rule.body {
+                    if self.program.role_of(&atom.relation) == RelationRole::Variable {
+                        let t = Self::instantiate_atom_tuple(&atom.terms, &value_of);
+                        let v = self.var_for_tuple(&atom.relation, &t);
+                        body_lits.push(Lit {
+                            var: v,
+                            positive: !atom.negated,
+                        });
+                    }
+                }
+                let factor = Self::make_factor(weight_id, body_lits, head_var, rule.semantics);
+                self.graph.add_factor(factor);
+            }
+        }
+
+        // Make sure the head tuple exists in its relation so error-analysis
+        // queries can see it.
+        if let Ok(table) = self.db.table_mut(&rule.head.relation) {
+            if !table.contains(&head_tuple) && table.schema().check(head_tuple.values()) {
+                let _ = table.insert(head_tuple);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Build the factor for one grounding.  With Linear semantics (or an empty
+    /// body) this is the classic per-grounding factor; with Ratio/Logical
+    /// semantics a single-grounding Aggregate factor carries the `g` function.
+    pub(crate) fn make_factor(
+        weight_id: WeightId,
+        body_lits: Vec<Lit>,
+        head_var: VarId,
+        semantics: Semantics,
+    ) -> Factor {
+        if body_lits.is_empty() {
+            return Factor::is_true(weight_id, head_var);
+        }
+        match semantics {
+            Semantics::Linear => Factor::new(
+                weight_id,
+                FactorKind::Imply {
+                    body: body_lits,
+                    head: Lit::pos(head_var),
+                },
+            ),
+            _ => Factor::new(
+                weight_id,
+                FactorKind::Aggregate {
+                    head: Lit::pos(head_var),
+                    semantics,
+                    groundings: vec![body_lits],
+                },
+            ),
+        }
+    }
+
+    /// Instantiate an atom's terms under a binding.
+    pub(crate) fn instantiate_atom_tuple<F>(terms: &[Term], value_of: &F) -> Tuple
+    where
+        F: Fn(&str) -> Value,
+    {
+        Tuple::new(
+            terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => value_of(v),
+                })
+                .collect(),
+        )
+    }
+
+    /// Get or create the random variable for a tuple of a variable relation.
+    pub(crate) fn var_for_tuple(&mut self, relation: &str, tuple: &Tuple) -> VarId {
+        let key = (relation.to_string(), tuple.clone());
+        if let Some(&v) = self.var_catalog.get(&key) {
+            return v;
+        }
+        let id = self.graph.add_variable(
+            Variable::query(0).with_origin(relation, self.var_catalog.len() as u64),
+        );
+        self.var_catalog.insert(key, id);
+        id
+    }
+
+    /// The weight descriptor of one grounding: `(tying key, initial value, fixed)`.
+    pub(crate) fn weight_descriptor<F>(
+        udfs: &UdfRegistry,
+        rule: &Rule,
+        value_of: &F,
+    ) -> (String, f64, bool)
+    where
+        F: Fn(&str) -> Value,
+    {
+        match &rule.weight {
+            WeightSpec::Fixed(w) => (format!("{}::fixed", rule.name), *w, true),
+            WeightSpec::Learnable { initial } => (format!("{}::rule", rule.name), *initial, false),
+            WeightSpec::Tied { udf, args } => {
+                let arg_values: Vec<Value> = args.iter().map(|a| value_of(a)).collect();
+                let key = udfs.call(udf, &arg_values);
+                (format!("{}::{}", rule.name, key), 0.0, false)
+            }
+            WeightSpec::Label(_) | WeightSpec::None => (format!("{}::none", rule.name), 0.0, true),
+        }
+    }
+
+    /// Resolve the weight for one grounding of a rule, creating it on first use.
+    pub(crate) fn weight_for_rule<F>(&mut self, rule: &Rule, value_of: &F) -> WeightId
+    where
+        F: Fn(&str) -> Value,
+    {
+        let (description, initial, fixed) = Self::weight_descriptor(&self.udfs, rule, value_of);
+        if let Some(&w) = self.weight_catalog.get(&description) {
+            return w;
+        }
+        let weight = if fixed {
+            Weight::fixed(0, initial, &description)
+        } else {
+            Weight::learnable(0, initial, &description)
+        };
+        let id = self.graph.add_weight(weight);
+        self.weight_catalog.insert(description, id);
+        id
+    }
+
+    /// Summary of the current grounding state.
+    pub fn result(&self) -> GroundingResult {
+        let stats = self.graph.stats();
+        GroundingResult {
+            num_variables: stats.num_variables,
+            num_factors: stats.num_factors,
+            num_weights: stats.num_weights,
+            num_evidence: stats.num_evidence_variables,
+            groundings_per_rule: self
+                .grounded_bindings
+                .iter()
+                .map(|(k, v)| (k.clone(), v.len()))
+                .collect(),
+        }
+    }
+
+    /// Write marginal probabilities back into a `<relation>_marginal` table:
+    /// `(original columns…, probability)`.  This mirrors DeepDive reloading each
+    /// tuple into the database with its marginal probability (§2.5).
+    pub fn write_back_marginals(&mut self, marginals: &dyn dd_inference_marginals::MarginalsLike) {
+        // The inference crate is not a dependency of this crate (to keep the
+        // build DAG clean), so the engine passes marginals through a tiny trait.
+        let mut rows: HashMap<String, Vec<(Tuple, f64)>> = HashMap::new();
+        for ((relation, tuple), &var) in &self.var_catalog {
+            if let Some(p) = marginals.probability(var) {
+                rows.entry(relation.clone()).or_default().push((tuple.clone(), p));
+            }
+        }
+        for (relation, tuples) in rows {
+            let table_name = format!("{relation}_marginal");
+            let base_schema = match self.db.table(&relation) {
+                Ok(t) => t.schema().clone(),
+                Err(_) => continue,
+            };
+            let mut cols: Vec<(String, dd_relstore::DataType)> = base_schema
+                .columns()
+                .iter()
+                .map(|c| (c.name.clone(), c.data_type))
+                .collect();
+            cols.push(("probability".to_string(), dd_relstore::DataType::Float));
+            let schema = dd_relstore::Schema::new(
+                cols.into_iter()
+                    .map(|(n, t)| dd_relstore::Column::new(n, t))
+                    .collect(),
+            );
+            self.db.create_or_replace_table(&table_name, schema);
+            let table = self.db.table_mut(&table_name).expect("just created");
+            for (tuple, p) in tuples {
+                let mut values = tuple.into_values();
+                values.push(Value::Float(p));
+                let _ = table.insert(Tuple::new(values));
+            }
+        }
+    }
+}
+
+/// A minimal abstraction over "something that knows the probability of a
+/// variable", so this crate does not need to depend on the inference crate.
+pub mod dd_inference_marginals {
+    /// Anything that can report a per-variable probability.
+    pub trait MarginalsLike {
+        fn probability(&self, var: usize) -> Option<f64>;
+    }
+
+    impl MarginalsLike for Vec<f64> {
+        fn probability(&self, var: usize) -> Option<f64> {
+            self.get(var).copied()
+        }
+    }
+
+    impl MarginalsLike for &[f64] {
+        fn probability(&self, var: usize) -> Option<f64> {
+            self.get(var).copied()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RuleAtom;
+    use crate::program::RelationDecl;
+    use crate::udf::standard_udfs;
+    use dd_relstore::view::Filter;
+    use dd_relstore::{tuple, DataType, Schema};
+
+    fn atom(rel: &str, vars: &[&str]) -> RuleAtom {
+        RuleAtom::new(rel, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    /// The running spouse example (Figure 2), scaled to a handful of tuples.
+    fn spouse_program() -> Program {
+        Program::new()
+            .declare(RelationDecl::new(
+                "Sentence",
+                Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "PersonCandidate",
+                Schema::of(&[
+                    ("s", DataType::Int),
+                    ("m", DataType::Int),
+                    ("text", DataType::Text),
+                ]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "EL",
+                Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "Married",
+                Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "MarriedCandidate",
+                Schema::of(&[("m1", DataType::Int), ("m2", DataType::Int)]),
+                RelationRole::Derived,
+            ))
+            .declare(RelationDecl::new(
+                "MarriedMentions",
+                Schema::of(&[("m1", DataType::Int), ("m2", DataType::Int)]),
+                RelationRole::Variable,
+            ))
+            // R1: candidate generation
+            .rule(
+                Rule::new(
+                    "R1",
+                    RuleKind::CandidateMapping,
+                    atom("MarriedCandidate", &["m1", "m2"]),
+                    vec![
+                        RuleAtom::new(
+                            "PersonCandidate",
+                            vec![Term::var("s"), Term::var("m1"), Term::var("t1")],
+                        ),
+                        RuleAtom::new(
+                            "PersonCandidate",
+                            vec![Term::var("s"), Term::var("m2"), Term::var("t2")],
+                        ),
+                    ],
+                    WeightSpec::None,
+                )
+                .with_filters(vec![Filter::Lt("m1".into(), "m2".into())]),
+            )
+            // FE1: phrase feature between the two mentions
+            .rule(Rule::new(
+                "FE1",
+                RuleKind::FeatureExtraction,
+                atom("MarriedMentions", &["m1", "m2"]),
+                vec![
+                    atom("MarriedCandidate", &["m1", "m2"]),
+                    RuleAtom::new(
+                        "PersonCandidate",
+                        vec![Term::var("s"), Term::var("m1"), Term::var("t1")],
+                    ),
+                    RuleAtom::new(
+                        "PersonCandidate",
+                        vec![Term::var("s"), Term::var("m2"), Term::var("t2")],
+                    ),
+                    RuleAtom::new("Sentence", vec![Term::var("s"), Term::var("content")]),
+                ],
+                WeightSpec::Tied {
+                    udf: "phrase".into(),
+                    args: vec!["t1".into(), "t2".into(), "content".into()],
+                },
+            ))
+            // S1: distant supervision from the Married KB
+            .rule(Rule::new(
+                "S1",
+                RuleKind::Supervision,
+                atom("MarriedMentions", &["m1", "m2"]),
+                vec![
+                    atom("MarriedCandidate", &["m1", "m2"]),
+                    RuleAtom::new("EL", vec![Term::var("m1"), Term::var("e1")]),
+                    RuleAtom::new("EL", vec![Term::var("m2"), Term::var("e2")]),
+                    RuleAtom::new("Married", vec![Term::var("e1"), Term::var("e2")]),
+                ],
+                WeightSpec::Label(true),
+            ))
+    }
+
+    fn spouse_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "Sentence",
+            Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
+        )
+        .unwrap();
+        db.create_table(
+            "PersonCandidate",
+            Schema::of(&[
+                ("s", DataType::Int),
+                ("m", DataType::Int),
+                ("text", DataType::Text),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "EL",
+            Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+        )
+        .unwrap();
+        db.create_table(
+            "Married",
+            Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
+        )
+        .unwrap();
+        db.insert_all(
+            "Sentence",
+            vec![
+                tuple![1i64, "Barack and his wife Michelle attended the dinner"],
+                tuple![2i64, "Malia and Sasha attended the state dinner"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "PersonCandidate",
+            vec![
+                tuple![1i64, 10i64, "Barack"],
+                tuple![1i64, 11i64, "Michelle"],
+                tuple![2i64, 20i64, "Malia"],
+                tuple![2i64, 21i64, "Sasha"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "EL",
+            vec![
+                tuple![10i64, "Barack_Obama_1"],
+                tuple![11i64, "Michelle_Obama_1"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("Married", vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]])
+            .unwrap();
+        db
+    }
+
+    fn grounder() -> Grounder {
+        Grounder::new(spouse_program(), spouse_db(), standard_udfs()).unwrap()
+    }
+
+    #[test]
+    fn full_grounding_produces_expected_structure() {
+        let mut g = grounder();
+        let result = g.ground().unwrap();
+
+        // Two candidate pairs: (10,11) in sentence 1 and (20,21) in sentence 2.
+        let candidates = g.database().table("MarriedCandidate").unwrap();
+        assert_eq!(candidates.len(), 2);
+        assert!(candidates.contains(&tuple![10i64, 11i64]));
+        assert!(candidates.contains(&tuple![20i64, 21i64]));
+
+        // Two MarriedMentions variables; (10,11) is positive evidence via S1.
+        assert_eq!(result.num_variables, 2);
+        assert_eq!(result.num_evidence, 1);
+        let v = g
+            .variable_for("MarriedMentions", &tuple![10i64, 11i64])
+            .unwrap();
+        assert!(g.graph().variable(v).is_evidence());
+        let v2 = g
+            .variable_for("MarriedMentions", &tuple![20i64, 21i64])
+            .unwrap();
+        assert!(!g.graph().variable(v2).is_evidence());
+
+        // FE1 grounds one factor per candidate pair, with distinct phrase weights.
+        assert_eq!(result.groundings_per_rule["FE1"], 2);
+        assert!(g.weight_for("FE1::and his wife").is_some());
+        assert!(g.weight_for("FE1::and").is_some());
+        assert!(result.num_factors >= 2);
+    }
+
+    #[test]
+    fn weight_tying_shares_weights_across_identical_phrases() {
+        let mut g = grounder();
+        // Add a second sentence with the same "and his wife" phrase.
+        g.database_mut()
+            .insert_all(
+                "Sentence",
+                vec![tuple![3i64, "George and his wife Laura were married"]],
+            )
+            .unwrap();
+        g.database_mut()
+            .insert_all(
+                "PersonCandidate",
+                vec![tuple![3i64, 30i64, "George"], tuple![3i64, 31i64, "Laura"]],
+            )
+            .unwrap();
+        let result = g.ground().unwrap();
+        assert_eq!(result.groundings_per_rule["FE1"], 3);
+        // "and his wife" appears twice but creates only one weight.
+        let tied = g.weight_for("FE1::and his wife").unwrap();
+        let shared_factor_count = g
+            .graph()
+            .factors()
+            .iter()
+            .filter(|f| f.weight_id == tied)
+            .count();
+        assert_eq!(shared_factor_count, 2);
+    }
+
+    #[test]
+    fn grounding_twice_does_not_duplicate_factors() {
+        let mut g = grounder();
+        let first = g.ground().unwrap();
+        let second = g.ground().unwrap();
+        assert_eq!(first.num_factors, second.num_factors);
+        assert_eq!(first.num_variables, second.num_variables);
+    }
+
+    #[test]
+    fn inference_rule_connects_two_variables() {
+        // Symmetry rule: MarriedMentions(m2, m1) :- MarriedMentions(m1, m2).
+        let program = spouse_program().rule(Rule::new(
+            "I1",
+            RuleKind::Inference,
+            atom("MarriedMentions", &["m2", "m1"]),
+            vec![atom("MarriedMentions", &["m1", "m2"])],
+            WeightSpec::Fixed(3.0),
+        ));
+        let mut g = Grounder::new(program, spouse_db(), standard_udfs()).unwrap();
+        let result = g.ground().unwrap();
+        // Symmetric counterparts (11,10) and (21,20) now exist as variables too.
+        assert!(g.variable_for("MarriedMentions", &tuple![11i64, 10i64]).is_some());
+        assert_eq!(result.num_variables, 4);
+        // The I1 factors are Aggregate (default Ratio semantics) implications.
+        let has_aggregate = g
+            .graph()
+            .factors()
+            .iter()
+            .any(|f| matches!(f.kind, FactorKind::Aggregate { .. }));
+        assert!(has_aggregate);
+    }
+
+    #[test]
+    fn linear_semantics_emits_imply_factors() {
+        let program = spouse_program().rule(
+            Rule::new(
+                "I1",
+                RuleKind::Inference,
+                atom("MarriedMentions", &["m2", "m1"]),
+                vec![atom("MarriedMentions", &["m1", "m2"])],
+                WeightSpec::Fixed(3.0),
+            )
+            .with_semantics(Semantics::Linear),
+        );
+        let mut g = Grounder::new(program, spouse_db(), standard_udfs()).unwrap();
+        g.ground().unwrap();
+        let has_imply = g
+            .graph()
+            .factors()
+            .iter()
+            .any(|f| matches!(f.kind, FactorKind::Imply { .. }));
+        assert!(has_imply);
+    }
+
+    #[test]
+    fn marginal_write_back_creates_probability_table() {
+        let mut g = grounder();
+        g.ground().unwrap();
+        let n = g.graph().num_variables();
+        let marginals: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * (i % 2) as f64).collect();
+        g.write_back_marginals(&marginals);
+        let t = g.database().table("MarriedMentions_marginal").unwrap();
+        assert_eq!(t.len(), n);
+        assert_eq!(t.schema().arity(), 3);
+    }
+
+    #[test]
+    fn invalid_program_is_rejected_at_construction() {
+        let bad = Program::new().rule(Rule::new(
+            "X",
+            RuleKind::CandidateMapping,
+            atom("Nowhere", &["x"]),
+            vec![atom("AlsoNowhere", &["x"])],
+            WeightSpec::None,
+        ));
+        assert!(Grounder::new(bad, Database::new(), standard_udfs()).is_err());
+    }
+}

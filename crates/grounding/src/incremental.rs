@@ -1,0 +1,767 @@
+//! Incremental grounding (paper §3.1).
+//!
+//! A KBC iteration changes the input data (new documents, new labels) and/or the
+//! program (new feature-extraction, supervision, or inference rules).  Incremental
+//! grounding turns such a [`KbcUpdate`] into the factor-graph delta (ΔV, ΔF) that
+//! incremental inference consumes:
+//!
+//! 1. base-relation deltas are cascaded through the candidate-mapping rules using
+//!    the counting/DRed delta rules of the relational substrate (the derived
+//!    relations are materialized views);
+//! 2. the weighted and supervision rules are differentiated against the combined
+//!    base + derived deltas, producing new groundings;
+//! 3. brand-new rules are grounded in full against the post-update database;
+//! 4. everything is packaged as a [`GraphDelta`] and applied to the grounder's
+//!    own factor graph, keeping its tuple→variable and key→weight catalogs in
+//!    sync.
+//!
+//! Deletions of existing groundings are detected and counted but their factors
+//! are left in place (with the same effect as a zero-probability derivation); the
+//! paper's inference-phase techniques likewise focus on additions and
+//! modifications, and a full DRed over-delete/re-derive pass on the factor graph
+//! is orthogonal to the materialization tradeoff being studied.
+
+use crate::ast::{Rule, RuleKind, WeightSpec};
+use crate::grounder::Grounder;
+use crate::program::RelationRole;
+use dd_factorgraph::{
+    DeltaFactor, EvidenceChange, Factor, FactorKind, GraphDelta, Lit, NewVarRef, NewWeightRef,
+    Semantics, Variable, VariableRole, Weight,
+};
+use dd_relstore::{DeltaRelation, MaterializedView, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+
+/// One update to a KBC system: data changes and/or new rules.
+#[derive(Debug, Clone, Default)]
+pub struct KbcUpdate {
+    /// Changes to base relations, keyed by relation name.
+    pub base_deltas: HashMap<String, DeltaRelation>,
+    /// Rules added in this iteration.
+    pub new_rules: Vec<Rule>,
+}
+
+impl KbcUpdate {
+    pub fn new() -> Self {
+        KbcUpdate::default()
+    }
+
+    /// Record an insertion into a base relation.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> &mut Self {
+        self.base_deltas
+            .entry(relation.to_string())
+            .or_insert_with(|| DeltaRelation::new(relation))
+            .insert(tuple);
+        self
+    }
+
+    /// Record a deletion from a base relation.
+    pub fn delete(&mut self, relation: &str, tuple: Tuple) -> &mut Self {
+        self.base_deltas
+            .entry(relation.to_string())
+            .or_insert_with(|| DeltaRelation::new(relation))
+            .delete(tuple);
+        self
+    }
+
+    /// Add a new rule.
+    pub fn add_rule(&mut self, rule: Rule) -> &mut Self {
+        self.new_rules.push(rule);
+        self
+    }
+
+    /// True if the update changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.new_rules.is_empty() && self.base_deltas.values().all(|d| d.is_empty())
+    }
+}
+
+/// Outcome of one incremental grounding run.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalGrounding {
+    /// The factor-graph delta (already applied to the grounder's graph).
+    pub delta: GraphDelta,
+    /// Derived-relation deltas produced by cascading through candidate rules.
+    pub derived_deltas: HashMap<String, DeltaRelation>,
+    /// Number of new groundings (factors or labels) produced.
+    pub new_groundings: usize,
+    /// Number of grounding deletions detected but not removed from the graph.
+    pub skipped_deletions: usize,
+}
+
+/// Accumulates graph changes in delta form before they are applied.
+#[derive(Default)]
+struct DeltaBuilder {
+    delta: GraphDelta,
+    pending_vars: HashMap<(String, Tuple), usize>,
+    pending_var_keys: Vec<(String, Tuple)>,
+    pending_weights: HashMap<String, usize>,
+    pending_weight_keys: Vec<String>,
+    new_bindings: Vec<(String, Tuple)>,
+    seen_bindings: HashSet<(String, Tuple)>,
+    evidence_changed: HashSet<usize>,
+    /// Head tuples to insert into their relation's table once the update lands.
+    pending_head_tuples: Vec<(String, Tuple)>,
+    new_groundings: usize,
+}
+
+impl DeltaBuilder {
+    /// Resolve a `(relation, tuple)` to an existing variable or a pending new one.
+    fn var_ref(&mut self, grounder: &Grounder, relation: &str, tuple: &Tuple) -> NewVarRef {
+        if let Some(v) = grounder.variable_for(relation, tuple) {
+            return NewVarRef::Existing(v);
+        }
+        let key = (relation.to_string(), tuple.clone());
+        if let Some(&i) = self.pending_vars.get(&key) {
+            return NewVarRef::New(i);
+        }
+        let i = self.delta.new_variables.len();
+        self.delta.new_variables.push(
+            Variable::query(0).with_origin(relation, (grounder.graph().num_variables() + i) as u64),
+        );
+        self.pending_vars.insert(key.clone(), i);
+        self.pending_var_keys.push(key);
+        NewVarRef::New(i)
+    }
+
+    /// Resolve the weight of one grounding to an existing or pending new weight.
+    fn weight_ref<F>(&mut self, grounder: &Grounder, rule: &Rule, value_of: &F) -> NewWeightRef
+    where
+        F: Fn(&str) -> Value,
+    {
+        let (description, initial, fixed) =
+            Grounder::weight_descriptor(grounder.udfs(), rule, value_of);
+        if let Some(w) = grounder.weight_for(&description) {
+            return NewWeightRef::Existing(w);
+        }
+        if let Some(&i) = self.pending_weights.get(&description) {
+            return NewWeightRef::New(i);
+        }
+        let i = self.delta.new_weights.len();
+        let weight = if fixed {
+            Weight::fixed(0, initial, &description)
+        } else {
+            Weight::learnable(0, initial, &description)
+        };
+        self.delta.new_weights.push(weight);
+        self.pending_weights.insert(description.clone(), i);
+        self.pending_weight_keys.push(description);
+        NewWeightRef::New(i)
+    }
+
+    /// Ground one binding of a weighted or supervision rule, in delta form.
+    fn ground_binding(&mut self, grounder: &Grounder, rule: &Rule, binding: &Tuple) -> bool {
+        let binding_key = (rule.name.clone(), binding.clone());
+        if self.seen_bindings.contains(&binding_key)
+            || grounder
+                .grounded_binding_exists(&rule.name, binding)
+        {
+            return false;
+        }
+        self.seen_bindings.insert(binding_key.clone());
+        self.new_bindings.push(binding_key);
+
+        let projection_vars = rule.projection_vars();
+        let value_of = |var: &str| -> Value {
+            projection_vars
+                .iter()
+                .position(|v| v == var)
+                .and_then(|i| binding.get(i).cloned())
+                .unwrap_or(Value::Null)
+        };
+
+        let head_tuple = Grounder::instantiate_atom_tuple(&rule.head.terms, &value_of);
+        let head_ref = self.var_ref(grounder, &rule.head.relation, &head_tuple);
+        self.pending_head_tuples
+            .push((rule.head.relation.clone(), head_tuple));
+
+        match (&rule.kind, &rule.weight) {
+            (RuleKind::Supervision, WeightSpec::Label(polarity)) => {
+                let role = if *polarity {
+                    VariableRole::PositiveEvidence
+                } else {
+                    VariableRole::NegativeEvidence
+                };
+                match head_ref {
+                    NewVarRef::Existing(v) => {
+                        if self.evidence_changed.insert(v) {
+                            self.delta.evidence_changes.push(EvidenceChange {
+                                var: v,
+                                new_role: role,
+                            });
+                        }
+                    }
+                    NewVarRef::New(i) => {
+                        let var = &mut self.delta.new_variables[i];
+                        var.role = role;
+                        var.initial_value = *polarity;
+                    }
+                }
+            }
+            _ => {
+                let weight = self.weight_ref(grounder, rule, &value_of);
+                let mut var_refs = Vec::new();
+                let slot_of = |refs: &mut Vec<NewVarRef>, r: NewVarRef| -> usize {
+                    refs.push(r);
+                    refs.len() - 1
+                };
+                let mut body_lits = Vec::new();
+                for atom in &rule.body {
+                    if grounder.program().role_of(&atom.relation) == RelationRole::Variable {
+                        let t = Grounder::instantiate_atom_tuple(&atom.terms, &value_of);
+                        let r = self.var_ref(grounder, &atom.relation, &t);
+                        let slot = slot_of(&mut var_refs, r);
+                        body_lits.push(Lit {
+                            var: slot,
+                            positive: !atom.negated,
+                        });
+                    }
+                }
+                let head_slot = slot_of(&mut var_refs, head_ref);
+                let template = if body_lits.is_empty() {
+                    Factor::is_true(0, head_slot)
+                } else {
+                    match rule.semantics {
+                        Semantics::Linear => Factor::new(
+                            0,
+                            FactorKind::Imply {
+                                body: body_lits,
+                                head: Lit::pos(head_slot),
+                            },
+                        ),
+                        s => Factor::new(
+                            0,
+                            FactorKind::Aggregate {
+                                head: Lit::pos(head_slot),
+                                semantics: s,
+                                groundings: vec![body_lits],
+                            },
+                        ),
+                    }
+                };
+                self.delta.new_factors.push(DeltaFactor {
+                    weight,
+                    template,
+                    var_refs,
+                });
+            }
+        }
+        self.new_groundings += 1;
+        true
+    }
+}
+
+impl Grounder {
+    /// True if a binding of `rule` has already produced a factor/label.
+    pub(crate) fn grounded_binding_exists(&self, rule: &str, binding: &Tuple) -> bool {
+        self.grounded_bindings
+            .get(rule)
+            .map(|s| s.contains(binding))
+            .unwrap_or(false)
+    }
+
+    /// Incrementally ground an update, mutating the database, the catalogs, and
+    /// the factor graph, and returning the applied [`GraphDelta`] plus statistics.
+    pub fn ground_incremental(
+        &mut self,
+        update: &KbcUpdate,
+    ) -> Result<IncrementalGrounding, String> {
+        let mut accumulated: HashMap<String, DeltaRelation> = update
+            .base_deltas
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let mut derived_deltas: HashMap<String, DeltaRelation> = HashMap::new();
+        let mut skipped_deletions = 0usize;
+
+        // ---- 1. cascade through candidate-mapping rules (pre-update database).
+        let ordered: Vec<Rule> = self
+            .program
+            .stratified_candidate_rules()
+            .ok_or_else(|| "candidate-mapping rules are cyclic".to_string())?
+            .into_iter()
+            .cloned()
+            .collect();
+        // Candidate rules that have never been evaluated (e.g. the program was
+        // created and updates were applied without an explicit initial run) are
+        // grounded now, against the pre-update state, so their derived tuples are
+        // visible to the weighted rules below.
+        for rule in &ordered {
+            if !self.candidate_views.contains_key(&rule.name) {
+                self.evaluate_candidate_rule(rule).map_err(|e| e.to_string())?;
+            }
+        }
+        for rule in &ordered {
+            let touches_change = rule
+                .body_relations()
+                .iter()
+                .any(|r| accumulated.contains_key(*r));
+            if !touches_change {
+                continue;
+            }
+            let head_rel = rule.head.relation.clone();
+            let head_table_pre: HashSet<Tuple> = self
+                .db
+                .table(&head_rel)
+                .map(|t| t.iter().cloned().collect())
+                .unwrap_or_default();
+
+            let view_delta = match self.candidate_views.get_mut(&rule.name) {
+                Some(view) => view
+                    .refresh_incremental(&self.db, &accumulated)
+                    .map_err(|e| e.to_string())?,
+                None => {
+                    // The rule was never grounded (e.g. added in an earlier update
+                    // without data): materialize it now against the pre-update
+                    // state and differentiate.
+                    let q = dd_relstore::ConjunctiveQuery::new(
+                        head_rel.clone(),
+                        rule.head_vars(),
+                        rule.body.clone(),
+                    )
+                    .with_filters(rule.filters.clone());
+                    let mut view =
+                        MaterializedView::materialize(q, &self.db).map_err(|e| e.to_string())?;
+                    let d = view
+                        .refresh_incremental(&self.db, &accumulated)
+                        .map_err(|e| e.to_string())?;
+                    self.candidate_views.insert(rule.name.clone(), view);
+                    d
+                }
+            };
+
+            // Translate derivation-count changes into distinct tuple changes.
+            let view_after = self
+                .candidate_views
+                .get(&rule.name)
+                .expect("view just refreshed")
+                .result();
+            let mut distinct_delta = DeltaRelation::new(head_rel.clone());
+            for (tuple, count) in view_delta.iter() {
+                if count > 0 && !head_table_pre.contains(tuple) && view_after.contains(tuple) {
+                    distinct_delta.insert(tuple.clone());
+                } else if count < 0 && head_table_pre.contains(tuple) && !view_after.contains(tuple)
+                {
+                    distinct_delta.delete(tuple.clone());
+                }
+            }
+            if !distinct_delta.is_empty() {
+                derived_deltas
+                    .entry(head_rel.clone())
+                    .or_insert_with(|| DeltaRelation::new(head_rel.clone()))
+                    .merge(&distinct_delta);
+                accumulated
+                    .entry(head_rel.clone())
+                    .or_insert_with(|| DeltaRelation::new(head_rel))
+                    .merge(&distinct_delta);
+            }
+        }
+
+        // ---- 2. differentiate the weighted and supervision rules (pre-update db).
+        let mut builder = DeltaBuilder::default();
+        let weighted: Vec<Rule> = self
+            .program
+            .rules
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    RuleKind::FeatureExtraction | RuleKind::Inference | RuleKind::Supervision
+                )
+            })
+            .cloned()
+            .collect();
+        for rule in &weighted {
+            let touches_change = rule
+                .body_relations()
+                .iter()
+                .any(|r| accumulated.contains_key(*r));
+            if !touches_change {
+                continue;
+            }
+            let query = rule.body_query();
+            let delta = query
+                .delta_evaluate(&self.db, &accumulated)
+                .map_err(|e| e.to_string())?;
+            for (binding, count) in delta.iter() {
+                if count > 0 {
+                    builder.ground_binding(self, rule, binding);
+                } else {
+                    skipped_deletions += 1;
+                }
+            }
+        }
+
+        // ---- 3. apply the relational deltas to the database.
+        for (relation, delta) in accumulated.iter() {
+            if let Ok(table) = self.db.table_mut(relation) {
+                delta.apply_to(table);
+            }
+        }
+
+        // ---- 4. ground brand-new rules in full against the post-update database.
+        for rule in &update.new_rules {
+            self.program.rules.push(rule.clone());
+            match rule.kind {
+                RuleKind::CandidateMapping => {
+                    // Full evaluation of the new candidate rule; the inserted
+                    // tuples immediately become visible to subsequently added
+                    // rules and to later incremental updates.
+                    self.evaluate_candidate_rule(rule).map_err(|e| e.to_string())?;
+                }
+                RuleKind::FeatureExtraction | RuleKind::Inference | RuleKind::Supervision => {
+                    let query = rule.body_query();
+                    let bindings = query.evaluate(&self.db).map_err(|e| e.to_string())?;
+                    for binding in bindings.iter() {
+                        builder.ground_binding(self, rule, binding);
+                    }
+                }
+                RuleKind::ErrorAnalysis => {}
+            }
+        }
+
+        // ---- 5. apply the factor-graph delta and update the catalogs.
+        let delta = builder.delta.clone();
+        let base_weight_count = self.graph.num_weights();
+        let (new_var_ids, _new_factor_ids) = self.graph.apply_delta(&delta);
+        for (key, id) in builder.pending_var_keys.iter().zip(new_var_ids.iter()) {
+            self.var_catalog.insert(key.clone(), *id);
+        }
+        for (i, key) in builder.pending_weight_keys.iter().enumerate() {
+            self.weight_catalog.insert(key.clone(), base_weight_count + i);
+        }
+        for (rule, binding) in builder.new_bindings {
+            self.grounded_bindings.entry(rule).or_default().insert(binding);
+        }
+        for (relation, tuple) in builder.pending_head_tuples {
+            if let Ok(table) = self.db.table_mut(&relation) {
+                if !table.contains(&tuple) && table.schema().check(tuple.values()) {
+                    let _ = table.insert(tuple);
+                }
+            }
+        }
+
+        Ok(IncrementalGrounding {
+            delta,
+            derived_deltas,
+            new_groundings: builder.new_groundings,
+            skipped_deletions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RuleAtom;
+    use crate::program::{Program, RelationDecl};
+    use crate::udf::standard_udfs;
+    use dd_relstore::view::{Filter, Term};
+    use dd_relstore::{tuple, DataType, Database, Schema};
+
+    fn atom(rel: &str, vars: &[&str]) -> RuleAtom {
+        RuleAtom::new(rel, vars.iter().map(|v| Term::var(*v)).collect())
+    }
+
+    /// Same spouse program as the grounder tests, without the supervision rule.
+    fn program() -> Program {
+        Program::new()
+            .declare(RelationDecl::new(
+                "Sentence",
+                Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "PersonCandidate",
+                Schema::of(&[
+                    ("s", DataType::Int),
+                    ("m", DataType::Int),
+                    ("text", DataType::Text),
+                ]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "EL",
+                Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "Married",
+                Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
+                RelationRole::Base,
+            ))
+            .declare(RelationDecl::new(
+                "MarriedCandidate",
+                Schema::of(&[("m1", DataType::Int), ("m2", DataType::Int)]),
+                RelationRole::Derived,
+            ))
+            .declare(RelationDecl::new(
+                "MarriedMentions",
+                Schema::of(&[("m1", DataType::Int), ("m2", DataType::Int)]),
+                RelationRole::Variable,
+            ))
+            .rule(
+                Rule::new(
+                    "R1",
+                    RuleKind::CandidateMapping,
+                    atom("MarriedCandidate", &["m1", "m2"]),
+                    vec![
+                        RuleAtom::new(
+                            "PersonCandidate",
+                            vec![Term::var("s"), Term::var("m1"), Term::var("t1")],
+                        ),
+                        RuleAtom::new(
+                            "PersonCandidate",
+                            vec![Term::var("s"), Term::var("m2"), Term::var("t2")],
+                        ),
+                    ],
+                    WeightSpec::None,
+                )
+                .with_filters(vec![Filter::Lt("m1".into(), "m2".into())]),
+            )
+            .rule(Rule::new(
+                "FE1",
+                RuleKind::FeatureExtraction,
+                atom("MarriedMentions", &["m1", "m2"]),
+                vec![
+                    atom("MarriedCandidate", &["m1", "m2"]),
+                    RuleAtom::new(
+                        "PersonCandidate",
+                        vec![Term::var("s"), Term::var("m1"), Term::var("t1")],
+                    ),
+                    RuleAtom::new(
+                        "PersonCandidate",
+                        vec![Term::var("s"), Term::var("m2"), Term::var("t2")],
+                    ),
+                    RuleAtom::new("Sentence", vec![Term::var("s"), Term::var("content")]),
+                ],
+                WeightSpec::Tied {
+                    udf: "phrase".into(),
+                    args: vec!["t1".into(), "t2".into(), "content".into()],
+                },
+            ))
+    }
+
+    fn base_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "Sentence",
+            Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
+        )
+        .unwrap();
+        db.create_table(
+            "PersonCandidate",
+            Schema::of(&[
+                ("s", DataType::Int),
+                ("m", DataType::Int),
+                ("text", DataType::Text),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "EL",
+            Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+        )
+        .unwrap();
+        db.create_table(
+            "Married",
+            Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
+        )
+        .unwrap();
+        db.insert_all(
+            "Sentence",
+            vec![tuple![1i64, "Barack and his wife Michelle attended the dinner"]],
+        )
+        .unwrap();
+        db.insert_all(
+            "PersonCandidate",
+            vec![tuple![1i64, 10i64, "Barack"], tuple![1i64, 11i64, "Michelle"]],
+        )
+        .unwrap();
+        db.insert_all(
+            "EL",
+            vec![tuple![10i64, "Barack_Obama_1"], tuple![11i64, "Michelle_Obama_1"]],
+        )
+        .unwrap();
+        db.insert_all("Married", vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]])
+            .unwrap();
+        db
+    }
+
+    fn grounded() -> Grounder {
+        let mut g = Grounder::new(program(), base_db(), standard_udfs()).unwrap();
+        g.ground().unwrap();
+        g
+    }
+
+    #[test]
+    fn new_document_cascades_to_new_variable_and_factor() {
+        let mut g = grounded();
+        let vars_before = g.graph().num_variables();
+        let factors_before = g.graph().num_factors();
+
+        // A new document with a new person pair arrives.
+        let mut update = KbcUpdate::new();
+        update
+            .insert(
+                "Sentence",
+                tuple![2i64, "George and his wife Laura were married"],
+            )
+            .insert("PersonCandidate", tuple![2i64, 20i64, "George"])
+            .insert("PersonCandidate", tuple![2i64, 21i64, "Laura"]);
+
+        let inc = g.ground_incremental(&update).unwrap();
+
+        // The candidate pair (20, 21) is derived and the MarriedMentions variable
+        // plus its FE1 factor are created.
+        assert!(inc.derived_deltas.contains_key("MarriedCandidate"));
+        assert_eq!(inc.new_groundings, 1);
+        assert_eq!(g.graph().num_variables(), vars_before + 1);
+        assert_eq!(g.graph().num_factors(), factors_before + 1);
+        assert!(g
+            .database()
+            .table("MarriedCandidate")
+            .unwrap()
+            .contains(&tuple![20i64, 21i64]));
+        assert!(g
+            .variable_for("MarriedMentions", &tuple![20i64, 21i64])
+            .is_some());
+        // The "and his wife" weight is shared with the original grounding.
+        assert!(inc.delta.new_weights.is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_rerun_from_scratch() {
+        // Ground incrementally, then compare against grounding the post-update
+        // database from scratch: same number of variables, factors, weights.
+        let mut inc_grounder = grounded();
+        let mut update = KbcUpdate::new();
+        update
+            .insert("Sentence", tuple![2i64, "Ann and her colleague Bob met"])
+            .insert("PersonCandidate", tuple![2i64, 20i64, "Ann"])
+            .insert("PersonCandidate", tuple![2i64, 21i64, "Bob"]);
+        inc_grounder.ground_incremental(&update).unwrap();
+
+        let mut rerun_db = base_db();
+        rerun_db
+            .insert_all(
+                "Sentence",
+                vec![tuple![2i64, "Ann and her colleague Bob met"]],
+            )
+            .unwrap();
+        rerun_db
+            .insert_all(
+                "PersonCandidate",
+                vec![tuple![2i64, 20i64, "Ann"], tuple![2i64, 21i64, "Bob"]],
+            )
+            .unwrap();
+        let mut rerun = Grounder::new(program(), rerun_db, standard_udfs()).unwrap();
+        rerun.ground().unwrap();
+
+        assert_eq!(
+            inc_grounder.graph().num_variables(),
+            rerun.graph().num_variables()
+        );
+        assert_eq!(inc_grounder.graph().num_factors(), rerun.graph().num_factors());
+        assert_eq!(inc_grounder.graph().num_weights(), rerun.graph().num_weights());
+    }
+
+    #[test]
+    fn new_supervision_rule_changes_evidence() {
+        let mut g = grounded();
+        assert_eq!(g.graph().stats().num_evidence_variables, 0);
+
+        let s1 = Rule::new(
+            "S1",
+            RuleKind::Supervision,
+            atom("MarriedMentions", &["m1", "m2"]),
+            vec![
+                atom("MarriedCandidate", &["m1", "m2"]),
+                RuleAtom::new("EL", vec![Term::var("m1"), Term::var("e1")]),
+                RuleAtom::new("EL", vec![Term::var("m2"), Term::var("e2")]),
+                RuleAtom::new("Married", vec![Term::var("e1"), Term::var("e2")]),
+            ],
+            WeightSpec::Label(true),
+        );
+        let mut update = KbcUpdate::new();
+        update.add_rule(s1);
+        let inc = g.ground_incremental(&update).unwrap();
+
+        assert_eq!(inc.delta.evidence_changes.len(), 1);
+        assert_eq!(g.graph().stats().num_evidence_variables, 1);
+        let v = g
+            .variable_for("MarriedMentions", &tuple![10i64, 11i64])
+            .unwrap();
+        assert_eq!(g.graph().variable(v).fixed_value(), Some(true));
+    }
+
+    #[test]
+    fn new_feature_rule_adds_weights_and_factors() {
+        let mut g = grounded();
+        let weights_before = g.graph().num_weights();
+
+        // FE2: a coarser feature keyed on the sentence id bucket.
+        let fe2 = Rule::new(
+            "FE2",
+            RuleKind::FeatureExtraction,
+            atom("MarriedMentions", &["m1", "m2"]),
+            vec![atom("MarriedCandidate", &["m1", "m2"])],
+            WeightSpec::Learnable { initial: 0.0 },
+        );
+        let mut update = KbcUpdate::new();
+        update.add_rule(fe2);
+        let inc = g.ground_incremental(&update).unwrap();
+
+        assert!(inc.delta.introduces_new_features());
+        assert_eq!(g.graph().num_weights(), weights_before + 1);
+        assert_eq!(inc.new_groundings, 1);
+        assert!(g.weight_for("FE2::rule").is_some());
+    }
+
+    #[test]
+    fn deletion_is_detected_but_factor_left_in_place() {
+        let mut g = grounded();
+        let factors_before = g.graph().num_factors();
+        let mut update = KbcUpdate::new();
+        update.delete("PersonCandidate", tuple![1i64, 11i64, "Michelle"]);
+        let inc = g.ground_incremental(&update).unwrap();
+        assert!(inc.skipped_deletions > 0);
+        assert_eq!(g.graph().num_factors(), factors_before);
+        // the base table itself was updated
+        assert!(!g
+            .database()
+            .table("PersonCandidate")
+            .unwrap()
+            .contains(&tuple![1i64, 11i64, "Michelle"]));
+    }
+
+    #[test]
+    fn empty_update_is_a_noop() {
+        let mut g = grounded();
+        let before = g.graph().stats();
+        let inc = g.ground_incremental(&KbcUpdate::new()).unwrap();
+        assert!(inc.delta.is_empty());
+        assert_eq!(inc.new_groundings, 0);
+        assert_eq!(g.graph().stats(), before);
+        assert!(KbcUpdate::new().is_empty());
+    }
+
+    #[test]
+    fn repeated_identical_update_grounds_nothing_new() {
+        let mut g = grounded();
+        let mut update = KbcUpdate::new();
+        update
+            .insert("Sentence", tuple![2i64, "Carol and her husband Dave laughed"])
+            .insert("PersonCandidate", tuple![2i64, 20i64, "Carol"])
+            .insert("PersonCandidate", tuple![2i64, 21i64, "Dave"]);
+        let first = g.ground_incremental(&update).unwrap();
+        assert_eq!(first.new_groundings, 1);
+        // Applying an update that changes nothing further (its tuples are already
+        // present, so the base delta adds derivation counts only) must not create
+        // duplicate variables or factors.
+        let factors_after_first = g.graph().num_factors();
+        let second = g.ground_incremental(&update).unwrap();
+        assert_eq!(second.new_groundings, 0);
+        assert_eq!(g.graph().num_factors(), factors_after_first);
+    }
+}

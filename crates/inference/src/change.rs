@@ -1,0 +1,209 @@
+//! Description of how a distribution changed between the materialized factor
+//! graph `Pr(0)` and the updated factor graph `Pr(Δ)`.
+//!
+//! All incremental-inference strategies need to evaluate
+//! `ΔW(I) = log Pr(Δ)[I] − log Pr(0)[I] + const`, i.e. the log-weight
+//! contribution of exactly the *changed* part of the graph:
+//!
+//! * factors that did not exist in the original graph,
+//! * factors whose (tied) weight value changed, counted at the weight difference,
+//! * evidence changes, which make inconsistent worlds impossible (−∞).
+//!
+//! The strawman looks this quantity up per enumerated world, the sampling
+//! approach uses it in the Metropolis–Hastings acceptance test (where the
+//! original-graph terms cancel), and the variational approach applies the raw
+//! delta to its approximate graph instead.
+
+use dd_factorgraph::{FactorGraph, FactorId, GraphDelta, VarId, WeightId, WorldView};
+use serde::{Deserialize, Serialize};
+
+/// The changed part of a distribution, expressed against the *updated* graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DistributionChange {
+    /// Factors that are new in the updated graph.
+    pub new_factors: Vec<FactorId>,
+    /// Weights whose value changed: `(weight id, old value)`.  The new value is
+    /// read from the updated graph.
+    pub changed_weights: Vec<(WeightId, f64)>,
+    /// Evidence assignments introduced by the update: `(variable, required value)`.
+    pub new_evidence: Vec<(VarId, bool)>,
+    /// Variables that are new in the updated graph (ΔV); they have no value in
+    /// stored samples/worlds and must be sampled afresh.
+    pub new_variables: Vec<VarId>,
+}
+
+impl DistributionChange {
+    /// Build a change description by applying `delta` to `graph` (mutating it
+    /// into the updated graph) and recording what changed.
+    pub fn apply_and_describe(graph: &mut FactorGraph, delta: &GraphDelta) -> Self {
+        let old_weight_values: Vec<(WeightId, f64)> = delta
+            .weight_changes
+            .iter()
+            .map(|wc| (wc.weight_id, graph.weight(wc.weight_id).value))
+            .collect();
+        let old_roles: Vec<(VarId, Option<bool>)> = delta
+            .evidence_changes
+            .iter()
+            .map(|ec| (ec.var, graph.variable(ec.var).fixed_value()))
+            .collect();
+
+        let (new_vars, new_factors) = graph.apply_delta(delta);
+
+        let changed_weights = old_weight_values
+            .into_iter()
+            .filter(|&(w, old)| (graph.weight(w).value - old).abs() > 0.0)
+            .collect();
+        let new_evidence = delta
+            .evidence_changes
+            .iter()
+            .zip(old_roles.iter())
+            .filter_map(|(ec, (var, old_fixed))| {
+                let new_fixed = ec.new_role.fixed_value();
+                match new_fixed {
+                    Some(v) if Some(v) != *old_fixed => Some((*var, v)),
+                    _ => None,
+                }
+            })
+            .collect();
+
+        DistributionChange {
+            new_factors,
+            changed_weights,
+            new_evidence,
+            new_variables: new_vars,
+        }
+    }
+
+    /// True if the change is empty (distribution unchanged).
+    pub fn is_empty(&self) -> bool {
+        self.new_factors.is_empty()
+            && self.changed_weights.is_empty()
+            && self.new_evidence.is_empty()
+            && self.new_variables.is_empty()
+    }
+
+    /// `ΔW(I)`: the log-weight difference contributed by the changed part of the
+    /// graph, evaluated in `world` against the *updated* graph.  Returns
+    /// `f64::NEG_INFINITY` for worlds inconsistent with new evidence.
+    pub fn delta_log_weight<W: WorldView + ?Sized>(
+        &self,
+        updated: &FactorGraph,
+        world: &W,
+    ) -> f64 {
+        for &(v, required) in &self.new_evidence {
+            if world.value(v) != required {
+                return f64::NEG_INFINITY;
+            }
+        }
+        let mut total = 0.0;
+        for &f in &self.new_factors {
+            let factor = updated.factor(f);
+            total += factor.energy(world, updated.weight(factor.weight_id).value);
+        }
+        for &(w, old_value) in &self.changed_weights {
+            let diff = updated.weight(w).value - old_value;
+            if diff == 0.0 {
+                continue;
+            }
+            // Every factor tied to this weight contributes (w_new − w_old)·φ.
+            for (fid, factor) in updated.factors().iter().enumerate() {
+                if factor.weight_id == w && !self.new_factors.contains(&fid) {
+                    total += diff * factor.feature_value(world);
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_factorgraph::{
+        DeltaFactor, EvidenceChange, Factor, FactorGraphBuilder, NewVarRef, NewWeightRef,
+        Variable, VariableRole, Weight, WeightChange, World,
+    };
+
+    fn base() -> FactorGraph {
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(2);
+        let w = b.tied_weight("w0", 1.0, false);
+        b.add_factor(Factor::is_true(w, vs[0]));
+        b.add_factor(Factor::is_true(w, vs[1]));
+        b.build()
+    }
+
+    #[test]
+    fn describes_new_factor_and_variable() {
+        let mut g = base();
+        let delta = GraphDelta {
+            new_variables: vec![Variable::query(0)],
+            new_weights: vec![Weight::learnable(0, 2.0, "new")],
+            new_factors: vec![DeltaFactor {
+                weight: NewWeightRef::New(0),
+                template: Factor::conjunction(0, &[0, 1]),
+                var_refs: vec![NewVarRef::Existing(0), NewVarRef::New(0)],
+            }],
+            ..Default::default()
+        };
+        let change = DistributionChange::apply_and_describe(&mut g, &delta);
+        assert_eq!(change.new_variables.len(), 1);
+        assert_eq!(change.new_factors.len(), 1);
+        assert!(!change.is_empty());
+
+        // Δ log-weight is 2.0 only when both var 0 and the new var are true.
+        let world_both = World::from_values(vec![true, false, true]);
+        assert!((change.delta_log_weight(&g, &world_both) - 2.0).abs() < 1e-12);
+        let world_one = World::from_values(vec![true, false, false]);
+        assert_eq!(change.delta_log_weight(&g, &world_one), 0.0);
+    }
+
+    #[test]
+    fn describes_weight_change() {
+        let mut g = base();
+        let delta = GraphDelta {
+            weight_changes: vec![WeightChange {
+                weight_id: 0,
+                new_value: 1.5,
+            }],
+            ..Default::default()
+        };
+        let change = DistributionChange::apply_and_describe(&mut g, &delta);
+        assert_eq!(change.changed_weights, vec![(0, 1.0)]);
+        // Both variables true -> two factors tied to weight 0 -> Δ = 2 × 0.5.
+        let world = World::from_values(vec![true, true]);
+        assert!((change.delta_log_weight(&g, &world) - 1.0).abs() < 1e-12);
+        let world0 = World::from_values(vec![false, false]);
+        assert_eq!(change.delta_log_weight(&g, &world0), 0.0);
+    }
+
+    #[test]
+    fn describes_evidence_change_as_hard_constraint() {
+        let mut g = base();
+        let delta = GraphDelta {
+            evidence_changes: vec![EvidenceChange {
+                var: 1,
+                new_role: VariableRole::PositiveEvidence,
+            }],
+            ..Default::default()
+        };
+        let change = DistributionChange::apply_and_describe(&mut g, &delta);
+        assert_eq!(change.new_evidence, vec![(1, true)]);
+        let consistent = World::from_values(vec![false, true]);
+        assert_eq!(change.delta_log_weight(&g, &consistent), 0.0);
+        let inconsistent = World::from_values(vec![false, false]);
+        assert_eq!(
+            change.delta_log_weight(&g, &inconsistent),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn noop_delta_is_empty() {
+        let mut g = base();
+        let change = DistributionChange::apply_and_describe(&mut g, &GraphDelta::new());
+        assert!(change.is_empty());
+        let w = World::from_values(vec![true, true]);
+        assert_eq!(change.delta_log_weight(&g, &w), 0.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Sequential Gibbs sampling.
+//!
+//! "Like many other systems, DeepDive uses Gibbs sampling to estimate the
+//! marginal probability of every tuple in the database" (paper §2.5).  The
+//! sampler sweeps over the query variables; for each it computes the conditional
+//! probability `P(v = 1 | rest) = σ(ΔE_v)` where `ΔE_v` is the energy difference
+//! between the worlds with `v` set true and false (all other variables held), and
+//! resamples `v` from that Bernoulli.
+
+use crate::marginals::Marginals;
+use dd_factorgraph::{FactorGraph, VarId, World, WorldView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Options controlling a Gibbs run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GibbsOptions {
+    /// Number of full sweeps used to estimate marginals.
+    pub sweeps: usize,
+    /// Sweeps discarded before collecting statistics.
+    pub burn_in: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for GibbsOptions {
+    fn default() -> Self {
+        GibbsOptions {
+            sweeps: 200,
+            burn_in: 50,
+            seed: 42,
+        }
+    }
+}
+
+impl GibbsOptions {
+    /// Shorthand used by tests and benchmarks.
+    pub fn new(sweeps: usize, burn_in: usize, seed: u64) -> Self {
+        GibbsOptions {
+            sweeps,
+            burn_in,
+            seed,
+        }
+    }
+}
+
+/// A set of worlds drawn from a factor graph — the "tuple bundles" that the
+/// sampling materialization strategy stores (§3.2.2, after MCDB).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleSet {
+    pub num_vars: usize,
+    /// Bit-packed worlds, one entry per sample.
+    bundles: Vec<Vec<u8>>,
+}
+
+impl SampleSet {
+    /// An empty sample set over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        SampleSet {
+            num_vars,
+            bundles: Vec::new(),
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.bundles.len()
+    }
+
+    /// True if no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.bundles.is_empty()
+    }
+
+    /// Store a world (bit-packed: one bit per variable).
+    pub fn push(&mut self, world: &World) {
+        debug_assert_eq!(world.len(), self.num_vars);
+        self.bundles.push(world.to_bitvec());
+    }
+
+    /// Retrieve the `i`-th stored world.
+    pub fn get(&self, i: usize) -> World {
+        World::from_bitvec(&self.bundles[i], self.num_vars)
+    }
+
+    /// Approximate storage size in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.bundles.iter().map(|b| b.len()).sum()
+    }
+
+    /// Empirical marginals of the stored samples.
+    pub fn marginals(&self) -> Marginals {
+        let mut counts = vec![0usize; self.num_vars];
+        for b in &self.bundles {
+            let w = World::from_bitvec(b, self.num_vars);
+            for (v, c) in counts.iter_mut().enumerate() {
+                if w.value(v) {
+                    *c += 1;
+                }
+            }
+        }
+        let n = self.bundles.len().max(1) as f64;
+        Marginals::from_values(counts.into_iter().map(|c| c as f64 / n).collect())
+    }
+}
+
+/// A sequential Gibbs sampler bound to a factor graph.
+pub struct GibbsSampler<'g> {
+    graph: &'g FactorGraph,
+    rng: StdRng,
+    world: World,
+    /// Query variables, the only ones resampled.
+    free_vars: Vec<VarId>,
+}
+
+impl<'g> GibbsSampler<'g> {
+    /// Create a sampler whose free variables are the graph's query variables and
+    /// whose starting world is the graph's initial world.
+    pub fn new(graph: &'g FactorGraph, seed: u64) -> Self {
+        let free_vars = graph.query_variables();
+        GibbsSampler {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            world: graph.initial_world(),
+            free_vars,
+        }
+    }
+
+    /// Create a sampler that resamples *every* variable, ignoring evidence — the
+    /// "free" chain needed by the gradient estimator of weight learning.
+    pub fn new_unclamped(graph: &'g FactorGraph, seed: u64) -> Self {
+        GibbsSampler {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            world: graph.initial_world(),
+            free_vars: (0..graph.num_variables()).collect(),
+        }
+    }
+
+    /// Restrict the resampled variables to an explicit subset (used by the
+    /// decomposition optimization, which samples one variable group at a time).
+    pub fn with_free_vars(mut self, free_vars: Vec<VarId>) -> Self {
+        self.free_vars = free_vars;
+        self
+    }
+
+    /// Replace the current world (e.g. to continue from a stored sample).
+    pub fn set_world(&mut self, world: World) {
+        assert_eq!(world.len(), self.graph.num_variables());
+        self.world = world;
+    }
+
+    /// The current world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The set of variables this sampler resamples.
+    pub fn free_vars(&self) -> &[VarId] {
+        &self.free_vars
+    }
+
+    /// Perform one full sweep (resample every free variable once).
+    pub fn sweep(&mut self) {
+        for i in 0..self.free_vars.len() {
+            let v = self.free_vars[i];
+            let delta = self.graph.energy_delta(v, &mut self.world);
+            let p_true = sigmoid(delta);
+            let value = self.rng.gen::<f64>() < p_true;
+            self.world.set(v, value);
+        }
+    }
+
+    /// Run `options.sweeps` sweeps after `options.burn_in` and return the
+    /// marginal estimate for every variable (evidence variables get 0/1).
+    pub fn run(&mut self, options: &GibbsOptions) -> Marginals {
+        self.rng = StdRng::seed_from_u64(options.seed);
+        for _ in 0..options.burn_in {
+            self.sweep();
+        }
+        let n = self.graph.num_variables();
+        let mut counts = vec![0usize; n];
+        let sweeps = options.sweeps.max(1);
+        for _ in 0..sweeps {
+            self.sweep();
+            for (v, c) in counts.iter_mut().enumerate() {
+                if self.world.value(v) {
+                    *c += 1;
+                }
+            }
+        }
+        Marginals::from_values(
+            counts
+                .into_iter()
+                .map(|c| c as f64 / sweeps as f64)
+                .collect(),
+        )
+    }
+
+    /// Draw `n` samples (one per sweep, after burn-in) into a [`SampleSet`] —
+    /// this is the materialization phase of the sampling approach.
+    pub fn draw_samples(&mut self, n: usize, burn_in: usize) -> SampleSet {
+        for _ in 0..burn_in {
+            self.sweep();
+        }
+        let mut set = SampleSet::new(self.graph.num_variables());
+        for _ in 0..n {
+            self.sweep();
+            set.push(&self.world);
+        }
+        set
+    }
+
+    /// Expected value (over `sweeps` Gibbs samples) of the total feature value of
+    /// every weight: `E[Σ_{f: weight(f)=k} φ_f(I)]` for each weight `k`.  This is
+    /// the sufficient statistic needed by the learning gradient.
+    pub fn expected_feature_counts(&mut self, sweeps: usize) -> Vec<f64> {
+        let mut totals = vec![0.0; self.graph.num_weights()];
+        let sweeps = sweeps.max(1);
+        for _ in 0..sweeps {
+            self.sweep();
+            for f in self.graph.factors() {
+                totals[f.weight_id] += f.feature_value(&self.world);
+            }
+        }
+        for t in &mut totals {
+            *t /= sweeps as f64;
+        }
+        totals
+    }
+}
+
+/// Logistic function.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_factorgraph::{Factor, FactorGraphBuilder};
+
+    fn single_var_graph(weight: f64) -> FactorGraph {
+        let mut b = FactorGraphBuilder::new();
+        let v = b.add_query_variables(1)[0];
+        let w = b.tied_weight("prior", weight, false);
+        b.add_factor(Factor::is_true(w, v));
+        b.build()
+    }
+
+    fn pair_graph(prior: f64, coupling: f64) -> FactorGraph {
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(2);
+        let wp = b.tied_weight("prior", prior, false);
+        let wc = b.tied_weight("couple", coupling, false);
+        b.add_factor(Factor::is_true(wp, vs[0]));
+        b.add_factor(Factor::equal(wc, vs[0], vs[1]));
+        b.build()
+    }
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+        // numerically stable for large negative inputs
+        assert!(sigmoid(-1000.0) >= 0.0);
+    }
+
+    #[test]
+    fn gibbs_matches_exact_marginal_single_variable() {
+        let g = single_var_graph(1.0);
+        let mut s = GibbsSampler::new(&g, 7);
+        let m = s.run(&GibbsOptions::new(4000, 200, 7));
+        let expected = g.exact_marginal(0);
+        assert!(
+            (m.get(0) - expected).abs() < 0.03,
+            "gibbs {} vs exact {}",
+            m.get(0),
+            expected
+        );
+    }
+
+    #[test]
+    fn gibbs_matches_exact_marginal_pair() {
+        let g = pair_graph(0.8, 1.2);
+        let mut s = GibbsSampler::new(&g, 11);
+        let m = s.run(&GibbsOptions::new(6000, 500, 11));
+        for v in 0..2 {
+            let expected = g.exact_marginal(v);
+            assert!(
+                (m.get(v) - expected).abs() < 0.03,
+                "var {v}: gibbs {} vs exact {}",
+                m.get(v),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_variables_are_never_flipped() {
+        let mut b = FactorGraphBuilder::new();
+        let q = b.add_query_variables(1)[0];
+        let e = b.add_evidence_variable(true);
+        let w = b.tied_weight("eq", -5.0, false);
+        b.add_factor(Factor::equal(w, q, e));
+        let g = b.build();
+        let mut s = GibbsSampler::new(&g, 3);
+        let m = s.run(&GibbsOptions::new(500, 50, 3));
+        // evidence stays pinned at 1.0
+        assert_eq!(m.get(e), 1.0);
+        // strong negative coupling pushes q towards false
+        assert!(m.get(q) < 0.15);
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let g = pair_graph(0.3, 0.9);
+        let m1 = GibbsSampler::new(&g, 99).run(&GibbsOptions::new(300, 10, 99));
+        let m2 = GibbsSampler::new(&g, 99).run(&GibbsOptions::new(300, 10, 99));
+        assert_eq!(m1.values(), m2.values());
+    }
+
+    #[test]
+    fn sample_set_round_trip_and_storage() {
+        let g = pair_graph(0.0, 0.5);
+        let mut s = GibbsSampler::new(&g, 5);
+        let set = s.draw_samples(64, 10);
+        assert_eq!(set.len(), 64);
+        // 2 variables -> 1 byte per bundle
+        assert_eq!(set.storage_bytes(), 64);
+        let w = set.get(0);
+        assert_eq!(w.len(), 2);
+        let m = set.marginals();
+        assert!(m.get(0) >= 0.0 && m.get(0) <= 1.0);
+    }
+
+    #[test]
+    fn unclamped_sampler_resamples_evidence() {
+        let mut b = FactorGraphBuilder::new();
+        let _q = b.add_query_variables(1)[0];
+        let e = b.add_evidence_variable(true);
+        let w = b.tied_weight("neg-prior", -8.0, false);
+        b.add_factor(Factor::is_true(w, e));
+        let g = b.build();
+        let mut s = GibbsSampler::new_unclamped(&g, 1);
+        let m = s.run(&GibbsOptions::new(400, 50, 1));
+        // freed from the evidence pin, the strong negative prior wins
+        assert!(m.get(e) < 0.1);
+    }
+
+    #[test]
+    fn expected_feature_counts_reflect_marginals() {
+        let g = single_var_graph(2.0);
+        let mut s = GibbsSampler::new(&g, 17);
+        for _ in 0..100 {
+            s.sweep();
+        }
+        let counts = s.expected_feature_counts(2000);
+        let expected = g.exact_marginal(0);
+        assert!((counts[0] - expected).abs() < 0.05);
+    }
+
+    #[test]
+    fn with_free_vars_restricts_resampling() {
+        let g = pair_graph(5.0, 0.0);
+        // only variable 1 is free; variable 0 keeps its initial (false) value.
+        let mut s = GibbsSampler::new(&g, 2).with_free_vars(vec![1]);
+        let m = s.run(&GibbsOptions::new(200, 10, 2));
+        assert_eq!(m.get(0), 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Weight learning: contrastive stochastic gradient descent with warmstart.
+//!
+//! "During inference, the values of all weights w are assumed to be known, while,
+//! in learning, one finds the set of weights that maximizes the probability of
+//! the evidence" (paper §2.4).  The gradient of the log-likelihood w.r.t. weight
+//! `k` is the familiar difference of expectations
+//!
+//! ```text
+//!   ∂L/∂w_k = E_clamped[ Σ_{f : weight(f)=k} φ_f(I) ] − E_free[ Σ φ_f(I) ]
+//! ```
+//!
+//! where the *clamped* expectation fixes evidence variables to their observed
+//! values and the *free* expectation samples them as well.  Both expectations are
+//! estimated by Gibbs chains, which is exactly what DimmWitted does.
+//!
+//! Appendix B.3 compares three strategies for *incremental* learning after a KBC
+//! update: stochastic gradient descent with warmstart (DeepDive's choice),
+//! stochastic gradient descent from a cold start, and full-batch gradient descent
+//! with warmstart.  [`LearnStrategy`] selects between them and
+//! [`Learner::learn`] records a [`LearningTrace`] so Figure 16 can be reproduced.
+
+use crate::gibbs::{sigmoid, GibbsSampler};
+use dd_factorgraph::FactorGraph;
+use serde::{Deserialize, Serialize};
+
+/// Which optimization strategy to use (Appendix B.3 / Figure 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LearnStrategy {
+    /// Stochastic gradient descent: one (mini-batch) gradient estimate per epoch
+    /// from short Gibbs chains.
+    Sgd,
+    /// Full-batch gradient descent: long Gibbs chains per epoch for a low-noise
+    /// gradient estimate.
+    GradientDescent,
+}
+
+/// Options controlling a learning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearnOptions {
+    pub strategy: LearnStrategy,
+    /// Number of epochs (gradient steps).
+    pub epochs: usize,
+    /// Step size.
+    pub learning_rate: f64,
+    /// Multiplicative step-size decay per epoch.
+    pub decay: f64,
+    /// ℓ2 regularization strength.
+    pub l2: f64,
+    /// Gibbs sweeps per expectation estimate (SGD uses this number, full
+    /// gradient descent uses 10×).
+    pub sweeps_per_epoch: usize,
+    /// If set, initialize weights from this vector instead of the graph's
+    /// current values — "warmstart means that DeepDive uses the learned model in
+    /// the last run as the starting point" (Appendix B.3).
+    pub warmstart: Option<Vec<f64>>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LearnOptions {
+    fn default() -> Self {
+        LearnOptions {
+            strategy: LearnStrategy::Sgd,
+            epochs: 30,
+            learning_rate: 0.1,
+            decay: 0.97,
+            l2: 1e-4,
+            sweeps_per_epoch: 5,
+            warmstart: None,
+            seed: 7,
+        }
+    }
+}
+
+/// The loss and weight trajectory of one learning run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LearningTrace {
+    /// Loss after each epoch (negative pseudo-log-likelihood of the evidence,
+    /// averaged per evidence variable).
+    pub losses: Vec<f64>,
+    /// Final weight vector.
+    pub final_weights: Vec<f64>,
+}
+
+impl LearningTrace {
+    /// The best (lowest) loss observed.
+    pub fn best_loss(&self) -> f64 {
+        self.losses.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// First epoch whose loss is within `fraction` (e.g. 0.10) of `optimal`,
+    /// or `None` if never reached — the measurement Figure 16 reports.
+    pub fn epochs_to_within(&self, optimal: f64, fraction: f64) -> Option<usize> {
+        let target = optimal * (1.0 + fraction);
+        self.losses.iter().position(|&l| l <= target)
+    }
+}
+
+/// Weight learner bound to a mutable factor graph.
+pub struct Learner<'g> {
+    graph: &'g mut FactorGraph,
+}
+
+impl<'g> Learner<'g> {
+    pub fn new(graph: &'g mut FactorGraph) -> Self {
+        Learner { graph }
+    }
+
+    /// Negative pseudo-log-likelihood of the evidence under the current weights:
+    /// for every evidence variable `v`, `−log P(v = observed | rest of world)`
+    /// with the rest of the world set to the evidence/initial assignment.
+    /// Deterministic, cheap, and monotone in fit quality — the "loss" axis of
+    /// Figure 16 and Figure 17.
+    pub fn evidence_loss(&self) -> f64 {
+        let graph = &*self.graph;
+        let mut world = graph.initial_world();
+        let evidence = graph.evidence_variables();
+        if evidence.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for &v in &evidence {
+            let observed = graph.variable(v).fixed_value().unwrap_or(false);
+            let delta = graph.energy_delta(v, &mut world);
+            let p_true = sigmoid(delta);
+            let p_obs = if observed { p_true } else { 1.0 - p_true };
+            total -= p_obs.max(1e-12).ln();
+        }
+        total / evidence.len() as f64
+    }
+
+    /// Run learning, mutating the graph's weights, and return the trace.
+    pub fn learn(&mut self, options: &LearnOptions) -> LearningTrace {
+        if let Some(ws) = &options.warmstart {
+            self.graph.set_weight_values(ws);
+        }
+
+        let mut trace = LearningTrace::default();
+        let mut lr = options.learning_rate;
+        let (clamped_sweeps, free_sweeps) = match options.strategy {
+            LearnStrategy::Sgd => (options.sweeps_per_epoch, options.sweeps_per_epoch),
+            LearnStrategy::GradientDescent => {
+                (options.sweeps_per_epoch * 10, options.sweeps_per_epoch * 10)
+            }
+        };
+
+        for epoch in 0..options.epochs {
+            // Expectation with evidence clamped.
+            let clamped = {
+                let mut s = GibbsSampler::new(self.graph, options.seed.wrapping_add(epoch as u64));
+                s.expected_feature_counts(clamped_sweeps)
+            };
+            // Expectation with evidence free.
+            let free = {
+                let mut s = GibbsSampler::new_unclamped(
+                    self.graph,
+                    options.seed.wrapping_add(1_000_003 + epoch as u64),
+                );
+                s.expected_feature_counts(free_sweeps)
+            };
+
+            // Gradient ascent on the log-likelihood (descent on the loss).
+            for k in 0..self.graph.num_weights() {
+                if self.graph.weight(k).fixed {
+                    continue;
+                }
+                let g = clamped[k] - free[k] - options.l2 * self.graph.weight(k).value;
+                let new = self.graph.weight(k).value + lr * g;
+                self.graph.set_weight_value(k, new);
+            }
+            lr *= options.decay;
+            trace.losses.push(self.evidence_loss());
+        }
+        trace.final_weights = self.graph.weight_values();
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_factorgraph::{Factor, FactorGraphBuilder};
+
+    /// A logistic-regression-shaped graph: `Class(x) :- R(x, f) weight = w(f)`
+    /// (Example 2.6).  Objects with feature A are labeled true, objects with
+    /// feature B are labeled false; learning should drive w(A) up and w(B) down.
+    fn classifier_graph(num_objects: usize) -> FactorGraph {
+        let mut b = FactorGraphBuilder::new();
+        let w_a = b.tied_weight("feat:A", 0.0, false);
+        let w_b = b.tied_weight("feat:B", 0.0, false);
+        for i in 0..num_objects {
+            let label = i % 2 == 0;
+            let v = b.add_evidence_variable(label);
+            let w = if label { w_a } else { w_b };
+            b.add_factor(Factor::is_true(w, v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn learning_separates_features() {
+        let mut g = classifier_graph(40);
+        let mut learner = Learner::new(&mut g);
+        let initial_loss = learner.evidence_loss();
+        let trace = learner.learn(&LearnOptions {
+            epochs: 40,
+            learning_rate: 0.3,
+            sweeps_per_epoch: 3,
+            ..Default::default()
+        });
+        assert!(g.weight(0).value > 0.5, "w(A) = {}", g.weight(0).value);
+        assert!(g.weight(1).value < -0.5, "w(B) = {}", g.weight(1).value);
+        assert!(trace.best_loss() < initial_loss);
+        assert_eq!(trace.losses.len(), 40);
+        assert_eq!(trace.final_weights.len(), 2);
+    }
+
+    #[test]
+    fn fixed_weights_are_not_updated() {
+        let mut b = FactorGraphBuilder::new();
+        let w_fixed = b.tied_weight("prior", 2.0, true);
+        let v = b.add_evidence_variable(false);
+        b.add_factor(Factor::is_true(w_fixed, v));
+        let mut g = b.build();
+        let mut learner = Learner::new(&mut g);
+        learner.learn(&LearnOptions {
+            epochs: 5,
+            ..Default::default()
+        });
+        assert_eq!(g.weight(0).value, 2.0);
+    }
+
+    #[test]
+    fn warmstart_initializes_from_previous_model() {
+        let mut g = classifier_graph(20);
+        let opts = LearnOptions {
+            epochs: 1,
+            warmstart: Some(vec![3.0, -3.0]),
+            learning_rate: 0.0,
+            ..Default::default()
+        };
+        let trace = Learner::new(&mut g).learn(&opts);
+        // with zero learning rate the weights stay at the warmstart values
+        assert_eq!(trace.final_weights, vec![3.0, -3.0]);
+    }
+
+    #[test]
+    fn warmstart_converges_faster_than_cold_start() {
+        // Learn a good model once, then restart learning warm vs cold and compare
+        // the first-epoch loss.
+        let mut g = classifier_graph(40);
+        let good = Learner::new(&mut g)
+            .learn(&LearnOptions {
+                epochs: 40,
+                learning_rate: 0.3,
+                ..Default::default()
+            })
+            .final_weights;
+
+        let mut g_warm = classifier_graph(40);
+        let warm = Learner::new(&mut g_warm).learn(&LearnOptions {
+            epochs: 1,
+            learning_rate: 0.05,
+            warmstart: Some(good),
+            ..Default::default()
+        });
+        let mut g_cold = classifier_graph(40);
+        let cold = Learner::new(&mut g_cold).learn(&LearnOptions {
+            epochs: 1,
+            learning_rate: 0.05,
+            ..Default::default()
+        });
+        assert!(warm.losses[0] < cold.losses[0]);
+    }
+
+    #[test]
+    fn epochs_to_within_threshold() {
+        let trace = LearningTrace {
+            losses: vec![1.0, 0.6, 0.45, 0.41, 0.40],
+            final_weights: vec![],
+        };
+        assert_eq!(trace.epochs_to_within(0.40, 0.10), Some(3));
+        assert_eq!(trace.epochs_to_within(0.40, 0.5), Some(1));
+        assert_eq!(trace.epochs_to_within(0.1, 0.10), None);
+        assert!((trace.best_loss() - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_is_zero_without_evidence() {
+        let mut b = FactorGraphBuilder::new();
+        b.add_query_variables(3);
+        let mut g = b.build();
+        assert_eq!(Learner::new(&mut g).evidence_loss(), 0.0);
+    }
+}

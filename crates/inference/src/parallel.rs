@@ -1,0 +1,259 @@
+//! Lock-free parallel Gibbs sampling (hogwild style).
+//!
+//! DimmWitted — the sampler behind DeepDive — runs Gibbs sweeps on many cores
+//! concurrently without locking the assignment vector; races are tolerated
+//! because each variable update only reads a small neighbourhood and the chain
+//! remains ergodic.  We reproduce that design: the world lives in a vector of
+//! `AtomicBool`, each sweep partitions the query variables across rayon worker
+//! threads, and every thread owns an independent RNG stream seeded from the run
+//! seed and the sweep number (so results are reproducible for a fixed thread
+//! partition).
+
+use crate::gibbs::sigmoid;
+use crate::marginals::Marginals;
+use dd_factorgraph::{FactorGraph, VarId, World, WorldView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Shared, lock-free world representation.
+struct AtomicWorld {
+    values: Vec<AtomicBool>,
+}
+
+impl AtomicWorld {
+    fn from_world(world: &World) -> Self {
+        AtomicWorld {
+            values: world.values().iter().map(|&b| AtomicBool::new(b)).collect(),
+        }
+    }
+
+    fn to_world(&self) -> World {
+        World::from_values(
+            self.values
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
+
+    fn set(&self, v: VarId, value: bool) {
+        self.values[v].store(value, Ordering::Relaxed);
+    }
+}
+
+impl WorldView for AtomicWorld {
+    fn value(&self, v: VarId) -> bool {
+        self.values[v].load(Ordering::Relaxed)
+    }
+}
+
+/// Multi-threaded Gibbs sampler.
+pub struct ParallelGibbs<'g> {
+    graph: &'g FactorGraph,
+    world: AtomicWorld,
+    free_vars: Vec<VarId>,
+    seed: u64,
+    /// Number of variable chunks per sweep; defaults to the rayon thread count.
+    chunks: usize,
+}
+
+impl<'g> ParallelGibbs<'g> {
+    /// Create a parallel sampler over the graph's query variables.
+    pub fn new(graph: &'g FactorGraph, seed: u64) -> Self {
+        let world = AtomicWorld::from_world(&graph.initial_world());
+        ParallelGibbs {
+            graph,
+            world,
+            free_vars: graph.query_variables(),
+            seed,
+            chunks: rayon::current_num_threads().max(1),
+        }
+    }
+
+    /// Override the number of chunks the variable set is split into per sweep.
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        self.chunks = chunks.max(1);
+        self
+    }
+
+    /// One hogwild sweep: every free variable is resampled exactly once, with
+    /// the variable set partitioned across threads.
+    pub fn sweep(&mut self, sweep_index: usize) {
+        let chunk_size = self.free_vars.len().div_ceil(self.chunks).max(1);
+        let graph = self.graph;
+        let world = &self.world;
+        let seed = self.seed;
+        self.free_vars
+            .par_chunks(chunk_size)
+            .enumerate()
+            .for_each(|(chunk_id, vars)| {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (sweep_index as u64) << 20 ^ chunk_id as u64);
+                let mut scratch = ScratchWorld { shared: world };
+                for &v in vars {
+                    let delta = energy_delta_atomic(graph, v, &mut scratch);
+                    let p_true = sigmoid(delta);
+                    world.set(v, rng.gen::<f64>() < p_true);
+                }
+            });
+    }
+
+    /// Run burn-in plus `sweeps` counting sweeps, returning marginals.
+    pub fn run(&mut self, sweeps: usize, burn_in: usize) -> Marginals {
+        for s in 0..burn_in {
+            self.sweep(s);
+        }
+        let n = self.graph.num_variables();
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let sweeps = sweeps.max(1);
+        for s in 0..sweeps {
+            self.sweep(burn_in + s);
+            counts.par_iter().enumerate().for_each(|(v, c)| {
+                if self.world.value(v) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        Marginals::from_values(
+            counts
+                .into_iter()
+                .map(|c| c.into_inner() as f64 / sweeps as f64)
+                .collect(),
+        )
+    }
+
+    /// Snapshot of the current world.
+    pub fn world(&self) -> World {
+        self.world.to_world()
+    }
+}
+
+/// A world view that reads through to the shared atomic world but lets the
+/// energy-delta computation temporarily pin the variable being resampled.
+struct ScratchWorld<'a> {
+    shared: &'a AtomicWorld,
+}
+
+impl WorldView for ScratchWorld<'_> {
+    fn value(&self, v: VarId) -> bool {
+        self.shared.value(v)
+    }
+}
+
+/// Energy difference for flipping `v`, evaluated against the shared world.  The
+/// variable's own value is overridden explicitly rather than written back, so
+/// concurrent readers of other variables are unaffected.
+fn energy_delta_atomic(graph: &FactorGraph, v: VarId, scratch: &mut ScratchWorld<'_>) -> f64 {
+    struct Pinned<'a, 'b> {
+        inner: &'a ScratchWorld<'b>,
+        var: VarId,
+        value: bool,
+    }
+    impl WorldView for Pinned<'_, '_> {
+        fn value(&self, v: VarId) -> bool {
+            if v == self.var {
+                self.value
+            } else {
+                self.inner.value(v)
+            }
+        }
+    }
+    let pinned_true = Pinned {
+        inner: scratch,
+        var: v,
+        value: true,
+    };
+    let e_true: f64 = graph
+        .factors_of(v)
+        .iter()
+        .map(|&f| {
+            graph
+                .factor(f)
+                .energy(&pinned_true, graph.factor_weight_value(f))
+        })
+        .sum();
+    let pinned_false = Pinned {
+        inner: scratch,
+        var: v,
+        value: false,
+    };
+    let e_false: f64 = graph
+        .factors_of(v)
+        .iter()
+        .map(|&f| {
+            graph
+                .factor(f)
+                .energy(&pinned_false, graph.factor_weight_value(f))
+        })
+        .sum();
+    e_true - e_false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_factorgraph::{Factor, FactorGraphBuilder};
+
+    fn chain_graph(n: usize, prior: f64, coupling: f64) -> FactorGraph {
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(n);
+        let wp = b.tied_weight("prior", prior, false);
+        let wc = b.tied_weight("couple", coupling, false);
+        b.add_factor(Factor::is_true(wp, vs[0]));
+        for i in 1..n {
+            b.add_factor(Factor::equal(wc, vs[i - 1], vs[i]));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_matches_exact_on_small_chain() {
+        let g = chain_graph(4, 1.0, 0.8);
+        let mut s = ParallelGibbs::new(&g, 123).with_chunks(2);
+        let m = s.run(6000, 500);
+        for v in 0..4 {
+            let expected = g.exact_marginal(v);
+            assert!(
+                (m.get(v) - expected).abs() < 0.05,
+                "var {v}: parallel {} vs exact {}",
+                m.get(v),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_is_respected() {
+        let mut b = FactorGraphBuilder::new();
+        let q = b.add_query_variables(1)[0];
+        let e = b.add_evidence_variable(false);
+        let w = b.tied_weight("eq", 4.0, false);
+        b.add_factor(Factor::equal(w, q, e));
+        let g = b.build();
+        let mut s = ParallelGibbs::new(&g, 9);
+        let m = s.run(800, 100);
+        assert_eq!(m.get(e), 0.0);
+        assert!(m.get(q) < 0.15);
+    }
+
+    #[test]
+    fn world_snapshot_has_right_size() {
+        let g = chain_graph(10, 0.0, 0.1);
+        let mut s = ParallelGibbs::new(&g, 5);
+        s.sweep(0);
+        assert_eq!(s.world().len(), 10);
+    }
+
+    #[test]
+    fn larger_graph_runs_quickly_and_in_bounds() {
+        let g = chain_graph(500, 0.2, 0.3);
+        let mut s = ParallelGibbs::new(&g, 77);
+        let m = s.run(50, 10);
+        for v in 0..500 {
+            let p = m.get(v);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

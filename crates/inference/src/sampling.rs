@@ -1,0 +1,418 @@
+//! The sampling materialization strategy with independent Metropolis–Hastings
+//! incremental inference (paper §3.2.2).
+//!
+//! *Materialization phase*: draw possible worlds from the original distribution
+//! with Gibbs sampling and store them as bit-packed tuple bundles (after MCDB).
+//!
+//! *Inference phase*: the stored samples are proposals for an independent
+//! Metropolis–Hastings chain targeting the updated distribution `Pr(Δ)`.  The
+//! acceptance test only needs the changed factors (ΔF), the changed weights, and
+//! the new evidence — "we may fetch many fewer factors than in the original
+//! graph, but we still converge to the correct answer."  The fraction of accepted
+//! proposals is the *acceptance rate*, the key performance parameter of the
+//! approach (Figure 5b); when the stored samples are exhausted, the caller is
+//! told so it can fall back to the variational approach or to fresh Gibbs
+//! sampling (the optimizer rule of §3.3).
+
+use crate::change::DistributionChange;
+use crate::gibbs::{GibbsOptions, GibbsSampler, SampleSet};
+use crate::marginals::Marginals;
+use dd_factorgraph::{FactorGraph, World, WorldView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of an incremental MH inference run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MhOutcome {
+    /// Marginal estimates under the updated distribution.
+    pub marginals: Marginals,
+    /// Fraction of proposals accepted.
+    pub acceptance_rate: f64,
+    /// Number of stored samples consumed.
+    pub proposals_used: usize,
+    /// True if the run stopped because the stored samples were exhausted before
+    /// the requested number of inference samples was reached.
+    pub exhausted: bool,
+}
+
+/// The sampling materialization: stored tuple bundles plus bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleMaterialization {
+    samples: SampleSet,
+    /// Number of variables of the original graph.
+    num_original_vars: usize,
+}
+
+impl SampleMaterialization {
+    /// Materialize `num_samples` worlds from the original graph.
+    pub fn materialize(
+        graph: &FactorGraph,
+        num_samples: usize,
+        burn_in: usize,
+        seed: u64,
+    ) -> Self {
+        let mut sampler = GibbsSampler::new(graph, seed);
+        let samples = sampler.draw_samples(num_samples, burn_in);
+        SampleMaterialization {
+            samples,
+            num_original_vars: graph.num_variables(),
+        }
+    }
+
+    /// Build directly from an existing sample set (used when the engine shares
+    /// one Gibbs run between the sampling and variational materializations).
+    pub fn from_samples(samples: SampleSet, num_original_vars: usize) -> Self {
+        SampleMaterialization {
+            samples,
+            num_original_vars,
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn num_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Approximate storage size in bytes (1 bit per variable per sample).
+    pub fn storage_bytes(&self) -> usize {
+        self.samples.storage_bytes()
+    }
+
+    /// Marginals of the original distribution, straight from the stored samples.
+    pub fn original_marginals(&self) -> Marginals {
+        self.samples.marginals()
+    }
+
+    /// Run independent Metropolis–Hastings against the updated distribution.
+    ///
+    /// * `updated` — the factor graph *after* the delta was applied.
+    /// * `change`  — the [`DistributionChange`] describing ΔF / weight / evidence
+    ///   changes (produced by `DistributionChange::apply_and_describe`).
+    /// * `inference_samples` — number of chain steps requested (`S_I`).
+    ///
+    /// Each chain step consumes one stored proposal; if the store runs out the
+    /// outcome is flagged `exhausted` and the marginals reflect the steps taken
+    /// so far.
+    pub fn infer(
+        &self,
+        updated: &FactorGraph,
+        change: &DistributionChange,
+        inference_samples: usize,
+        seed: u64,
+    ) -> MhOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total_vars = updated.num_variables();
+        let mut counts = vec![0usize; total_vars];
+        let mut accepted = 0usize;
+        let mut steps = 0usize;
+
+        if self.samples.is_empty() {
+            return MhOutcome {
+                marginals: Marginals::zeros(total_vars),
+                acceptance_rate: 0.0,
+                proposals_used: 0,
+                exhausted: true,
+            };
+        }
+
+        // Proposals are consumed in a shuffled order.  Consecutive Gibbs sweeps
+        // are autocorrelated; the independence-sampler analysis (and therefore
+        // the chain's stationary distribution) requires each proposal to be
+        // independent of the current state, which the shuffle restores while
+        // keeping the "each stored sample is used at most once" exhaustion
+        // semantics.
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        shuffle(&mut order, &mut rng);
+
+        // The initial state: the first stored sample consistent with any new
+        // evidence.  Repairing a sample (instead of rejecting it) would distort
+        // the conditional distribution of the variables correlated with the
+        // evidence, so consistency is found by scanning, and only if *no* stored
+        // sample is consistent do we repair one as a last resort.
+        let mut next_proposal = 0usize;
+        let mut found: Option<(World, f64)> = None;
+        while next_proposal < order.len() {
+            let cand = self.extend_sample(updated, change, order[next_proposal], seed);
+            next_proposal += 1;
+            let d = change.delta_log_weight(updated, &cand);
+            if d > f64::NEG_INFINITY {
+                found = Some((cand, d));
+                break;
+            }
+        }
+        let (mut current, mut current_delta) = match found {
+            Some(pair) => pair,
+            None => {
+                let mut c = self.extend_sample(updated, change, order[0], seed);
+                for &(v, val) in &change.new_evidence {
+                    c.set(v, val);
+                }
+                let d = change.delta_log_weight(updated, &c);
+                let d = if d == f64::NEG_INFINITY { 0.0 } else { d };
+                (c, d)
+            }
+        };
+
+        let mut exhausted = false;
+        for _ in 0..inference_samples {
+            if next_proposal >= order.len() {
+                exhausted = true;
+                break;
+            }
+            let proposal =
+                self.extend_sample(updated, change, order[next_proposal], seed ^ 0x9e37);
+            next_proposal += 1;
+            steps += 1;
+
+            let proposal_delta = change.delta_log_weight(updated, &proposal);
+            // Independence sampler acceptance: the Pr(0) terms cancel, leaving
+            // exp(ΔW(I') − ΔW(I)).
+            let log_alpha = proposal_delta - current_delta;
+            if log_alpha >= 0.0 || rng.gen::<f64>() < log_alpha.exp() {
+                current = proposal;
+                current_delta = proposal_delta;
+                accepted += 1;
+            }
+            for (v, c) in counts.iter_mut().enumerate() {
+                if current.value(v) {
+                    *c += 1;
+                }
+            }
+        }
+
+        let denom = steps.max(1) as f64;
+        MhOutcome {
+            marginals: Marginals::from_values(
+                counts.into_iter().map(|c| c as f64 / denom).collect(),
+            ),
+            acceptance_rate: if steps == 0 {
+                0.0
+            } else {
+                accepted as f64 / steps as f64
+            },
+            proposals_used: next_proposal,
+            exhausted,
+        }
+    }
+
+    /// Fetch stored sample `i` and extend it to the updated graph: new variables
+    /// (ΔV) get values by Gibbs-sampling them conditioned on the stored part,
+    /// and new evidence is honoured.
+    fn extend_sample(
+        &self,
+        updated: &FactorGraph,
+        change: &DistributionChange,
+        i: usize,
+        seed: u64,
+    ) -> World {
+        let stored = self.samples.get(i);
+        let mut values = stored.values().to_vec();
+        let init = updated.initial_world();
+        for v in self.num_original_vars..updated.num_variables() {
+            values.push(init.value(v));
+        }
+        let world = World::from_values(values);
+        if change.new_variables.is_empty() {
+            return world;
+        }
+        // A few restricted Gibbs sweeps over only the new variables.
+        let free: Vec<usize> = change
+            .new_variables
+            .iter()
+            .copied()
+            .filter(|&v| !updated.variable(v).is_evidence())
+            .collect();
+        if free.is_empty() {
+            return world;
+        }
+        let mut sampler = GibbsSampler::new(updated, seed.wrapping_add(i as u64))
+            .with_free_vars(free);
+        sampler.set_world(world);
+        for _ in 0..3 {
+            sampler.sweep();
+        }
+        sampler.world().clone()
+    }
+}
+
+/// Fisher–Yates shuffle (kept local to avoid pulling in rand's slice extension
+/// trait just for this).
+fn shuffle(indices: &mut [usize], rng: &mut StdRng) {
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+}
+
+/// Convenience: run plain (non-incremental) Gibbs on a graph — the "Rerun"
+/// baseline used throughout the experiments.
+pub fn rerun_gibbs(graph: &FactorGraph, options: &GibbsOptions) -> Marginals {
+    GibbsSampler::new(graph, options.seed).run(options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_factorgraph::{
+        DeltaFactor, EvidenceChange, Factor, FactorGraphBuilder, GraphDelta, NewVarRef,
+        NewWeightRef, Variable, VariableRole, Weight, WeightChange,
+    };
+
+    fn graph(prior: f64) -> FactorGraph {
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(4);
+        let wp = b.tied_weight("prior", prior, false);
+        let wc = b.tied_weight("couple", 0.7, false);
+        b.add_factor(Factor::is_true(wp, vs[0]));
+        b.add_factor(Factor::is_true(wp, vs[2]));
+        b.add_factor(Factor::equal(wc, vs[0], vs[1]));
+        b.add_factor(Factor::equal(wc, vs[2], vs[3]));
+        b.build()
+    }
+
+    fn materialize(g: &FactorGraph, n: usize) -> SampleMaterialization {
+        SampleMaterialization::materialize(g, n, 200, 13)
+    }
+
+    #[test]
+    fn identity_update_has_full_acceptance() {
+        let g0 = graph(0.5);
+        let mat = materialize(&g0, 800);
+        let mut g = g0.clone();
+        let change = DistributionChange::apply_and_describe(&mut g, &GraphDelta::new());
+        let out = mat.infer(&g, &change, 500, 3);
+        assert!(!out.exhausted);
+        assert_eq!(out.acceptance_rate, 1.0);
+        // Marginals close to the exact ones of the (unchanged) distribution.
+        for v in 0..4 {
+            assert!((out.marginals.get(v) - g.exact_marginal(v)).abs() < 0.08);
+        }
+    }
+
+    #[test]
+    fn weight_change_lowers_acceptance_but_stays_accurate() {
+        let g0 = graph(0.5);
+        let mat = materialize(&g0, 3000);
+        let mut g = g0.clone();
+        let delta = GraphDelta {
+            weight_changes: vec![WeightChange {
+                weight_id: 0,
+                new_value: 1.8,
+            }],
+            ..Default::default()
+        };
+        let change = DistributionChange::apply_and_describe(&mut g, &delta);
+        let out = mat.infer(&g, &change, 2500, 5);
+        assert!(out.acceptance_rate < 1.0);
+        assert!(out.acceptance_rate > 0.05);
+        for v in 0..4 {
+            assert!(
+                (out.marginals.get(v) - g.exact_marginal(v)).abs() < 0.1,
+                "var {v}: {} vs {}",
+                out.marginals.get(v),
+                g.exact_marginal(v)
+            );
+        }
+    }
+
+    #[test]
+    fn larger_change_means_lower_acceptance() {
+        let g0 = graph(0.0);
+        let mat = materialize(&g0, 2000);
+        let mut acc = Vec::new();
+        for &new_w in &[0.2, 1.0, 3.0] {
+            let mut g = g0.clone();
+            let delta = GraphDelta {
+                weight_changes: vec![WeightChange {
+                    weight_id: 0,
+                    new_value: new_w,
+                }],
+                ..Default::default()
+            };
+            let change = DistributionChange::apply_and_describe(&mut g, &delta);
+            let out = mat.infer(&g, &change, 1500, 11);
+            acc.push(out.acceptance_rate);
+        }
+        assert!(acc[0] > acc[1]);
+        assert!(acc[1] > acc[2]);
+    }
+
+    #[test]
+    fn new_variable_and_factor_are_handled() {
+        let g0 = graph(0.3);
+        let mat = materialize(&g0, 2000);
+        let mut g = g0.clone();
+        let delta = GraphDelta {
+            new_variables: vec![Variable::query(0)],
+            new_weights: vec![Weight::learnable(0, 1.2, "new")],
+            new_factors: vec![DeltaFactor {
+                weight: NewWeightRef::New(0),
+                template: Factor::equal(0, 0, 1),
+                var_refs: vec![NewVarRef::Existing(0), NewVarRef::New(0)],
+            }],
+            ..Default::default()
+        };
+        let change = DistributionChange::apply_and_describe(&mut g, &delta);
+        let out = mat.infer(&g, &change, 1500, 17);
+        assert_eq!(out.marginals.len(), 5);
+        for v in 0..5 {
+            assert!(
+                (out.marginals.get(v) - g.exact_marginal(v)).abs() < 0.12,
+                "var {v}: {} vs {}",
+                out.marginals.get(v),
+                g.exact_marginal(v)
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_change_pins_variable() {
+        let g0 = graph(0.0);
+        let mat = materialize(&g0, 1500);
+        let mut g = g0.clone();
+        let delta = GraphDelta {
+            evidence_changes: vec![EvidenceChange {
+                var: 0,
+                new_role: VariableRole::PositiveEvidence,
+            }],
+            ..Default::default()
+        };
+        let change = DistributionChange::apply_and_describe(&mut g, &delta);
+        let out = mat.infer(&g, &change, 1000, 23);
+        assert_eq!(out.marginals.get(0), 1.0);
+        // variable 1 is coupled to 0, so its marginal should rise above 0.5
+        assert!(out.marginals.get(1) > 0.55);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let g0 = graph(0.1);
+        let mat = materialize(&g0, 50);
+        let mut g = g0.clone();
+        let change = DistributionChange::apply_and_describe(&mut g, &GraphDelta::new());
+        let out = mat.infer(&g, &change, 500, 1);
+        assert!(out.exhausted);
+        assert!(out.proposals_used <= 50);
+    }
+
+    #[test]
+    fn empty_materialization_is_immediately_exhausted() {
+        let g0 = graph(0.1);
+        let mat = SampleMaterialization::materialize(&g0, 0, 0, 1);
+        let mut g = g0.clone();
+        let change = DistributionChange::apply_and_describe(&mut g, &GraphDelta::new());
+        let out = mat.infer(&g, &change, 10, 1);
+        assert!(out.exhausted);
+        assert_eq!(out.proposals_used, 0);
+    }
+
+    #[test]
+    fn storage_is_one_bit_per_variable() {
+        let g0 = graph(0.1);
+        let mat = materialize(&g0, 100);
+        // 4 variables -> 1 byte per sample
+        assert_eq!(mat.storage_bytes(), 100);
+        assert_eq!(mat.num_samples(), 100);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the relational store.
+
+use std::fmt;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name.
+    NoSuchTable(String),
+    /// No column with this name in the given table/schema.
+    NoSuchColumn { table: String, column: String },
+    /// A row did not match the schema it was inserted into.
+    SchemaMismatch { table: String, detail: String },
+    /// Two relations used in a set operation have different arities.
+    ArityMismatch { left: usize, right: usize },
+    /// A query referenced an unbound variable or is otherwise malformed.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            RelError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            RelError::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            RelError::SchemaMismatch { table, detail } => {
+                write!(f, "schema mismatch inserting into `{table}`: {detail}")
+            }
+            RelError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch: {left} vs {right}")
+            }
+            RelError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias used throughout the crate.
+pub type RelResult<T> = Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelError::NoSuchTable("Mentions".into());
+        assert!(e.to_string().contains("Mentions"));
+        let e = RelError::SchemaMismatch {
+            table: "EL".into(),
+            detail: "expected Int".into(),
+        };
+        assert!(e.to_string().contains("EL"));
+        assert!(e.to_string().contains("expected Int"));
+        let e = RelError::ArityMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&RelError::InvalidQuery("x".into()));
+    }
+}

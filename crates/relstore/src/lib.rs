@@ -1,0 +1,41 @@
+//! # dd-relstore — in-memory relational substrate for DeepDive
+//!
+//! The original DeepDive system stores every relation (documents, sentences,
+//! candidate mentions, features, supervision labels, …) in Postgres/Greenplum and
+//! performs grounding and incremental grounding with SQL queries.  This crate is
+//! the Rust substitute for that substrate: a small, typed, in-memory relational
+//! engine with
+//!
+//! * a catalog of named, schema-checked [`Table`]s collected in a [`Database`],
+//! * the relational operators needed by rule-body evaluation
+//!   (selection, projection, natural/hash join, union, difference, distinct),
+//! * *counted* relations — every tuple carries a derivation count, which is the
+//!   representation required by counting-based incremental view maintenance and
+//!   by the DRed algorithm of Gupta, Mumick & Subrahmanian that DeepDive uses for
+//!   incremental grounding (paper §3.1),
+//! * [`delta::DeltaRelation`]s describing insertions/deletions, and
+//! * [`view`] — materialized views over rule-shaped (conjunctive) queries with
+//!   both full recomputation and incremental (delta-rule / DRed) maintenance.
+//!
+//! The crate is deliberately independent of the factor-graph and inference layers
+//! so that it can be tested and benchmarked in isolation.
+
+pub mod database;
+pub mod delta;
+pub mod error;
+pub mod ops;
+pub mod schema;
+pub mod table;
+pub mod tuple;
+pub mod value;
+pub mod view;
+
+pub use database::Database;
+pub use delta::{DeltaOp, DeltaRelation};
+pub use error::{RelError, RelResult};
+pub use ops::{difference, distinct, hash_join, project, select, union};
+pub use schema::{Column, DataType, Schema};
+pub use table::Table;
+pub use tuple::Tuple;
+pub use value::Value;
+pub use view::{ConjunctiveQuery, MaterializedView, QueryAtom, Term};

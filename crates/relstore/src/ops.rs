@@ -1,0 +1,301 @@
+//! Relational operators over counted tables.
+//!
+//! These are the building blocks for rule-body evaluation in grounding: every
+//! DeepDive rule body is a conjunction of atoms, i.e. a multi-way join, possibly
+//! followed by projection onto the head variables.  All operators preserve
+//! derivation counts (bag semantics), which is what makes counting-based
+//! incremental maintenance correct.
+
+use crate::error::{RelError, RelResult};
+
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Selection: keep the tuples satisfying `pred`, preserving counts.
+pub fn select<F>(input: &Table, name: &str, pred: F) -> Table
+where
+    F: Fn(&Tuple) -> bool,
+{
+    let mut out = Table::new(name, input.schema().clone());
+    for (t, c) in input.iter_counted() {
+        if pred(t) {
+            out.merge_unchecked(t.clone(), c);
+        }
+    }
+    out
+}
+
+/// Projection onto column indices, preserving (and merging) counts.
+pub fn project(input: &Table, name: &str, columns: &[usize]) -> Table {
+    let schema = input.schema().project(columns);
+    let mut out = Table::new(name, schema);
+    for (t, c) in input.iter_counted() {
+        out.merge_unchecked(t.project(columns), c);
+    }
+    out
+}
+
+/// Distinct: collapse multiplicities to 1.
+pub fn distinct(input: &Table, name: &str) -> Table {
+    let mut out = Table::new(name, input.schema().clone());
+    for t in input.iter() {
+        out.merge_unchecked(t.clone(), 1);
+    }
+    out
+}
+
+/// Hash equi-join on `left_keys` = `right_keys`.
+///
+/// The output schema is the concatenation of the two input schemas (duplicate
+/// names suffixed `_r`), and output counts are products of input counts, which is
+/// the bag-join semantics required for counting IVM.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    name: &str,
+) -> RelResult<Table> {
+    if left_keys.len() != right_keys.len() {
+        return Err(RelError::InvalidQuery(format!(
+            "join key arity mismatch: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let schema = left.schema().concat(right.schema());
+    let mut out = Table::new(name, schema);
+
+    // Build on the smaller side.
+    let (build, probe, build_keys, probe_keys, build_is_left) =
+        if left.len() <= right.len() {
+            (left, right, left_keys, right_keys, true)
+        } else {
+            (right, left, right_keys, left_keys, false)
+        };
+
+    let mut index: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
+    for (t, c) in build.iter_counted() {
+        index.entry(t.key(build_keys)).or_default().push((t, c));
+    }
+
+    for (pt, pc) in probe.iter_counted() {
+        if let Some(matches) = index.get(&pt.key(probe_keys)) {
+            for (bt, bc) in matches {
+                let joined = if build_is_left {
+                    bt.concat(pt)
+                } else {
+                    pt.concat(bt)
+                };
+                out.merge_unchecked(joined, bc * pc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Bag union: counts add.
+pub fn union(left: &Table, right: &Table, name: &str) -> RelResult<Table> {
+    if left.schema().arity() != right.schema().arity() {
+        return Err(RelError::ArityMismatch {
+            left: left.schema().arity(),
+            right: right.schema().arity(),
+        });
+    }
+    let mut out = Table::new(name, left.schema().clone());
+    for (t, c) in left.iter_counted() {
+        out.merge_unchecked(t.clone(), c);
+    }
+    for (t, c) in right.iter_counted() {
+        out.merge_unchecked(t.clone(), c);
+    }
+    Ok(out)
+}
+
+/// Bag difference: counts subtract, clamped at zero.
+pub fn difference(left: &Table, right: &Table, name: &str) -> RelResult<Table> {
+    if left.schema().arity() != right.schema().arity() {
+        return Err(RelError::ArityMismatch {
+            left: left.schema().arity(),
+            right: right.schema().arity(),
+        });
+    }
+    let mut out = Table::new(name, left.schema().clone());
+    for (t, c) in left.iter_counted() {
+        let rc = right.count(t);
+        let remaining = c - rc;
+        if remaining > 0 {
+            out.merge_unchecked(t.clone(), remaining);
+        }
+    }
+    Ok(out)
+}
+
+/// Anti-join: tuples of `left` whose key has no match in `right`.
+/// Used to evaluate negated atoms in supervision rules (e.g. "largely disjoint
+/// relations generate negative examples", Example 2.4).
+pub fn anti_join(
+    left: &Table,
+    right: &Table,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    name: &str,
+) -> RelResult<Table> {
+    if left_keys.len() != right_keys.len() {
+        return Err(RelError::InvalidQuery(
+            "anti-join key arity mismatch".to_string(),
+        ));
+    }
+    let right_index = right.index_on(right_keys);
+    let mut out = Table::new(name, left.schema().clone());
+    for (t, c) in left.iter_counted() {
+        if !right_index.contains_key(&t.key(left_keys)) {
+            out.merge_unchecked(t.clone(), c);
+        }
+    }
+    Ok(out)
+}
+
+/// A schema describing an empty relation of the same shape as `proto` — helper
+/// used by view maintenance when a source relation is missing.
+pub fn empty_like(proto: &Table, name: &str) -> Table {
+    Table::new(name, proto.schema().clone())
+}
+
+/// Cross product (used for rule bodies with disconnected atoms).
+pub fn cross(left: &Table, right: &Table, name: &str) -> Table {
+    let schema = left.schema().concat(right.schema());
+    let mut out = Table::new(name, schema);
+    for (lt, lc) in left.iter_counted() {
+        for (rt, rc) in right.iter_counted() {
+            out.merge_unchecked(lt.concat(rt), lc * rc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use crate::tuple;
+
+    fn table(name: &str, cols: &[(&str, DataType)], rows: Vec<Tuple>) -> Table {
+        let mut t = Table::new(name, Schema::of(cols));
+        for r in rows {
+            t.insert(r).unwrap();
+        }
+        t
+    }
+
+    fn r() -> Table {
+        table(
+            "R",
+            &[("x", DataType::Int), ("y", DataType::Int)],
+            vec![tuple![1i64, 10i64], tuple![1i64, 11i64], tuple![2i64, 12i64]],
+        )
+    }
+
+    fn s() -> Table {
+        table(
+            "S",
+            &[("y", DataType::Int)],
+            vec![tuple![10i64], tuple![12i64]],
+        )
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        let out = select(&r(), "sel", |t| t.get(0) == Some(&Value::Int(1)));
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple![1i64, 10i64]));
+        assert!(!out.contains(&tuple![2i64, 12i64]));
+    }
+
+    #[test]
+    fn project_merges_counts() {
+        let out = project(&r(), "p", &[0]);
+        // two tuples with x = 1 collapse into one tuple with count 2
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.count(&tuple![1i64]), 2);
+        assert_eq!(out.count(&tuple![2i64]), 1);
+        let d = distinct(&out, "d");
+        assert_eq!(d.count(&tuple![1i64]), 1);
+    }
+
+    #[test]
+    fn hash_join_matches_keys() {
+        let out = hash_join(&r(), &s(), &[1], &[0], "j").unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple![1i64, 10i64, 10i64]));
+        assert!(out.contains(&tuple![2i64, 12i64, 12i64]));
+        assert_eq!(out.schema().arity(), 3);
+    }
+
+    #[test]
+    fn hash_join_multiplies_counts() {
+        let mut left = table("L", &[("k", DataType::Int)], vec![]);
+        left.insert_with_count(tuple![1i64], 2).unwrap();
+        let mut right = table("Rr", &[("k", DataType::Int)], vec![]);
+        right.insert_with_count(tuple![1i64], 3).unwrap();
+        let out = hash_join(&left, &right, &[0], &[0], "j").unwrap();
+        assert_eq!(out.count(&tuple![1i64, 1i64]), 6);
+    }
+
+    #[test]
+    fn join_key_mismatch_errors() {
+        assert!(hash_join(&r(), &s(), &[0, 1], &[0], "j").is_err());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = table("A", &[("x", DataType::Int)], vec![tuple![1i64], tuple![2i64]]);
+        let b = table("B", &[("x", DataType::Int)], vec![tuple![2i64], tuple![3i64]]);
+        let u = union(&a, &b, "u").unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.count(&tuple![2i64]), 2);
+        let d = difference(&u, &b, "d").unwrap();
+        assert_eq!(d.count(&tuple![1i64]), 1);
+        assert_eq!(d.count(&tuple![2i64]), 1);
+        assert_eq!(d.count(&tuple![3i64]), 0);
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        let a = table("A", &[("x", DataType::Int)], vec![]);
+        let b = table("B", &[("x", DataType::Int), ("y", DataType::Int)], vec![]);
+        assert!(matches!(
+            union(&a, &b, "u"),
+            Err(RelError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            difference(&a, &b, "d"),
+            Err(RelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn anti_join_keeps_unmatched() {
+        let out = anti_join(&r(), &s(), &[1], &[0], "aj").unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![1i64, 11i64]));
+    }
+
+    #[test]
+    fn cross_product_counts() {
+        let a = table("A", &[("x", DataType::Int)], vec![tuple![1i64], tuple![2i64]]);
+        let b = table("B", &[("y", DataType::Int)], vec![tuple![10i64]]);
+        let out = cross(&a, &b, "c");
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple![1i64, 10i64]));
+    }
+
+    #[test]
+    fn empty_like_copies_schema() {
+        let e = empty_like(&r(), "E");
+        assert_eq!(e.schema(), r().schema());
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Counted tables (bag relations with derivation counts).
+
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// An in-memory relation.
+///
+/// Tuples are stored with a *derivation count*, exactly as required by
+/// counting-based incremental view maintenance and the DRed algorithm the paper
+/// adopts for incremental grounding (§3.1): "for each relation `R_i` … we create a
+/// delta relation `Rδ_i` with the same schema … and an additional column `count`".
+/// Base tables normally hold count 1 per tuple; materialized views hold the number
+/// of alternative derivations, so deleting one derivation does not delete the
+/// tuple while another derivation survives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: HashMap<Tuple, i64>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of distinct tuples currently present (count > 0).
+    pub fn len(&self) -> usize {
+        self.rows.values().filter(|&&c| c > 0).count()
+    }
+
+    /// True if no tuple is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total multiplicity (sum of positive counts).
+    pub fn total_count(&self) -> i64 {
+        self.rows.values().filter(|&&c| c > 0).sum()
+    }
+
+    /// Insert a tuple with multiplicity 1, schema-checked.
+    pub fn insert(&mut self, tuple: Tuple) -> RelResult<()> {
+        self.insert_with_count(tuple, 1)
+    }
+
+    /// Insert a tuple with the given multiplicity (may be negative: a deletion).
+    pub fn insert_with_count(&mut self, tuple: Tuple, count: i64) -> RelResult<()> {
+        if !self.schema.check(tuple.values()) {
+            return Err(RelError::SchemaMismatch {
+                table: self.name.clone(),
+                detail: format!("tuple {tuple} does not match schema"),
+            });
+        }
+        self.merge_unchecked(tuple, count);
+        Ok(())
+    }
+
+    /// Merge a count without schema checking (internal fast path for operators
+    /// whose output schema is constructed to match by construction).
+    pub(crate) fn merge_unchecked(&mut self, tuple: Tuple, count: i64) {
+        if count == 0 {
+            return;
+        }
+        match self.rows.entry(tuple) {
+            Entry::Occupied(mut e) => {
+                let v = e.get_mut();
+                *v += count;
+                if *v == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(count);
+            }
+        }
+    }
+
+    /// Delete one derivation of a tuple.  Returns `true` if the tuple was present.
+    pub fn delete(&mut self, tuple: &Tuple) -> bool {
+        match self.rows.get_mut(tuple) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.rows.remove(tuple);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove all derivations of a tuple, returning the previous count.
+    pub fn remove_all(&mut self, tuple: &Tuple) -> i64 {
+        self.rows.remove(tuple).unwrap_or(0)
+    }
+
+    /// Current multiplicity of a tuple (0 when absent).
+    pub fn count(&self, tuple: &Tuple) -> i64 {
+        self.rows.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// True if the tuple is present with positive multiplicity.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.count(tuple) > 0
+    }
+
+    /// Iterate over present tuples (count > 0).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(t, _)| t)
+    }
+
+    /// Iterate over `(tuple, count)` pairs with positive count.
+    pub fn iter_counted(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.rows
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(t, &c)| (t, c))
+    }
+
+    /// Collect all present tuples into a vector (deterministic order: sorted).
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Remove every tuple.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Build an index from the values of `key_cols` to the tuples holding them.
+    /// Used by the hash-join operator and by grounding.
+    pub fn index_on(&self, key_cols: &[usize]) -> HashMap<Vec<Value>, Vec<Tuple>> {
+        let mut index: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        for t in self.iter() {
+            index.entry(t.key(key_cols)).or_default().push(t.clone());
+        }
+        index
+    }
+
+    /// Bulk-load tuples with count 1 (schema-checked, stops at the first error).
+    pub fn extend<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) -> RelResult<usize> {
+        let mut n = 0;
+        for t in tuples {
+            self.insert(t)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::tuple;
+
+    fn people() -> Table {
+        Table::new(
+            "PersonCandidate",
+            Schema::of(&[("sentence_id", DataType::Int), ("mention_id", DataType::Int)]),
+        )
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut t = people();
+        t.insert(tuple![1i64, 10i64]).unwrap();
+        t.insert(tuple![1i64, 11i64]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&tuple![1i64, 10i64]));
+        assert!(!t.contains(&tuple![2i64, 10i64]));
+    }
+
+    #[test]
+    fn schema_checked_insert() {
+        let mut t = people();
+        let err = t.insert(tuple!["not an int", 10i64]).unwrap_err();
+        assert!(matches!(err, RelError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn counts_accumulate_and_cancel() {
+        let mut t = people();
+        t.insert(tuple![1i64, 10i64]).unwrap();
+        t.insert(tuple![1i64, 10i64]).unwrap();
+        assert_eq!(t.count(&tuple![1i64, 10i64]), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total_count(), 2);
+
+        assert!(t.delete(&tuple![1i64, 10i64]));
+        assert!(t.contains(&tuple![1i64, 10i64]));
+        assert!(t.delete(&tuple![1i64, 10i64]));
+        assert!(!t.contains(&tuple![1i64, 10i64]));
+        assert!(!t.delete(&tuple![1i64, 10i64]));
+    }
+
+    #[test]
+    fn negative_counts_via_merge() {
+        let mut t = people();
+        t.insert_with_count(tuple![1i64, 10i64], 3).unwrap();
+        t.insert_with_count(tuple![1i64, 10i64], -3).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn index_on_groups_by_key() {
+        let mut t = people();
+        t.insert(tuple![1i64, 10i64]).unwrap();
+        t.insert(tuple![1i64, 11i64]).unwrap();
+        t.insert(tuple![2i64, 12i64]).unwrap();
+        let idx = t.index_on(&[0]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[&vec![Value::Int(1)]].len(), 2);
+        assert_eq!(idx[&vec![Value::Int(2)]].len(), 1);
+    }
+
+    #[test]
+    fn sorted_tuples_is_deterministic() {
+        let mut t = people();
+        t.insert(tuple![2i64, 1i64]).unwrap();
+        t.insert(tuple![1i64, 2i64]).unwrap();
+        let v = t.sorted_tuples();
+        assert_eq!(v[0], tuple![1i64, 2i64]);
+        assert_eq!(v[1], tuple![2i64, 1i64]);
+    }
+
+    #[test]
+    fn extend_bulk_loads() {
+        let mut t = people();
+        let n = t
+            .extend((0..5).map(|i| tuple![i as i64, (i * 10) as i64]))
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn remove_all_and_clear() {
+        let mut t = people();
+        t.insert_with_count(tuple![1i64, 1i64], 4).unwrap();
+        assert_eq!(t.remove_all(&tuple![1i64, 1i64]), 4);
+        t.insert(tuple![2i64, 2i64]).unwrap();
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,793 @@
+//! Conjunctive (rule-shaped) queries and incrementally maintained views.
+//!
+//! Grounding in DeepDive is "a series of SQL queries" whose bodies are
+//! conjunctions of user relations (§2.2, §3.1).  This module provides:
+//!
+//! * [`ConjunctiveQuery`] — `head(vars) :- atom_1, …, atom_k, filters`, where each
+//!   atom binds variables against a relation and may be negated;
+//! * a full evaluator producing a counted result relation;
+//! * [`MaterializedView`] — a stored result that can be refreshed from scratch or
+//!   maintained incrementally from [`DeltaRelation`]s with the classic counting /
+//!   DRed delta-rule evaluation the paper adopts from Gupta–Mumick–Subrahmanian.
+//!
+//! The delta rule implemented here is the textbook one: for an update touching
+//! relations `R_{i1}, …`, the view delta is the sum over changed atoms `i` of the
+//! query with atom `i` replaced by its delta, atoms before `i` evaluated against
+//! the *new* state, and atoms after `i` against the *old* state.  Counts may be
+//! negative (deletions); applying the delta to the stored counted result gives the
+//! new view contents without recomputation.
+
+use crate::database::Database;
+use crate::delta::DeltaRelation;
+use crate::error::{RelError, RelResult};
+use crate::schema::{Column, DataType, Schema};
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A term in a query atom: a variable name or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Term {
+    Var(String),
+    Const(Value),
+}
+
+impl Term {
+    /// Convenience constructor for variables.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+    /// Convenience constructor for constants.
+    pub fn val(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+}
+
+/// One atom of a rule body: `relation(term, term, …)`, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryAtom {
+    pub relation: String,
+    pub terms: Vec<Term>,
+    pub negated: bool,
+}
+
+impl QueryAtom {
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        QueryAtom {
+            relation: relation.into(),
+            terms,
+            negated: false,
+        }
+    }
+
+    pub fn negated(mut self) -> Self {
+        self.negated = true;
+        self
+    }
+
+    /// Variables mentioned by this atom, in order of first appearance.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !seen.contains(&v.as_str()) {
+                    seen.push(v.as_str());
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Comparison filters applied to bound variables after the joins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Filter {
+    /// The two variables must bind to different values.
+    Ne(String, String),
+    /// The two variables must bind to equal values.
+    Eq(String, String),
+    /// Left variable strictly less than right variable.
+    Lt(String, String),
+}
+
+/// A conjunctive query `name(head_vars) :- atoms, filters`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    pub name: String,
+    pub head_vars: Vec<String>,
+    pub atoms: Vec<QueryAtom>,
+    pub filters: Vec<Filter>,
+}
+
+impl ConjunctiveQuery {
+    pub fn new(
+        name: impl Into<String>,
+        head_vars: Vec<String>,
+        atoms: Vec<QueryAtom>,
+    ) -> Self {
+        ConjunctiveQuery {
+            name: name.into(),
+            head_vars,
+            atoms,
+            filters: Vec::new(),
+        }
+    }
+
+    pub fn with_filters(mut self, filters: Vec<Filter>) -> Self {
+        self.filters = filters;
+        self
+    }
+
+    /// Relations referenced (positively or negatively) by this query.
+    pub fn relations(&self) -> Vec<&str> {
+        self.atoms.iter().map(|a| a.relation.as_str()).collect()
+    }
+
+    /// Output schema: one column per head variable.  Column types are inferred
+    /// from the first atom that binds each variable; `Null` if unbound (which is
+    /// reported as an error at evaluation time).
+    pub fn output_schema(&self, db: &Database) -> Schema {
+        let mut cols = Vec::new();
+        for hv in &self.head_vars {
+            let mut ty = DataType::Null;
+            'outer: for atom in &self.atoms {
+                if let Ok(tbl) = db.table(&atom.relation) {
+                    for (i, term) in atom.terms.iter().enumerate() {
+                        if let Term::Var(v) = term {
+                            if v == hv {
+                                if let Some(t) = tbl.schema().type_at(i) {
+                                    ty = t;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            cols.push(Column::new(hv.clone(), ty));
+        }
+        Schema::new(cols)
+    }
+
+    /// Evaluate the query against `db`, with `overrides` replacing named tables
+    /// (used by delta evaluation to substitute "new" or "delta" versions).
+    pub fn evaluate_with(
+        &self,
+        db: &Database,
+        overrides: &HashMap<String, Table>,
+    ) -> RelResult<Table> {
+        let fetch = |name: &str| -> RelResult<&Table> {
+            if let Some(t) = overrides.get(name) {
+                Ok(t)
+            } else {
+                db.table(name)
+            }
+        };
+        self.evaluate_fetch(db, &fetch)
+    }
+
+    /// Evaluate against `db` with no overrides.
+    pub fn evaluate(&self, db: &Database) -> RelResult<Table> {
+        self.evaluate_with(db, &HashMap::new())
+    }
+
+    fn evaluate_fetch<'a, F>(&self, db: &Database, fetch: &F) -> RelResult<Table>
+    where
+        F: Fn(&str) -> RelResult<&'a Table>,
+    {
+        // Bindings: variable assignment plus derivation count.
+        let mut bindings: Vec<(HashMap<String, Value>, i64)> =
+            vec![(HashMap::new(), 1)];
+
+        for atom in &self.atoms {
+            let table = fetch(&atom.relation)?;
+            if table.schema().arity() != atom.terms.len() {
+                return Err(RelError::InvalidQuery(format!(
+                    "atom {}({}) has arity {} but relation has arity {}",
+                    atom.relation,
+                    atom.terms.len(),
+                    atom.terms.len(),
+                    table.schema().arity()
+                )));
+            }
+            bindings = if atom.negated {
+                Self::apply_negated_atom(atom, table, bindings)?
+            } else {
+                Self::apply_positive_atom(atom, table, bindings)
+            };
+            if bindings.is_empty() {
+                break;
+            }
+        }
+
+        // Filters.
+        for f in &self.filters {
+            bindings.retain(|(b, _)| Self::filter_holds(f, b));
+        }
+
+        // Project onto head variables.
+        let schema = self.output_schema(db);
+        let mut out = Table::new(self.name.clone(), schema);
+        for (b, c) in bindings {
+            let mut row = Vec::with_capacity(self.head_vars.len());
+            for hv in &self.head_vars {
+                match b.get(hv) {
+                    Some(v) => row.push(v.clone()),
+                    None => {
+                        return Err(RelError::InvalidQuery(format!(
+                            "head variable `{hv}` is not bound by the body of `{}`",
+                            self.name
+                        )))
+                    }
+                }
+            }
+            out.merge_unchecked(Tuple::new(row), c);
+        }
+        Ok(out)
+    }
+
+    fn filter_holds(f: &Filter, b: &HashMap<String, Value>) -> bool {
+        let get = |n: &str| b.get(n);
+        match f {
+            Filter::Ne(a, c) => match (get(a), get(c)) {
+                (Some(x), Some(y)) => x != y,
+                _ => false,
+            },
+            Filter::Eq(a, c) => match (get(a), get(c)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+            Filter::Lt(a, c) => match (get(a), get(c)) {
+                (Some(x), Some(y)) => x < y,
+                _ => false,
+            },
+        }
+    }
+
+    fn apply_positive_atom(
+        atom: &QueryAtom,
+        table: &Table,
+        bindings: Vec<(HashMap<String, Value>, i64)>,
+    ) -> Vec<(HashMap<String, Value>, i64)> {
+        // Positions whose value is determined by the current bindings/constants.
+        let mut out = Vec::new();
+        if bindings.is_empty() {
+            return out;
+        }
+        // Determine the "bound positions" w.r.t. the first binding — all bindings
+        // share the same bound-variable set because atoms are processed in order.
+        let sample = &bindings[0].0;
+        let bound_positions: Vec<usize> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => sample.contains_key(v),
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let index = table.index_on(&bound_positions);
+
+        for (binding, count) in bindings {
+            let key: Vec<Value> = bound_positions
+                .iter()
+                .map(|&i| match &atom.terms[i] {
+                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => binding[v].clone(),
+                })
+                .collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for tuple in matches {
+                let tuple_count = table.count(tuple);
+                // Unify the unbound positions.
+                let mut new_binding = binding.clone();
+                let mut ok = true;
+                for (i, term) in atom.terms.iter().enumerate() {
+                    if bound_positions.contains(&i) {
+                        continue;
+                    }
+                    match term {
+                        Term::Const(v) => {
+                            if tuple.get(i) != Some(v) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        Term::Var(v) => {
+                            let val = tuple.get(i).cloned().unwrap_or(Value::Null);
+                            match new_binding.get(v) {
+                                Some(existing) if existing != &val => {
+                                    ok = false;
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => {
+                                    new_binding.insert(v.clone(), val);
+                                }
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    out.push((new_binding, count * tuple_count));
+                }
+            }
+        }
+        out
+    }
+
+    fn apply_negated_atom(
+        atom: &QueryAtom,
+        table: &Table,
+        bindings: Vec<(HashMap<String, Value>, i64)>,
+    ) -> RelResult<Vec<(HashMap<String, Value>, i64)>> {
+        // All variables of a negated atom must already be bound (safe negation).
+        if let Some((sample, _)) = bindings.first() {
+            for v in atom.variables() {
+                if !sample.contains_key(v) {
+                    return Err(RelError::InvalidQuery(format!(
+                        "negated atom `{}` uses unbound variable `{v}`",
+                        atom.relation
+                    )));
+                }
+            }
+        }
+        Ok(bindings
+            .into_iter()
+            .filter(|(b, _)| {
+                let probe: Vec<Value> = atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => v.clone(),
+                        Term::Var(v) => b[v].clone(),
+                    })
+                    .collect();
+                !table.contains(&Tuple::new(probe))
+            })
+            .collect())
+    }
+
+    /// Compute the *delta* of this query caused by `deltas`, with `db` in its
+    /// **pre-update** state.
+    ///
+    /// The standard counting delta rule is used:
+    /// `ΔQ = Σ_i  body[..i] (new) ⋈ Δatom_i ⋈ body[i+1..] (old)`,
+    /// where insertions contribute positively and deletions negatively.  This
+    /// handles self-joins correctly because each atom *position* is differentiated
+    /// independently.
+    ///
+    /// Negated atoms over changed relations are not supported by the counting
+    /// delta rule; an error is returned in that case (the caller should fall back
+    /// to full recomputation).
+    pub fn delta_evaluate(
+        &self,
+        db: &Database,
+        deltas: &HashMap<String, DeltaRelation>,
+    ) -> RelResult<DeltaRelation> {
+        // Pre-materialize the "new" version of every changed relation.
+        let mut new_tables: HashMap<String, Table> = HashMap::new();
+        for (name, delta) in deltas {
+            if let Ok(base) = db.table(name) {
+                let mut t = base.clone();
+                delta.apply_to(&mut t);
+                new_tables.insert(name.clone(), t);
+            }
+        }
+
+        let mut result = DeltaRelation::new(self.name.clone());
+
+        for (i, atom) in self.atoms.iter().enumerate() {
+            let Some(delta) = deltas.get(&atom.relation) else {
+                continue;
+            };
+            if delta.is_empty() {
+                continue;
+            }
+            if atom.negated {
+                return Err(RelError::InvalidQuery(format!(
+                    "cannot incrementally maintain negated atom over changed relation `{}`",
+                    atom.relation
+                )));
+            }
+            let base = db.table(&atom.relation)?;
+
+            for (sign, part) in [
+                (1i64, delta.positive_table(base, &atom.relation)),
+                (-1i64, delta.negative_table(base, &atom.relation)),
+            ] {
+                if part.is_empty() {
+                    continue;
+                }
+                // Rename every atom to a unique per-position alias and bind each
+                // alias to the table version it should read: the delta part at
+                // position i, the post-update state before i, the pre-update
+                // state after i.
+                let mut q = self.clone();
+                let mut ov: HashMap<String, Table> = HashMap::new();
+                for (j, other) in self.atoms.iter().enumerate() {
+                    let alias = format!("__delta_pos_{j}__");
+                    q.atoms[j].relation = alias.clone();
+                    let tbl = if j == i {
+                        part.clone()
+                    } else if j < i {
+                        match new_tables.get(&other.relation) {
+                            Some(t) => t.clone(),
+                            None => db.table(&other.relation)?.clone(),
+                        }
+                    } else {
+                        db.table(&other.relation)?.clone()
+                    };
+                    ov.insert(alias, tbl);
+                }
+                let fetch = |name: &str| -> RelResult<&Table> {
+                    if let Some(t) = ov.get(name) {
+                        Ok(t)
+                    } else {
+                        db.table(name)
+                    }
+                };
+                let partial = q.evaluate_fetch_with_schema(db, &fetch, self)?;
+                for (t, c) in partial.iter_counted() {
+                    result.change(t.clone(), sign * c);
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    fn evaluate_fetch_with_schema<'a, F>(
+        &self,
+        db: &Database,
+        fetch: &F,
+        schema_source: &ConjunctiveQuery,
+    ) -> RelResult<Table>
+    where
+        F: Fn(&str) -> RelResult<&'a Table>,
+    {
+        let mut bindings: Vec<(HashMap<String, Value>, i64)> =
+            vec![(HashMap::new(), 1)];
+        for atom in &self.atoms {
+            let table = fetch(&atom.relation)?;
+            bindings = if atom.negated {
+                Self::apply_negated_atom(atom, table, bindings)?
+            } else {
+                Self::apply_positive_atom(atom, table, bindings)
+            };
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        for f in &self.filters {
+            bindings.retain(|(b, _)| Self::filter_holds(f, b));
+        }
+        let schema = schema_source.output_schema(db);
+        let mut out = Table::new(self.name.clone(), schema);
+        for (b, c) in bindings {
+            let mut row = Vec::with_capacity(self.head_vars.len());
+            for hv in &self.head_vars {
+                match b.get(hv) {
+                    Some(v) => row.push(v.clone()),
+                    None => {
+                        return Err(RelError::InvalidQuery(format!(
+                            "head variable `{hv}` is not bound by the body of `{}`",
+                            self.name
+                        )))
+                    }
+                }
+            }
+            out.merge_unchecked(Tuple::new(row), c);
+        }
+        Ok(out)
+    }
+}
+
+/// A materialized, incrementally maintainable view over a conjunctive query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaterializedView {
+    query: ConjunctiveQuery,
+    result: Table,
+    /// Number of incremental refreshes applied since the last full refresh.
+    incremental_refreshes: usize,
+}
+
+impl MaterializedView {
+    /// Materialize the view by full evaluation.
+    pub fn materialize(query: ConjunctiveQuery, db: &Database) -> RelResult<Self> {
+        let result = query.evaluate(db)?;
+        Ok(MaterializedView {
+            query,
+            result,
+            incremental_refreshes: 0,
+        })
+    }
+
+    /// The stored result.
+    pub fn result(&self) -> &Table {
+        &self.result
+    }
+
+    /// The defining query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Number of incremental refreshes applied since materialization.
+    pub fn incremental_refreshes(&self) -> usize {
+        self.incremental_refreshes
+    }
+
+    /// Fully re-evaluate the view (the "Rerun" path).
+    pub fn refresh_full(&mut self, db: &Database) -> RelResult<()> {
+        self.result = self.query.evaluate(db)?;
+        self.incremental_refreshes = 0;
+        Ok(())
+    }
+
+    /// Incrementally maintain the view given base-relation deltas, with `db` in
+    /// its **pre-update** state.  Returns the view delta that was applied, so the
+    /// caller can propagate it further (e.g. into factor-graph deltas).
+    pub fn refresh_incremental(
+        &mut self,
+        db: &Database,
+        deltas: &HashMap<String, DeltaRelation>,
+    ) -> RelResult<DeltaRelation> {
+        let view_delta = self.query.delta_evaluate(db, deltas)?;
+        view_delta.apply_to(&mut self.result);
+        self.incremental_refreshes += 1;
+        Ok(view_delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::tuple;
+
+    /// Build the running-example database: PersonCandidate(s, m), Sentence(s).
+    fn example_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "PersonCandidate",
+            Schema::of(&[("s", DataType::Int), ("m", DataType::Int)]),
+        )
+        .unwrap();
+        db.create_table("Sentence", Schema::of(&[("s", DataType::Int)]))
+            .unwrap();
+        db.create_table(
+            "EL",
+            Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+        )
+        .unwrap();
+        db.insert_all(
+            "PersonCandidate",
+            vec![tuple![1i64, 10i64], tuple![1i64, 11i64], tuple![2i64, 20i64]],
+        )
+        .unwrap();
+        db.insert_all("Sentence", vec![tuple![1i64], tuple![2i64]])
+            .unwrap();
+        db.insert_all(
+            "EL",
+            vec![tuple![10i64, "Barack_Obama_1"], tuple![11i64, "Michelle_Obama_1"]],
+        )
+        .unwrap();
+        db
+    }
+
+    /// R1: MarriedCandidate(m1, m2) :- PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.
+    fn married_candidate_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "MarriedCandidate",
+            vec!["m1".into(), "m2".into()],
+            vec![
+                QueryAtom::new("PersonCandidate", vec![Term::var("s"), Term::var("m1")]),
+                QueryAtom::new("PersonCandidate", vec![Term::var("s"), Term::var("m2")]),
+            ],
+        )
+        .with_filters(vec![Filter::Lt("m1".into(), "m2".into())])
+    }
+
+    #[test]
+    fn evaluate_self_join_with_filter() {
+        let db = example_db();
+        let q = married_candidate_query();
+        let out = q.evaluate(&db).unwrap();
+        // only sentence 1 has two person candidates
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![10i64, 11i64]));
+    }
+
+    #[test]
+    fn evaluate_with_constants_and_negation() {
+        let db = example_db();
+        // persons in sentence 1 that are NOT linked to an entity
+        let q = ConjunctiveQuery::new(
+            "Unlinked",
+            vec!["m".into()],
+            vec![
+                QueryAtom::new("PersonCandidate", vec![Term::val(1i64), Term::var("m")]),
+                QueryAtom::new("EL", vec![Term::var("m"), Term::var("e")]),
+            ],
+        );
+        let linked = q.evaluate(&db).unwrap();
+        assert_eq!(linked.len(), 2);
+
+        let q_neg = ConjunctiveQuery::new(
+            "NotInSentence1",
+            vec!["m".into()],
+            vec![
+                QueryAtom::new("PersonCandidate", vec![Term::var("s"), Term::var("m")]),
+                QueryAtom::new("PersonCandidate", vec![Term::val(1i64), Term::var("m")])
+                    .negated(),
+            ],
+        );
+        let out = q_neg.evaluate(&db).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![20i64]));
+    }
+
+    #[test]
+    fn unbound_head_variable_is_an_error() {
+        let db = example_db();
+        let q = ConjunctiveQuery::new(
+            "Bad",
+            vec!["zzz".into()],
+            vec![QueryAtom::new(
+                "Sentence",
+                vec![Term::var("s")],
+            )],
+        );
+        assert!(matches!(q.evaluate(&db), Err(RelError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn negation_with_unbound_variable_is_an_error() {
+        let db = example_db();
+        let q = ConjunctiveQuery::new(
+            "Bad",
+            vec!["s".into()],
+            vec![
+                QueryAtom::new("Sentence", vec![Term::var("s")]),
+                QueryAtom::new("PersonCandidate", vec![Term::var("s2"), Term::var("m")])
+                    .negated(),
+            ],
+        );
+        assert!(matches!(q.evaluate(&db), Err(RelError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn counts_reflect_number_of_derivations() {
+        let db = example_db();
+        // project persons per sentence onto sentence id: sentence 1 has 2 derivations
+        let q = ConjunctiveQuery::new(
+            "SentencesWithPeople",
+            vec!["s".into()],
+            vec![QueryAtom::new(
+                "PersonCandidate",
+                vec![Term::var("s"), Term::var("m")],
+            )],
+        );
+        let out = q.evaluate(&db).unwrap();
+        assert_eq!(out.count(&tuple![1i64]), 2);
+        assert_eq!(out.count(&tuple![2i64]), 1);
+    }
+
+    #[test]
+    fn incremental_insert_matches_full_recompute() {
+        let mut db = example_db();
+        let q = married_candidate_query();
+        let mut view = MaterializedView::materialize(q.clone(), &db).unwrap();
+
+        // Insert a new person candidate into sentence 2, creating a new pair.
+        let mut delta = DeltaRelation::new("PersonCandidate");
+        delta.insert(tuple![2i64, 21i64]);
+        let mut deltas = HashMap::new();
+        deltas.insert("PersonCandidate".to_string(), delta.clone());
+
+        let view_delta = view.refresh_incremental(&db, &deltas).unwrap();
+        assert!(!view_delta.is_empty());
+
+        // Apply the base delta and compare with full recomputation.
+        delta.apply_to(db.table_mut("PersonCandidate").unwrap());
+        let full = q.evaluate(&db).unwrap();
+        assert_eq!(view.result().sorted_tuples(), full.sorted_tuples());
+        assert!(view.result().contains(&tuple![20i64, 21i64]));
+    }
+
+    #[test]
+    fn incremental_delete_matches_full_recompute() {
+        let mut db = example_db();
+        let q = married_candidate_query();
+        let mut view = MaterializedView::materialize(q.clone(), &db).unwrap();
+        assert_eq!(view.result().len(), 1);
+
+        let mut delta = DeltaRelation::new("PersonCandidate");
+        delta.delete(tuple![1i64, 11i64]);
+        let mut deltas = HashMap::new();
+        deltas.insert("PersonCandidate".to_string(), delta.clone());
+
+        view.refresh_incremental(&db, &deltas).unwrap();
+        delta.apply_to(db.table_mut("PersonCandidate").unwrap());
+        let full = q.evaluate(&db).unwrap();
+        assert_eq!(view.result().sorted_tuples(), full.sorted_tuples());
+        assert!(view.result().is_empty());
+    }
+
+    #[test]
+    fn incremental_update_of_two_relations() {
+        // EL join: MarriedMentions_Ev(m1, m2) :- MarriedCandidate-like join over EL.
+        let mut db = example_db();
+        let q = ConjunctiveQuery::new(
+            "Linked",
+            vec!["m".into(), "e".into()],
+            vec![
+                QueryAtom::new("PersonCandidate", vec![Term::var("s"), Term::var("m")]),
+                QueryAtom::new("EL", vec![Term::var("m"), Term::var("e")]),
+            ],
+        );
+        let mut view = MaterializedView::materialize(q.clone(), &db).unwrap();
+
+        let mut d_pc = DeltaRelation::new("PersonCandidate");
+        d_pc.insert(tuple![2i64, 21i64]);
+        let mut d_el = DeltaRelation::new("EL");
+        d_el.insert(tuple![21i64, "New_Person_1"]);
+        d_el.delete(tuple![11i64, "Michelle_Obama_1"]);
+
+        let mut deltas = HashMap::new();
+        deltas.insert("PersonCandidate".to_string(), d_pc.clone());
+        deltas.insert("EL".to_string(), d_el.clone());
+
+        view.refresh_incremental(&db, &deltas).unwrap();
+
+        d_pc.apply_to(db.table_mut("PersonCandidate").unwrap());
+        d_el.apply_to(db.table_mut("EL").unwrap());
+        let full = q.evaluate(&db).unwrap();
+        assert_eq!(view.result().sorted_tuples(), full.sorted_tuples());
+        assert_eq!(view.incremental_refreshes(), 1);
+    }
+
+    #[test]
+    fn delta_over_negated_atom_is_rejected() {
+        let db = example_db();
+        // Negation must be safe (all variables bound), so probe a specific entity.
+        let q = ConjunctiveQuery::new(
+            "NotLinked",
+            vec!["m".into()],
+            vec![
+                QueryAtom::new("PersonCandidate", vec![Term::var("s"), Term::var("m")]),
+                QueryAtom::new("EL", vec![Term::var("m"), Term::val("Barack_Obama_1")])
+                    .negated(),
+            ],
+        );
+        let _ = q.evaluate(&db).unwrap();
+        let mut deltas = HashMap::new();
+        let mut d = DeltaRelation::new("EL");
+        d.insert(tuple![20i64, "X"]);
+        deltas.insert("EL".to_string(), d);
+        assert!(q.delta_evaluate(&db, &deltas).is_err());
+        drop(q);
+    }
+
+    #[test]
+    fn full_refresh_resets_counter() {
+        let db = example_db();
+        let q = married_candidate_query();
+        let mut view = MaterializedView::materialize(q, &db).unwrap();
+        let mut deltas = HashMap::new();
+        deltas.insert("PersonCandidate".to_string(), {
+            let mut d = DeltaRelation::new("PersonCandidate");
+            d.insert(tuple![3i64, 30i64]);
+            d
+        });
+        view.refresh_incremental(&db, &deltas).unwrap();
+        assert_eq!(view.incremental_refreshes(), 1);
+        view.refresh_full(&db).unwrap();
+        assert_eq!(view.incremental_refreshes(), 0);
+    }
+}

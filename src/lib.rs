@@ -1,0 +1,46 @@
+//! # deepdive-repro — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *Incremental Knowledge Base Construction
+//! Using DeepDive* (Shin et al., VLDB 2015).  This umbrella crate re-exports the
+//! workspace's public API so examples, integration tests, and downstream users
+//! can depend on a single crate:
+//!
+//! * [`relstore`] — the in-memory relational substrate with DRed view maintenance;
+//! * [`factorgraph`] — factor graphs with Linear/Ratio/Logical rule semantics;
+//! * [`inference`] — Gibbs sampling, learning, and the three incremental-inference
+//!   materialization strategies;
+//! * [`grounding`] — the DeepDive rule language, grounding, and incremental
+//!   grounding;
+//! * [`engine`] — the end-to-end engine (Rerun vs Incremental execution);
+//! * [`workloads`] — synthetic corpora, the five KBC systems, the Voting program,
+//!   and the tradeoff-study graphs.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the paper-to-module map.
+
+pub use dd_factorgraph as factorgraph;
+pub use dd_grounding as grounding;
+pub use dd_inference as inference;
+pub use dd_relstore as relstore;
+pub use dd_workloads as workloads;
+pub use deepdive as engine;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dd_factorgraph::{Factor, FactorGraph, FactorGraphBuilder, GraphDelta, Semantics};
+    pub use dd_grounding::{parse_program, standard_udfs, Grounder, KbcUpdate, Program};
+    pub use dd_inference::{GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals};
+    pub use dd_relstore::{Database, DataType, Schema, Tuple, Value};
+    pub use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
+    pub use deepdive::{DeepDive, EngineConfig, ExecutionMode, StrategyChoice};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let config = EngineConfig::fast();
+        assert!(config.fact_threshold > 0.0);
+        let _ = Semantics::Ratio;
+    }
+}
