@@ -1,0 +1,184 @@
+//! Gibbs sweep throughput benchmark, emitting a machine-readable trajectory.
+//!
+//! Measures sweeps/second of the inference hot path on the two workloads the
+//! paper's headline figures are bottlenecked on — the fig9 end-to-end News
+//! system graph and a fig5-style synthetic pairwise graph — and writes
+//! `BENCH_sweeps.json` in the `[{name, unit, value}]` schema
+//! (github-action-benchmark style) so future PRs can track the trajectory.
+//!
+//! Three implementations are timed per workload:
+//!
+//! * `legacy`   — the pre-compilation hot path: jagged adjacency on
+//!   [`FactorGraph`], two `local_energy` passes per resample, weight-table
+//!   indirection (kept in-tree as the build/delta representation);
+//! * `flat`     — [`GibbsSampler`] on the compiled [`FlatGraph`] (CSR,
+//!   literal arenas, pre-resolved weights, single-pass energy deltas);
+//! * `parallel` — hogwild [`ParallelGibbs`] on the same flat path.
+//!
+//! Usage: `cargo run --release -p dd-bench --bin bench_sweeps [output.json]`
+
+use dd_bench::secs;
+use dd_factorgraph::{FactorGraph, FlatGraph};
+use dd_grounding::standard_udfs;
+use dd_inference::{sigmoid, GibbsSampler, ParallelGibbs, SweepRng};
+use dd_workloads::{pairwise_graph, KbcSystem, RuleTemplate, SyntheticConfig, SystemKind};
+use deepdive::{DeepDive, EngineConfig, ExecutionMode};
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Entry {
+    name: String,
+    unit: &'static str,
+    value: f64,
+}
+
+/// One sweep of the pre-compilation implementation (the seed hot path,
+/// verbatim): two-pass energy delta on the jagged graph, mutating the world.
+fn legacy_sweep(
+    graph: &FactorGraph,
+    free_vars: &[usize],
+    world: &mut dd_factorgraph::World,
+    rng: &mut SweepRng,
+) {
+    for &v in free_vars {
+        let delta = graph.energy_delta(v, world);
+        let p_true = sigmoid(delta);
+        let value = rng.gen::<f64>() < p_true;
+        world.set(v, value);
+    }
+}
+
+/// Time `sweeps` legacy sweeps, returning sweeps/second.
+fn bench_legacy(graph: &FactorGraph, sweeps: usize, seed: u64) -> f64 {
+    let free_vars = graph.query_variables();
+    let mut world = graph.initial_world();
+    let mut rng = SweepRng::seed_from_u64(seed);
+    // Warm up one sweep outside the timed region.
+    legacy_sweep(graph, &free_vars, &mut world, &mut rng);
+    let start = Instant::now();
+    for _ in 0..sweeps {
+        legacy_sweep(graph, &free_vars, &mut world, &mut rng);
+    }
+    sweeps as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Time `sweeps` compiled-representation sweeps, returning sweeps/second.
+fn bench_flat(flat: &FlatGraph, sweeps: usize, seed: u64) -> f64 {
+    let mut sampler = GibbsSampler::from_flat(flat, seed);
+    sampler.sweep();
+    let start = Instant::now();
+    for _ in 0..sweeps {
+        sampler.sweep();
+    }
+    sweeps as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Time `sweeps` hogwild sweeps, returning sweeps/second.
+fn bench_parallel(flat: &FlatGraph, sweeps: usize, seed: u64) -> f64 {
+    let mut sampler = ParallelGibbs::from_flat(flat.clone(), seed);
+    sampler.sweep(0);
+    let start = Instant::now();
+    for s in 0..sweeps {
+        sampler.sweep(s + 1);
+    }
+    sweeps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_workload(
+    label: &str,
+    graph: &FactorGraph,
+    sweeps: usize,
+    entries: &mut Vec<Entry>,
+) {
+    let stats = graph.stats();
+    println!(
+        "\n{label}: {} variables ({} query), {} factors, avg degree {:.2}",
+        stats.num_variables, stats.num_query_variables, stats.num_factors, stats.avg_degree
+    );
+
+    let compile_start = Instant::now();
+    let flat = graph.compile();
+    let compile_secs = compile_start.elapsed().as_secs_f64();
+
+    let legacy = bench_legacy(graph, sweeps, 7);
+    let flat_rate = bench_flat(&flat, sweeps, 7);
+    let parallel = bench_parallel(&flat, sweeps, 7);
+    let speedup = flat_rate / legacy;
+    let parallel_speedup = parallel / legacy;
+
+    println!("  compile:  {}", secs(compile_secs));
+    println!("  legacy:   {legacy:>12.1} sweeps/s");
+    println!("  flat:     {flat_rate:>12.1} sweeps/s  ({speedup:.2}x legacy)");
+    println!("  parallel: {parallel:>12.1} sweeps/s  ({parallel_speedup:.2}x legacy)");
+
+    for (kind, value, unit) in [
+        ("legacy_sequential", legacy, "sweeps/s"),
+        ("flat_sequential", flat_rate, "sweeps/s"),
+        ("flat_parallel", parallel, "sweeps/s"),
+        ("flat_vs_legacy_speedup", speedup, "x"),
+        ("compile_seconds", compile_secs, "s"),
+    ] {
+        entries.push(Entry {
+            name: format!("{label}/{kind}"),
+            unit,
+            value,
+        });
+    }
+}
+
+/// The fig9 end-to-end workload graph: the News KBC system brought to the
+/// state just before the FE2 iteration, exactly like the fig9 bench.
+fn fig9_graph() -> FactorGraph {
+    let system = KbcSystem::generate(SystemKind::News, 0.3, 11);
+    let mut engine = DeepDive::new(
+        system.program.clone(),
+        system.corpus.database.clone(),
+        standard_udfs(),
+        EngineConfig::fast(),
+    )
+    .expect("engine builds");
+    engine
+        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .expect("FE1 applies");
+    engine
+        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+        .expect("S1 applies");
+    engine.graph().clone()
+}
+
+/// A fig5-style synthetic pairwise graph (the tradeoff-study shape).
+fn fig5_graph() -> FactorGraph {
+    pairwise_graph(&SyntheticConfig {
+        num_variables: 4000,
+        sparsity: 0.8,
+        factors_per_variable: 6,
+        seed: 5,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweeps.json".to_string());
+
+    let mut entries = Vec::new();
+    bench_workload("fig9_news_end_to_end", &fig9_graph(), 300, &mut entries);
+    bench_workload("fig5_synthetic_pairwise", &fig5_graph(), 100, &mut entries);
+
+    let mut json = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  {{\"name\": \"{}\", \"unit\": \"{}\", \"value\": {:.6}}}{}\n",
+            e.name,
+            e.unit,
+            e.value,
+            if i + 1 == entries.len() { "" } else { "," }
+        );
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("\nwrote {} entries to {out_path}", entries.len());
+}

@@ -46,10 +46,11 @@ impl EngineConfig {
     /// epochs.  Experiments use [`EngineConfig::default`] or their own settings.
     pub fn fast() -> Self {
         EngineConfig {
-            gibbs: GibbsOptions::new(120, 30, 7),
+            gibbs: GibbsOptions::new(240, 40, 7),
             learn: LearnOptions {
-                epochs: 8,
-                sweeps_per_epoch: 2,
+                epochs: 12,
+                sweeps_per_epoch: 4,
+                learning_rate: 0.2,
                 ..Default::default()
             },
             materialization_samples: 400,

@@ -414,6 +414,10 @@ impl DeepDive {
 
     // ---------------------------------------------------------------- helpers
 
+    /// Full Gibbs over the current graph.  The sampler compiles the graph into
+    /// its [`dd_factorgraph::FlatGraph`] hot representation internally; every
+    /// engine execution (grounding or learning) changes the graph before the
+    /// next inference, so there is nothing to cache across calls.
     fn full_gibbs(&self) -> Marginals {
         let options = GibbsOptions {
             seed: self.config.seed,

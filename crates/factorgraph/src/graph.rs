@@ -24,13 +24,23 @@ pub struct GraphStats {
 }
 
 /// A factor graph `(V, F, w)` (paper §2.5).
+///
+/// This is the *mutable build/delta* representation: grounding appends to it
+/// and learning rewrites its weights.  Samplers run on the compiled
+/// [`crate::FlatGraph`] produced by [`FactorGraph::compile`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FactorGraph {
     variables: Vec<Variable>,
     factors: Vec<Factor>,
     weights: Vec<Weight>,
-    /// CSR-style adjacency: `adjacency[v]` lists the factors touching variable v.
+    /// Jagged adjacency: `adjacency[v]` lists the factors touching variable v.
+    /// (The samplers use the true-CSR copy inside [`crate::FlatGraph`].)
     adjacency: Vec<Vec<FactorId>>,
+    /// `(relation, key) → variable` index maintained by
+    /// [`FactorGraph::add_variable`]; on duplicate origins the first variable
+    /// wins, matching the scan order [`FactorGraph::find_variable`] used to
+    /// have.
+    var_index: HashMap<(String, u64), VarId>,
 }
 
 impl FactorGraph {
@@ -59,6 +69,9 @@ impl FactorGraph {
     pub fn add_variable(&mut self, mut var: Variable) -> VarId {
         let id = self.variables.len();
         var.id = id;
+        self.var_index
+            .entry((var.relation.clone(), var.key))
+            .or_insert(id);
         self.variables.push(var);
         self.adjacency.push(Vec::new());
         id
@@ -81,16 +94,19 @@ impl FactorGraph {
             factor.weight_id
         );
         let id = self.factors.len();
-        let mut seen = Vec::new();
-        for v in factor.variables() {
+        let mut vars = factor.variables();
+        for &v in &vars {
             assert!(
                 v < self.variables.len(),
                 "factor references unknown variable {v}"
             );
-            if !seen.contains(&v) {
-                self.adjacency[v].push(id);
-                seen.push(v);
-            }
+        }
+        // Sort + dedup instead of a quadratic `seen.contains` scan; aggregate
+        // factors can mention hundreds of variables.
+        vars.sort_unstable();
+        vars.dedup();
+        for v in vars {
+            self.adjacency[v].push(id);
         }
         self.factors.push(factor);
         id
@@ -174,11 +190,7 @@ impl FactorGraph {
 
     /// Look up a variable id by its `(relation, key)` origin.
     pub fn find_variable(&self, relation: &str, key: u64) -> Option<VarId> {
-        // Linear scan is fine for tests; grounding keeps its own map for bulk use.
-        self.variables
-            .iter()
-            .find(|v| v.key == key && v.relation == relation)
-            .map(|v| v.id)
+        self.var_index.get(&(relation.to_string(), key)).copied()
     }
 
     // ---------------------------------------------------------------- energies

@@ -16,11 +16,15 @@
 //! * the [`FactorGraph`] itself with a variable→factor adjacency index, world
 //!   evaluation, per-variable energy deltas (the quantity Gibbs sampling needs),
 //!   and graph statistics;
+//! * [`FlatGraph`] — the compiled, read-only representation the samplers run
+//!   on: CSR adjacency, flat literal arenas, pre-resolved weight values, and
+//!   single-pass energy deltas (see the [`flat`] module docs);
 //! * [`GraphDelta`] — the (ΔV, ΔF) object produced by incremental grounding and
 //!   consumed by incremental inference (paper §3.2).
 
 pub mod delta;
 pub mod factor;
+pub mod flat;
 pub mod graph;
 pub mod semantics;
 pub mod variable;
@@ -29,6 +33,7 @@ pub mod world;
 
 pub use delta::{DeltaFactor, EvidenceChange, GraphDelta, NewVarRef, NewWeightRef, WeightChange};
 pub use factor::{Factor, FactorId, FactorKind, Lit};
+pub use flat::FlatGraph;
 pub use graph::{FactorGraph, FactorGraphBuilder, GraphStats};
 pub use semantics::Semantics;
 pub use variable::{VarId, Variable, VariableRole};

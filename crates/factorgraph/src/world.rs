@@ -13,89 +13,140 @@ pub trait WorldView {
     fn value(&self, v: VarId) -> bool;
 }
 
-/// A dense possible world: one bool per variable.
+/// A bit-packed possible world: one bit per variable, stored in `u64` words.
 ///
 /// Paper §2.4: "An assignment to each of the query variables yields a possible
 /// world I that must contain all positive evidence variables … and must not
 /// contain any negatives."  Evidence handling is done by the samplers, which
 /// never flip evidence variables; `World` itself is just the assignment vector.
+///
+/// The packed layout is the same "1 bit per variable" representation the
+/// sampling materialization stores (§3.2.2), which makes `count_true` and
+/// `hamming_distance` single popcount passes and lets `to_bitvec` be a
+/// reinterpretation instead of a conversion.
+///
+/// Invariant: bits at positions `>= len` are always zero, so derived equality
+/// and hashing over `words` are exact.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct World {
-    values: Vec<bool>,
+    words: Vec<u64>,
+    len: usize,
 }
 
 impl World {
     /// A world with all variables false.
     pub fn all_false(num_vars: usize) -> Self {
         World {
-            values: vec![false; num_vars],
+            words: vec![0u64; num_vars.div_ceil(64)],
+            len: num_vars,
         }
     }
 
     /// A world from an explicit assignment vector.
     pub fn from_values(values: Vec<bool>) -> Self {
-        World { values }
+        let mut world = World::all_false(values.len());
+        for (i, &b) in values.iter().enumerate() {
+            if b {
+                world.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        world
+    }
+
+    /// A world from raw words (e.g. a snapshot of the parallel sampler's atomic
+    /// assignment).  Trailing bits beyond `num_vars` are cleared.
+    pub fn from_words(mut words: Vec<u64>, num_vars: usize) -> Self {
+        words.resize(num_vars.div_ceil(64), 0);
+        let mut world = World {
+            words,
+            len: num_vars,
+        };
+        world.mask_tail();
+        world
+    }
+
+    /// The underlying 64-variable words (low bit of word 0 is variable 0).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of variables.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.len
     }
 
     /// True if the world has no variables.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len == 0
     }
 
     /// Set the value of a variable.
+    #[inline]
     pub fn set(&mut self, v: VarId, value: bool) {
-        self.values[v] = value;
+        assert!(v < self.len, "variable {v} out of bounds ({})", self.len);
+        let bit = 1u64 << (v % 64);
+        if value {
+            self.words[v / 64] |= bit;
+        } else {
+            self.words[v / 64] &= !bit;
+        }
     }
 
     /// Flip a variable, returning the new value.
+    #[inline]
     pub fn flip(&mut self, v: VarId) -> bool {
-        self.values[v] = !self.values[v];
-        self.values[v]
+        assert!(v < self.len, "variable {v} out of bounds ({})", self.len);
+        let bit = 1u64 << (v % 64);
+        self.words[v / 64] ^= bit;
+        self.words[v / 64] & bit != 0
     }
 
-    /// Underlying slice.
-    pub fn values(&self) -> &[bool] {
-        &self.values
+    /// The assignment as a dense vector (boundary/interop use only; the hot
+    /// paths stay on the packed words).
+    pub fn to_vec(&self) -> Vec<bool> {
+        (0..self.len).map(|v| self.value(v)).collect()
     }
 
-    /// Number of true variables.
+    /// Iterate the truth values in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |v| self.value(v))
+    }
+
+    /// Number of true variables (popcount over the words).
     pub fn count_true(&self) -> usize {
-        self.values.iter().filter(|&&b| b).count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Hamming distance to another world of the same length.
+    /// Hamming distance to another world of the same length (xor + popcount).
     pub fn hamming_distance(&self, other: &World) -> usize {
-        self.values
+        debug_assert_eq!(self.len, other.len);
+        self.words
             .iter()
-            .zip(other.values.iter())
-            .filter(|(a, b)| a != b)
-            .count()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
     }
 
     /// Pack the world into bytes (8 variables per byte), the "1 bit per variable"
     /// tuple-bundle storage of the sampling materialization approach (§3.2.2).
     pub fn to_bitvec(&self) -> Vec<u8> {
-        let mut out = vec![0u8; self.values.len().div_ceil(8)];
-        for (i, &b) in self.values.iter().enumerate() {
-            if b {
-                out[i / 8] |= 1 << (i % 8);
-            }
-        }
-        out
+        self.words
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .take(self.len.div_ceil(8))
+            .collect()
     }
 
     /// Unpack a bit-packed world.
     pub fn from_bitvec(bits: &[u8], num_vars: usize) -> Self {
-        let mut values = vec![false; num_vars];
-        for (i, v) in values.iter_mut().enumerate() {
-            *v = (bits[i / 8] >> (i % 8)) & 1 == 1;
+        let mut world = World::all_false(num_vars);
+        for (i, &byte) in bits.iter().enumerate() {
+            if byte != 0 {
+                world.words[i / 8] |= (byte as u64) << ((i % 8) * 8);
+            }
         }
-        World { values }
+        world.mask_tail();
+        world
     }
 
     /// Enumerate every possible world over `num_vars` variables (2^n of them).
@@ -106,15 +157,24 @@ impl World {
             num_vars < usize::BITS as usize,
             "cannot enumerate worlds over {num_vars} variables"
         );
-        (0..(1usize << num_vars)).map(move |mask| {
-            World::from_values((0..num_vars).map(|i| (mask >> i) & 1 == 1).collect())
-        })
+        (0..(1usize << num_vars)).map(move |mask| World::from_words(vec![mask as u64], num_vars))
+    }
+
+    /// Clear any bits at positions `>= len` to preserve the Eq/Hash invariant.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
     }
 }
 
 impl WorldView for World {
+    #[inline]
     fn value(&self, v: VarId) -> bool {
-        self.values[v]
+        self.words[v / 64] >> (v % 64) & 1 == 1
     }
 }
 
@@ -169,7 +229,7 @@ mod tests {
         let worlds: Vec<World> = World::enumerate(3).collect();
         assert_eq!(worlds.len(), 8);
         let distinct: std::collections::HashSet<Vec<bool>> =
-            worlds.iter().map(|w| w.values().to_vec()).collect();
+            worlds.iter().map(|w| w.to_vec()).collect();
         assert_eq!(distinct.len(), 8);
     }
 
@@ -178,5 +238,36 @@ mod tests {
         let v = vec![false, true];
         assert!(!WorldView::value(&v, 0));
         assert!(WorldView::value(&v, 1));
+    }
+
+    #[test]
+    fn words_round_trip_across_boundaries() {
+        // 130 variables spans three words; pattern straddles word edges.
+        let values: Vec<bool> = (0..130).map(|i| i % 7 == 0 || i == 63 || i == 64).collect();
+        let w = World::from_values(values.clone());
+        assert_eq!(w.to_vec(), values);
+        let back = World::from_words(w.as_words().to_vec(), 130);
+        assert_eq!(back, w);
+        assert_eq!(w.count_true(), values.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn from_words_masks_tail_bits() {
+        // Give a word with garbage above bit 2; equality must ignore it.
+        let w = World::from_words(vec![0b1111_1111], 3);
+        assert_eq!(w.count_true(), 3);
+        assert_eq!(w, World::from_values(vec![true, true, true]));
+    }
+
+    #[test]
+    fn eq_is_content_based_across_representations() {
+        let a = World::from_values(vec![true, false, true, false, true]);
+        let mut b = World::all_false(5);
+        b.set(0, true);
+        b.set(2, true);
+        b.set(4, true);
+        assert_eq!(a, b);
+        b.flip(1);
+        assert_ne!(a, b);
     }
 }

@@ -6,12 +6,21 @@
 //! probability `P(v = 1 | rest) = σ(ΔE_v)` where `ΔE_v` is the energy difference
 //! between the worlds with `v` set true and false (all other variables held), and
 //! resamples `v` from that Bernoulli.
+//!
+//! The sweep runs on the compiled [`FlatGraph`] representation (CSR adjacency,
+//! pre-resolved weights, single-pass energy deltas — see `dd_factorgraph::flat`),
+//! not on the pointer-rich build-side [`FactorGraph`].
 
 use crate::marginals::Marginals;
-use dd_factorgraph::{FactorGraph, VarId, World, WorldView};
-use rand::rngs::StdRng;
+use dd_factorgraph::{FactorGraph, FlatGraph, VarId, World, WorldView};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+
+/// The RNG driving sampler sweeps.  A type alias so the generator can be
+/// swapped in one place; sweeps are throughput-bound on RNG draws, so this
+/// points at the fast small-state generator rather than `StdRng`.
+pub type SweepRng = rand::rngs::SmallRng;
 
 /// Options controlling a Gibbs run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -89,14 +98,17 @@ impl SampleSet {
         self.bundles.iter().map(|b| b.len()).sum()
     }
 
-    /// Empirical marginals of the stored samples.
+    /// Empirical marginals of the stored samples, accumulated straight off the
+    /// packed bits (no per-sample `World` is ever materialized).
     pub fn marginals(&self) -> Marginals {
         let mut counts = vec![0usize; self.num_vars];
-        for b in &self.bundles {
-            let w = World::from_bitvec(b, self.num_vars);
-            for (v, c) in counts.iter_mut().enumerate() {
-                if w.value(v) {
-                    *c += 1;
+        for bundle in &self.bundles {
+            for (byte_index, &byte) in bundle.iter().enumerate() {
+                let mut bits = byte;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    counts[byte_index * 8 + bit] += 1;
+                    bits &= bits - 1;
                 }
             }
         }
@@ -105,10 +117,14 @@ impl SampleSet {
     }
 }
 
-/// A sequential Gibbs sampler bound to a factor graph.
+/// A sequential Gibbs sampler bound to a compiled factor graph.
+///
+/// Construct it from a [`FactorGraph`] (compiling on the spot) or, when the
+/// caller already holds a compiled graph — the learning loop, the MH
+/// proposal-extension path — borrow one with [`GibbsSampler::from_flat`].
 pub struct GibbsSampler<'g> {
-    graph: &'g FactorGraph,
-    rng: StdRng,
+    flat: Cow<'g, FlatGraph>,
+    rng: SweepRng,
     world: World,
     /// Query variables, the only ones resampled.
     free_vars: Vec<VarId>,
@@ -116,25 +132,35 @@ pub struct GibbsSampler<'g> {
 
 impl<'g> GibbsSampler<'g> {
     /// Create a sampler whose free variables are the graph's query variables and
-    /// whose starting world is the graph's initial world.
+    /// whose starting world is the graph's initial world.  Compiles `graph`;
+    /// use [`GibbsSampler::from_flat`] to reuse an existing compilation.
     pub fn new(graph: &'g FactorGraph, seed: u64) -> Self {
-        let free_vars = graph.query_variables();
-        GibbsSampler {
-            graph,
-            rng: StdRng::seed_from_u64(seed),
-            world: graph.initial_world(),
-            free_vars,
-        }
+        Self::from_owned_flat(graph.compile(), seed)
     }
 
     /// Create a sampler that resamples *every* variable, ignoring evidence — the
     /// "free" chain needed by the gradient estimator of weight learning.
     pub fn new_unclamped(graph: &'g FactorGraph, seed: u64) -> Self {
+        let num_vars = graph.num_variables();
+        Self::from_owned_flat(graph.compile(), seed).with_free_vars((0..num_vars).collect())
+    }
+
+    /// Create a sampler borrowing an already-compiled graph.
+    pub fn from_flat(flat: &'g FlatGraph, seed: u64) -> Self {
         GibbsSampler {
-            graph,
-            rng: StdRng::seed_from_u64(seed),
-            world: graph.initial_world(),
-            free_vars: (0..graph.num_variables()).collect(),
+            rng: SweepRng::seed_from_u64(seed),
+            world: flat.initial_world(),
+            free_vars: flat.query_variables().to_vec(),
+            flat: Cow::Borrowed(flat),
+        }
+    }
+
+    fn from_owned_flat(flat: FlatGraph, seed: u64) -> Self {
+        GibbsSampler {
+            rng: SweepRng::seed_from_u64(seed),
+            world: flat.initial_world(),
+            free_vars: flat.query_variables().to_vec(),
+            flat: Cow::Owned(flat),
         }
     }
 
@@ -147,7 +173,7 @@ impl<'g> GibbsSampler<'g> {
 
     /// Replace the current world (e.g. to continue from a stored sample).
     pub fn set_world(&mut self, world: World) {
-        assert_eq!(world.len(), self.graph.num_variables());
+        assert_eq!(world.len(), self.flat.num_variables());
         self.world = world;
     }
 
@@ -161,12 +187,17 @@ impl<'g> GibbsSampler<'g> {
         &self.free_vars
     }
 
+    /// The compiled graph this sampler runs on.
+    pub fn flat(&self) -> &FlatGraph {
+        &self.flat
+    }
+
     /// Perform one full sweep (resample every free variable once).
     pub fn sweep(&mut self) {
-        for i in 0..self.free_vars.len() {
-            let v = self.free_vars[i];
-            let delta = self.graph.energy_delta(v, &mut self.world);
-            let p_true = sigmoid(delta);
+        for &v in &self.free_vars {
+            // Constant-folded conditional where possible; otherwise a single
+            // traversal of v's incident factors, with no world mutation.
+            let p_true = self.flat.conditional_p_true(v, &self.world);
             let value = self.rng.gen::<f64>() < p_true;
             self.world.set(v, value);
         }
@@ -175,27 +206,31 @@ impl<'g> GibbsSampler<'g> {
     /// Run `options.sweeps` sweeps after `options.burn_in` and return the
     /// marginal estimate for every variable (evidence variables get 0/1).
     pub fn run(&mut self, options: &GibbsOptions) -> Marginals {
-        self.rng = StdRng::seed_from_u64(options.seed);
+        self.rng = SweepRng::seed_from_u64(options.seed);
         for _ in 0..options.burn_in {
             self.sweep();
         }
-        let n = self.graph.num_variables();
-        let mut counts = vec![0usize; n];
+        // Only free variables can change between sweeps, so only they are
+        // counted per sweep; everything else is filled in once at the end.
+        let mut counts = vec![0usize; self.free_vars.len()];
         let sweeps = options.sweeps.max(1);
         for _ in 0..sweeps {
             self.sweep();
-            for (v, c) in counts.iter_mut().enumerate() {
+            for (i, &v) in self.free_vars.iter().enumerate() {
                 if self.world.value(v) {
-                    *c += 1;
+                    counts[i] += 1;
                 }
             }
         }
-        Marginals::from_values(
-            counts
-                .into_iter()
-                .map(|c| c as f64 / sweeps as f64)
-                .collect(),
-        )
+        let mut values: Vec<f64> = self
+            .world
+            .iter()
+            .map(|b| if b { 1.0 } else { 0.0 })
+            .collect();
+        for (i, &v) in self.free_vars.iter().enumerate() {
+            values[v] = counts[i] as f64 / sweeps as f64;
+        }
+        Marginals::from_values(values)
     }
 
     /// Draw `n` samples (one per sweep, after burn-in) into a [`SampleSet`] —
@@ -204,7 +239,7 @@ impl<'g> GibbsSampler<'g> {
         for _ in 0..burn_in {
             self.sweep();
         }
-        let mut set = SampleSet::new(self.graph.num_variables());
+        let mut set = SampleSet::new(self.flat.num_variables());
         for _ in 0..n {
             self.sweep();
             set.push(&self.world);
@@ -216,13 +251,11 @@ impl<'g> GibbsSampler<'g> {
     /// every weight: `E[Σ_{f: weight(f)=k} φ_f(I)]` for each weight `k`.  This is
     /// the sufficient statistic needed by the learning gradient.
     pub fn expected_feature_counts(&mut self, sweeps: usize) -> Vec<f64> {
-        let mut totals = vec![0.0; self.graph.num_weights()];
+        let mut totals = vec![0.0; self.flat.num_weights()];
         let sweeps = sweeps.max(1);
         for _ in 0..sweeps {
             self.sweep();
-            for f in self.graph.factors() {
-                totals[f.weight_id] += f.feature_value(&self.world);
-            }
+            self.flat.accumulate_feature_counts(&self.world, &mut totals);
         }
         for t in &mut totals {
             *t /= sweeps as f64;
@@ -328,6 +361,18 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_and_owned_compilations_agree_exactly() {
+        // Determinism across representations: a sampler compiled on the spot
+        // and one borrowing a pre-compiled FlatGraph must walk the same chain.
+        let g = pair_graph(0.3, 0.9);
+        let flat = g.compile();
+        let opts = GibbsOptions::new(300, 10, 99);
+        let owned = GibbsSampler::new(&g, 99).run(&opts);
+        let borrowed = GibbsSampler::from_flat(&flat, 99).run(&opts);
+        assert_eq!(owned.values(), borrowed.values());
+    }
+
+    #[test]
     fn sample_set_round_trip_and_storage() {
         let g = pair_graph(0.0, 0.5);
         let mut s = GibbsSampler::new(&g, 5);
@@ -339,6 +384,27 @@ mod tests {
         assert_eq!(w.len(), 2);
         let m = set.marginals();
         assert!(m.get(0) >= 0.0 && m.get(0) <= 1.0);
+    }
+
+    #[test]
+    fn sample_set_marginals_match_per_world_counting() {
+        let g = pair_graph(0.4, 0.2);
+        let mut s = GibbsSampler::new(&g, 21);
+        let set = s.draw_samples(200, 20);
+        let fast = set.marginals();
+        // Reference: unpack every world and count.
+        let mut counts = vec![0usize; set.num_vars];
+        for i in 0..set.len() {
+            let w = set.get(i);
+            for (v, c) in counts.iter_mut().enumerate() {
+                if w.value(v) {
+                    *c += 1;
+                }
+            }
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            assert!((fast.get(v) - c as f64 / set.len() as f64).abs() < 1e-12);
+        }
     }
 
     #[test]

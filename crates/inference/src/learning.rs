@@ -20,7 +20,7 @@
 //! [`Learner::learn`] records a [`LearningTrace`] so Figure 16 can be reproduced.
 
 use crate::gibbs::{sigmoid, GibbsSampler};
-use dd_factorgraph::FactorGraph;
+use dd_factorgraph::{FactorGraph, FlatGraph};
 use serde::{Deserialize, Serialize};
 
 /// Which optimization strategy to use (Appendix B.3 / Figure 16).
@@ -112,8 +112,15 @@ impl<'g> Learner<'g> {
     /// Deterministic, cheap, and monotone in fit quality — the "loss" axis of
     /// Figure 16 and Figure 17.
     pub fn evidence_loss(&self) -> f64 {
+        self.evidence_loss_on(&self.graph.compile())
+    }
+
+    /// [`Learner::evidence_loss`] against an existing compilation (the learning
+    /// loop compiles once and refreshes weights instead of recompiling each
+    /// epoch).
+    fn evidence_loss_on(&self, flat: &FlatGraph) -> f64 {
         let graph = &*self.graph;
-        let mut world = graph.initial_world();
+        let world = flat.initial_world();
         let evidence = graph.evidence_variables();
         if evidence.is_empty() {
             return 0.0;
@@ -121,7 +128,7 @@ impl<'g> Learner<'g> {
         let mut total = 0.0;
         for &v in &evidence {
             let observed = graph.variable(v).fixed_value().unwrap_or(false);
-            let delta = graph.energy_delta(v, &mut world);
+            let delta = flat.energy_delta(v, &world);
             let p_true = sigmoid(delta);
             let p_obs = if observed { p_true } else { 1.0 - p_true };
             total -= p_obs.max(1e-12).ln();
@@ -144,18 +151,25 @@ impl<'g> Learner<'g> {
             }
         };
 
+        // Compile once; each epoch only moves weight values, which
+        // `refresh_weights` re-resolves in place without rebuilding topology.
+        let mut flat = self.graph.compile();
+        let all_vars: Vec<usize> = (0..self.graph.num_variables()).collect();
+
         for epoch in 0..options.epochs {
             // Expectation with evidence clamped.
             let clamped = {
-                let mut s = GibbsSampler::new(self.graph, options.seed.wrapping_add(epoch as u64));
+                let mut s =
+                    GibbsSampler::from_flat(&flat, options.seed.wrapping_add(epoch as u64));
                 s.expected_feature_counts(clamped_sweeps)
             };
             // Expectation with evidence free.
             let free = {
-                let mut s = GibbsSampler::new_unclamped(
-                    self.graph,
+                let mut s = GibbsSampler::from_flat(
+                    &flat,
                     options.seed.wrapping_add(1_000_003 + epoch as u64),
-                );
+                )
+                .with_free_vars(all_vars.clone());
                 s.expected_feature_counts(free_sweeps)
             };
 
@@ -169,7 +183,8 @@ impl<'g> Learner<'g> {
                 self.graph.set_weight_value(k, new);
             }
             lr *= options.decay;
-            trace.losses.push(self.evidence_loss());
+            flat.refresh_weights(self.graph);
+            trace.losses.push(self.evidence_loss_on(&flat));
         }
         trace.final_weights = self.graph.weight_values();
         trace

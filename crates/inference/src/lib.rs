@@ -31,7 +31,7 @@ pub mod variational;
 
 pub use change::DistributionChange;
 pub use convergence::{iterations_to_converge, ConvergenceReport};
-pub use gibbs::{GibbsOptions, GibbsSampler, SampleSet};
+pub use gibbs::{sigmoid, GibbsOptions, GibbsSampler, SampleSet, SweepRng};
 pub use learning::{LearnOptions, LearnStrategy, Learner, LearningTrace};
 pub use marginals::{calibration_buckets, CalibrationBucket, Marginals};
 pub use parallel::ParallelGibbs;

@@ -4,54 +4,69 @@
 //! concurrently without locking the assignment vector; races are tolerated
 //! because each variable update only reads a small neighbourhood and the chain
 //! remains ergodic.  We reproduce that design: the world lives in a vector of
-//! `AtomicBool`, each sweep partitions the query variables across rayon worker
+//! `AtomicU64` bit-words (the same 1-bit-per-variable layout as the sequential
+//! sampler's `World`), each sweep partitions the query variables across worker
 //! threads, and every thread owns an independent RNG stream seeded from the run
 //! seed and the sweep number (so results are reproducible for a fixed thread
 //! partition).
+//!
+//! The energy computation is the *same* single-pass
+//! [`FlatGraph::energy_delta`] the sequential sampler uses — it reads the
+//! shared world through [`WorldView`] and overrides the variable being
+//! resampled internally, so no per-thread scratch world or pinning wrapper is
+//! needed and there is exactly one energy-delta implementation in the system.
 
-use crate::gibbs::sigmoid;
+use crate::gibbs::SweepRng;
 use crate::marginals::Marginals;
-use dd_factorgraph::{FactorGraph, VarId, World, WorldView};
-use rand::rngs::StdRng;
+use dd_factorgraph::{FactorGraph, FlatGraph, VarId, World, WorldView};
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Shared, lock-free world representation.
+/// Shared, lock-free, bit-packed world representation.
 struct AtomicWorld {
-    values: Vec<AtomicBool>,
+    words: Vec<AtomicU64>,
+    len: usize,
 }
 
 impl AtomicWorld {
     fn from_world(world: &World) -> Self {
         AtomicWorld {
-            values: world.values().iter().map(|&b| AtomicBool::new(b)).collect(),
+            words: world.as_words().iter().map(|&w| AtomicU64::new(w)).collect(),
+            len: world.len(),
         }
     }
 
     fn to_world(&self) -> World {
-        World::from_values(
-            self.values
+        World::from_words(
+            self.words
                 .iter()
-                .map(|b| b.load(Ordering::Relaxed))
+                .map(|w| w.load(Ordering::Relaxed))
                 .collect(),
+            self.len,
         )
     }
 
     fn set(&self, v: VarId, value: bool) {
-        self.values[v].store(value, Ordering::Relaxed);
+        let bit = 1u64 << (v % 64);
+        if value {
+            self.words[v / 64].fetch_or(bit, Ordering::Relaxed);
+        } else {
+            self.words[v / 64].fetch_and(!bit, Ordering::Relaxed);
+        }
     }
 }
 
 impl WorldView for AtomicWorld {
+    #[inline]
     fn value(&self, v: VarId) -> bool {
-        self.values[v].load(Ordering::Relaxed)
+        self.words[v / 64].load(Ordering::Relaxed) >> (v % 64) & 1 == 1
     }
 }
 
-/// Multi-threaded Gibbs sampler.
-pub struct ParallelGibbs<'g> {
-    graph: &'g FactorGraph,
+/// Multi-threaded Gibbs sampler over a compiled factor graph.
+pub struct ParallelGibbs {
+    flat: FlatGraph,
     world: AtomicWorld,
     free_vars: Vec<VarId>,
     seed: u64,
@@ -59,14 +74,20 @@ pub struct ParallelGibbs<'g> {
     chunks: usize,
 }
 
-impl<'g> ParallelGibbs<'g> {
+impl ParallelGibbs {
     /// Create a parallel sampler over the graph's query variables.
-    pub fn new(graph: &'g FactorGraph, seed: u64) -> Self {
-        let world = AtomicWorld::from_world(&graph.initial_world());
+    pub fn new(graph: &FactorGraph, seed: u64) -> Self {
+        Self::from_flat(graph.compile(), seed)
+    }
+
+    /// Create a parallel sampler from an already-compiled graph.
+    pub fn from_flat(flat: FlatGraph, seed: u64) -> Self {
+        let world = AtomicWorld::from_world(&flat.initial_world());
+        let free_vars = flat.query_variables().to_vec();
         ParallelGibbs {
-            graph,
+            flat,
             world,
-            free_vars: graph.query_variables(),
+            free_vars,
             seed,
             chunks: rayon::current_num_threads().max(1),
         }
@@ -82,7 +103,7 @@ impl<'g> ParallelGibbs<'g> {
     /// the variable set partitioned across threads.
     pub fn sweep(&mut self, sweep_index: usize) {
         let chunk_size = self.free_vars.len().div_ceil(self.chunks).max(1);
-        let graph = self.graph;
+        let flat = &self.flat;
         let world = &self.world;
         let seed = self.seed;
         self.free_vars
@@ -90,11 +111,9 @@ impl<'g> ParallelGibbs<'g> {
             .enumerate()
             .for_each(|(chunk_id, vars)| {
                 let mut rng =
-                    StdRng::seed_from_u64(seed ^ (sweep_index as u64) << 20 ^ chunk_id as u64);
-                let mut scratch = ScratchWorld { shared: world };
+                    SweepRng::seed_from_u64(seed ^ (sweep_index as u64) << 20 ^ chunk_id as u64);
                 for &v in vars {
-                    let delta = energy_delta_atomic(graph, v, &mut scratch);
-                    let p_true = sigmoid(delta);
+                    let p_true = flat.conditional_p_true(v, world);
                     world.set(v, rng.gen::<f64>() < p_true);
                 }
             });
@@ -105,90 +124,34 @@ impl<'g> ParallelGibbs<'g> {
         for s in 0..burn_in {
             self.sweep(s);
         }
-        let n = self.graph.num_variables();
-        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        // Only free variables change between sweeps; count just those and fill
+        // the clamped remainder in once at the end.
+        let mut counts = vec![0usize; self.free_vars.len()];
         let sweeps = sweeps.max(1);
         for s in 0..sweeps {
             self.sweep(burn_in + s);
-            counts.par_iter().enumerate().for_each(|(v, c)| {
+            for (i, &v) in self.free_vars.iter().enumerate() {
                 if self.world.value(v) {
-                    c.fetch_add(1, Ordering::Relaxed);
+                    counts[i] += 1;
                 }
-            });
+            }
         }
-        Marginals::from_values(
-            counts
-                .into_iter()
-                .map(|c| c.into_inner() as f64 / sweeps as f64)
-                .collect(),
-        )
+        let mut values: Vec<f64> = self
+            .world
+            .to_world()
+            .iter()
+            .map(|b| if b { 1.0 } else { 0.0 })
+            .collect();
+        for (i, &v) in self.free_vars.iter().enumerate() {
+            values[v] = counts[i] as f64 / sweeps as f64;
+        }
+        Marginals::from_values(values)
     }
 
     /// Snapshot of the current world.
     pub fn world(&self) -> World {
         self.world.to_world()
     }
-}
-
-/// A world view that reads through to the shared atomic world but lets the
-/// energy-delta computation temporarily pin the variable being resampled.
-struct ScratchWorld<'a> {
-    shared: &'a AtomicWorld,
-}
-
-impl WorldView for ScratchWorld<'_> {
-    fn value(&self, v: VarId) -> bool {
-        self.shared.value(v)
-    }
-}
-
-/// Energy difference for flipping `v`, evaluated against the shared world.  The
-/// variable's own value is overridden explicitly rather than written back, so
-/// concurrent readers of other variables are unaffected.
-fn energy_delta_atomic(graph: &FactorGraph, v: VarId, scratch: &mut ScratchWorld<'_>) -> f64 {
-    struct Pinned<'a, 'b> {
-        inner: &'a ScratchWorld<'b>,
-        var: VarId,
-        value: bool,
-    }
-    impl WorldView for Pinned<'_, '_> {
-        fn value(&self, v: VarId) -> bool {
-            if v == self.var {
-                self.value
-            } else {
-                self.inner.value(v)
-            }
-        }
-    }
-    let pinned_true = Pinned {
-        inner: scratch,
-        var: v,
-        value: true,
-    };
-    let e_true: f64 = graph
-        .factors_of(v)
-        .iter()
-        .map(|&f| {
-            graph
-                .factor(f)
-                .energy(&pinned_true, graph.factor_weight_value(f))
-        })
-        .sum();
-    let pinned_false = Pinned {
-        inner: scratch,
-        var: v,
-        value: false,
-    };
-    let e_false: f64 = graph
-        .factors_of(v)
-        .iter()
-        .map(|&f| {
-            graph
-                .factor(f)
-                .energy(&pinned_false, graph.factor_weight_value(f))
-        })
-        .sum();
-    e_true - e_false
 }
 
 #[cfg(test)]
@@ -255,5 +218,15 @@ mod tests {
             let p = m.get(v);
             assert!((0.0..=1.0).contains(&p));
         }
+    }
+
+    #[test]
+    fn single_chunk_parallel_is_deterministic_per_seed() {
+        // With one chunk there is no cross-thread interleaving, so the chain
+        // is exactly reproducible for a fixed seed.
+        let g = chain_graph(32, 0.3, 0.4);
+        let m1 = ParallelGibbs::new(&g, 41).with_chunks(1).run(200, 20);
+        let m2 = ParallelGibbs::new(&g, 41).with_chunks(1).run(200, 20);
+        assert_eq!(m1.values(), m2.values());
     }
 }

@@ -17,7 +17,7 @@
 use crate::change::DistributionChange;
 use crate::gibbs::{GibbsOptions, GibbsSampler, SampleSet};
 use crate::marginals::Marginals;
-use dd_factorgraph::{FactorGraph, World, WorldView};
+use dd_factorgraph::{FactorGraph, FlatGraph, World, WorldView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -116,6 +116,15 @@ impl SampleMaterialization {
             };
         }
 
+        // Proposal extension Gibbs-samples the new variables; compile the
+        // updated graph once here instead of once per stored proposal.
+        let flat = if change.new_variables.is_empty() {
+            None
+        } else {
+            Some(updated.compile())
+        };
+        let init = updated.initial_world();
+
         // Proposals are consumed in a shuffled order.  Consecutive Gibbs sweeps
         // are autocorrelated; the independence-sampler analysis (and therefore
         // the chain's stationary distribution) requires each proposal to be
@@ -133,7 +142,8 @@ impl SampleMaterialization {
         let mut next_proposal = 0usize;
         let mut found: Option<(World, f64)> = None;
         while next_proposal < order.len() {
-            let cand = self.extend_sample(updated, change, order[next_proposal], seed);
+            let cand =
+                self.extend_sample(flat.as_ref(), &init, change, order[next_proposal], seed);
             next_proposal += 1;
             let d = change.delta_log_weight(updated, &cand);
             if d > f64::NEG_INFINITY {
@@ -144,7 +154,7 @@ impl SampleMaterialization {
         let (mut current, mut current_delta) = match found {
             Some(pair) => pair,
             None => {
-                let mut c = self.extend_sample(updated, change, order[0], seed);
+                let mut c = self.extend_sample(flat.as_ref(), &init, change, order[0], seed);
                 for &(v, val) in &change.new_evidence {
                     c.set(v, val);
                 }
@@ -161,7 +171,7 @@ impl SampleMaterialization {
                 break;
             }
             let proposal =
-                self.extend_sample(updated, change, order[next_proposal], seed ^ 0x9e37);
+                self.extend_sample(flat.as_ref(), &init, change, order[next_proposal], seed ^ 0x9e37);
             next_proposal += 1;
             steps += 1;
 
@@ -198,36 +208,38 @@ impl SampleMaterialization {
 
     /// Fetch stored sample `i` and extend it to the updated graph: new variables
     /// (ΔV) get values by Gibbs-sampling them conditioned on the stored part,
-    /// and new evidence is honoured.
+    /// and new evidence is honoured.  `flat` is the compiled updated graph,
+    /// present exactly when the change introduces new variables; `init` is the
+    /// updated graph's initial world.
     fn extend_sample(
         &self,
-        updated: &FactorGraph,
+        flat: Option<&FlatGraph>,
+        init: &World,
         change: &DistributionChange,
         i: usize,
         seed: u64,
     ) -> World {
         let stored = self.samples.get(i);
-        let mut values = stored.values().to_vec();
-        let init = updated.initial_world();
-        for v in self.num_original_vars..updated.num_variables() {
+        let mut values = stored.to_vec();
+        for v in self.num_original_vars..init.len() {
             values.push(init.value(v));
         }
         let world = World::from_values(values);
-        if change.new_variables.is_empty() {
+        let Some(flat) = flat else {
             return world;
-        }
+        };
         // A few restricted Gibbs sweeps over only the new variables.
         let free: Vec<usize> = change
             .new_variables
             .iter()
             .copied()
-            .filter(|&v| !updated.variable(v).is_evidence())
+            .filter(|&v| !flat.is_evidence(v))
             .collect();
         if free.is_empty() {
             return world;
         }
-        let mut sampler = GibbsSampler::new(updated, seed.wrapping_add(i as u64))
-            .with_free_vars(free);
+        let mut sampler =
+            GibbsSampler::from_flat(flat, seed.wrapping_add(i as u64)).with_free_vars(free);
         sampler.set_world(world);
         for _ in 0..3 {
             sampler.sweep();

@@ -39,7 +39,7 @@ impl StrawmanMaterialization {
             return None;
         }
         let mut world = graph.initial_world();
-        let base_world = world.values().to_vec();
+        let base_world = world.to_vec();
         let mut log_weights = Vec::with_capacity(1 << query_vars.len());
         for mask in 0u64..(1u64 << query_vars.len()) {
             for (i, &v) in query_vars.iter().enumerate() {

@@ -8,7 +8,7 @@
 use crate::table::Table;
 use crate::tuple::Tuple;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The direction of a single change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,7 +22,9 @@ pub enum DeltaOp {
 pub struct DeltaRelation {
     relation: String,
     /// tuple -> net count change (positive = insertions, negative = deletions).
-    changes: HashMap<Tuple, i64>,
+    /// Ordered so delta iteration — and thus incremental grounding — is
+    /// deterministic (see the note on [`Table`]).
+    changes: BTreeMap<Tuple, i64>,
 }
 
 impl DeltaRelation {
@@ -30,7 +32,7 @@ impl DeltaRelation {
     pub fn new(relation: impl Into<String>) -> Self {
         DeltaRelation {
             relation: relation.into(),
-            changes: HashMap::new(),
+            changes: BTreeMap::new(),
         }
     }
 

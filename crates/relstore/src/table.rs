@@ -5,8 +5,8 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, HashMap};
 
 /// An in-memory relation.
 ///
@@ -17,11 +17,16 @@ use std::collections::HashMap;
 /// Base tables normally hold count 1 per tuple; materialized views hold the number
 /// of alternative derivations, so deleting one derivation does not delete the
 /// tuple while another derivation survives.
+/// Rows are kept in a `BTreeMap` so iteration order is the tuple order —
+/// every downstream consumer (view maintenance, grounding, variable/weight id
+/// assignment) is then deterministic per seed, which the samplers' "runs are
+/// reproducible" guarantee depends on.  A `HashMap` here made grounding order
+/// — and therefore learned models — vary per *process*.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: HashMap<Tuple, i64>,
+    rows: BTreeMap<Tuple, i64>,
 }
 
 impl Table {
@@ -30,7 +35,7 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: HashMap::new(),
+            rows: BTreeMap::new(),
         }
     }
 
@@ -141,11 +146,10 @@ impl Table {
             .map(|(t, &c)| (t, c))
     }
 
-    /// Collect all present tuples into a vector (deterministic order: sorted).
+    /// Collect all present tuples into a vector (sorted, which is also the
+    /// natural iteration order of the underlying map).
     pub fn sorted_tuples(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.iter().cloned().collect();
-        v.sort();
-        v
+        self.iter().cloned().collect()
     }
 
     /// Remove every tuple.

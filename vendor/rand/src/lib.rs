@@ -1,0 +1,292 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The generators are real PRNGs (xoshiro256++ seeded with splitmix64), not
+//! stubs: all sampling in the workspace is statistically meaningful and
+//! deterministic per seed.  Only the *API* is a reduced façade — `Rng::gen`,
+//! `Rng::gen_range` over integer/float ranges, and `SeedableRng::seed_from_u64`
+//! — because that is the surface the workspace calls.
+//!
+//! Compared to the real crate, `StdRng` here is xoshiro256++ instead of
+//! ChaCha12.  That is intentional: the Gibbs inner loops are throughput-bound
+//! on RNG draws, and a non-cryptographic generator is the right default for
+//! MCMC (same reason rand's own `SmallRng` exists).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds. Only `seed_from_u64` is provided; the workspace
+/// never uses byte-array seeding.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its standard distribution
+    /// (`f64` uniform in `[0, 1)`, `bool` fair coin, integers uniform).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Standard-distribution sampling for the primitive types the workspace draws.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Uniform sampling from range types, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % width;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in gen_range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % width;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        start + f64::sample(rng) * (end - start)
+    }
+}
+
+/// splitmix64: seeds xoshiro state from a single u64 (the reference method).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ — the fast, high-quality non-cryptographic generator used for
+/// every RNG in this workspace.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    pub fn from_seed_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // All-zero state is invalid (cannot occur from splitmix64, but guard).
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256PlusPlus};
+
+    /// Deterministic general-purpose generator (xoshiro256++ here; ChaCha12 in
+    /// the real crate).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(Xoshiro256PlusPlus);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256PlusPlus::from_seed_u64(seed))
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Small fast generator for throughput-bound inner loops (sampler sweeps).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xoshiro256PlusPlus);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Decorrelate from StdRng streams built from the same seed.
+            SmallRng(Xoshiro256PlusPlus::from_seed_u64(
+                seed ^ 0x6a09e667f3bcc909,
+            ))
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(0..5);
+            assert!((0..5).contains(&v));
+            let u: usize = r.gen_range(1..=3);
+            assert!((1..=3).contains(&u));
+            let f = r.gen_range(-2.0..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(11);
+        let trues = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_600..5_400).contains(&trues));
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! Unlike the serde façade, this one does real work: `par_chunks` and
+//! `par_iter` fan their closures out over `std::thread::scope` threads, so the
+//! hogwild Gibbs sampler genuinely runs lock-free sweeps on multiple cores.
+//! The difference from real rayon is scheduling sophistication (no work
+//! stealing, threads are spawned per call), which is irrelevant here because
+//! the callers partition work into a handful of coarse chunks per sweep.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+pub mod prelude {
+    pub use crate::{IndexedParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+/// Entry point: `slice.par_chunks(n)` / `slice.par_iter()`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        ParChunks {
+            slice: self,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        self.as_slice().par_chunks(chunk_size)
+    }
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Parallel iterator over `&[T]` chunks.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+/// Parallel iterator over `&T` items.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+/// Minimal counterpart of rayon's `ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    type Item;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send;
+}
+
+/// Minimal counterpart of rayon's `IndexedParallelIterator` — just `enumerate`.
+pub trait IndexedParallelIterator: ParallelIterator {
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+}
+
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+/// Run `f` over the chunked work items on scoped threads, `threads` at a time.
+fn run_chunked<'a, T, F>(slice: &'a [T], chunk_size: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &'a [T]) + Sync + Send,
+{
+    let chunks: Vec<&[T]> = slice.chunks(chunk_size).collect();
+    if chunks.len() <= 1 {
+        for (i, c) in chunks.into_iter().enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let threads = current_num_threads().min(chunks.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(chunk) = chunks.get(i) else { break };
+                f(i, chunk);
+            });
+        }
+    });
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_chunked(self.slice, self.chunk_size, |_, c| f(c));
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {}
+
+impl<'a, T: Sync> ParallelIterator for Enumerate<ParChunks<'a, T>> {
+    type Item = (usize, &'a [T]);
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_chunked(self.inner.slice, self.inner.chunk_size, |i, c| f((i, c)));
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let n = self.slice.len();
+        let per = n.div_ceil(current_num_threads().max(1)).max(1);
+        run_chunked(self.slice, per, |_, chunk| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {}
+
+impl<'a, T: Sync> ParallelIterator for Enumerate<ParIter<'a, T>> {
+    type Item = (usize, &'a T);
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let slice = self.inner.slice;
+        let per = slice.len().div_ceil(current_num_threads().max(1)).max(1);
+        run_chunked(slice, per, |chunk_idx, chunk| {
+            let base = chunk_idx * per;
+            for (off, item) in chunk.iter().enumerate() {
+                f((base + off, item));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_enumerate_covers_everything_once() {
+        let data: Vec<usize> = (0..1000).collect();
+        let sum = AtomicUsize::new(0);
+        let chunk_count = AtomicUsize::new(0);
+        data.par_chunks(64).enumerate().for_each(|(i, chunk)| {
+            assert_eq!(chunk[0], i * 64);
+            chunk_count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+        assert_eq!(chunk_count.load(Ordering::Relaxed), 1000usize.div_ceil(64));
+    }
+
+    #[test]
+    fn par_iter_enumerate_indexes_correctly() {
+        let data: Vec<usize> = (0..257).map(|i| i * 3).collect();
+        let hits = AtomicUsize::new(0);
+        data.par_iter().enumerate().for_each(|(i, &v)| {
+            assert_eq!(v, i * 3);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline façade for the `serde` API surface this workspace uses.
+//!
+//! The workspace only relies on `#[derive(Serialize, Deserialize)]` for type
+//! shape (no code in-tree performs serialization), so the façade re-exports
+//! no-op derive macros and provides marker traits satisfied by every type.
+//! Swapping in the real serde later requires only pointing the workspace
+//! dependency back at crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

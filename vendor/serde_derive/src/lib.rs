@@ -1,0 +1,23 @@
+//! No-op stand-ins for serde's `Serialize` / `Deserialize` derive macros.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serde façade (see `vendor/README.md`).  Nothing in the workspace
+//! actually serializes — the derives exist so type definitions keep the same
+//! shape they would have with real serde, making a future swap to the real
+//! crates a one-line Cargo.toml change per crate.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input item (including `#[serde(...)]` helper attributes) and
+/// emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input item (including `#[serde(...)]` helper attributes) and
+/// emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
