@@ -1,10 +1,12 @@
 //! Shared helpers for the reproduction binaries and Criterion benchmarks.
 //!
 //! Each `reproduce_*` binary regenerates one table or figure of the paper's
-//! evaluation (see `DESIGN.md` for the full index); the Criterion benches under
-//! `benches/` measure the same code paths with statistical rigor at a smaller
-//! scale.  This library holds the pieces they share: timing, table printing, and
-//! the standard scaled-down experiment configurations.
+//! evaluation (`ARCHITECTURE.md` §4 has the full index); the Criterion benches
+//! under `benches/` measure the same code paths with statistical rigor at a
+//! smaller scale, and `bench_sweeps` tracks the sweep-throughput trajectory
+//! (including the pooled-vs-spawn dispatch comparison) in `BENCH_sweeps.json`.
+//! This library holds the pieces they share: timing, table printing, and the
+//! standard scaled-down experiment configurations.
 
 use std::time::Instant;
 

@@ -3,6 +3,11 @@
 use dd_inference::{GibbsOptions, LearnOptions, VariationalOptions};
 use serde::{Deserialize, Serialize};
 
+/// Query-variable count at which hogwild inference starts paying for its
+/// dispatch overhead (measured with `bench_sweeps`: the 65-variable fig9
+/// graph loses, the 4000-variable fig5 graph wins).
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
+
 /// Configuration of a [`crate::DeepDive`] engine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -21,6 +26,17 @@ pub struct EngineConfig {
     pub fact_threshold: f64,
     /// Random seed shared by the engine's samplers.
     pub seed: u64,
+    /// Size of the engine's persistent worker pool.  `None` (the default)
+    /// shares the process-global pool, sized to the machine; `Some(n)` gives
+    /// this engine a dedicated pool of parallelism `n` (`Some(1)` forces all
+    /// inference sequential).
+    pub num_threads: Option<usize>,
+    /// Minimum number of *query variables* before full Gibbs inference (and
+    /// learning-gradient estimation) switches from the sequential sampler to
+    /// hogwild sweeps on the worker pool.  Small graphs stay sequential: a
+    /// single chain mixes faster than an under-utilized parallel dispatch,
+    /// and sequential runs are bit-deterministic per seed.
+    pub parallel_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +53,8 @@ impl Default for EngineConfig {
             variational: VariationalOptions::default(),
             fact_threshold: 0.9,
             seed: 7,
+            num_threads: None,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -62,6 +80,8 @@ impl EngineConfig {
             },
             fact_threshold: 0.9,
             seed: 7,
+            num_threads: None,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }

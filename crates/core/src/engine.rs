@@ -27,10 +27,13 @@ use dd_factorgraph::FactorGraph;
 use dd_grounding::{Grounder, KbcUpdate, Program, UdfRegistry};
 use dd_inference::{
     DistributionChange, GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals,
+    ParallelGibbs,
 };
 use dd_relstore::{Database, Tuple};
+use rayon::ThreadPool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Whether an update is executed from scratch or incrementally.
@@ -79,9 +82,51 @@ impl IterationReport {
 }
 
 /// The end-to-end engine.
+///
+/// ```
+/// use dd_grounding::{parse_program, standard_udfs};
+/// use dd_relstore::{tuple, Database, DataType, Schema};
+/// use deepdive::{DeepDive, EngineConfig};
+///
+/// // A one-rule program: every claim with a supervision label becomes
+/// // evidence; the others get their probability from the shared weight.
+/// let program = parse_program(r#"
+///     relation Claim(id: int, text: text) base.
+///     relation Label(id: int) base.
+///     relation Fact(id: int) variable.
+///
+///     rule F feature:
+///       Fact(id) :- Claim(id, text) weight = 1.5.
+///
+///     rule S supervision+:
+///       Fact(id) :- Claim(id, text), Label(id).
+/// "#).unwrap();
+///
+/// let mut db = Database::new();
+/// db.create_table("Claim", Schema::of(&[("id", DataType::Int), ("text", DataType::Text)])).unwrap();
+/// db.create_table("Label", Schema::of(&[("id", DataType::Int)])).unwrap();
+/// db.insert_all("Claim", vec![tuple![1i64, "alpha"], tuple![2i64, "beta"]]).unwrap();
+/// db.insert_all("Label", vec![tuple![1i64]]).unwrap();
+///
+/// let mut dd = DeepDive::new(program, db, standard_udfs(), EngineConfig::fast()).unwrap();
+/// dd.initial_run().unwrap();
+/// // The supervised claim is pinned to probability 1...
+/// assert_eq!(dd.probability_of("Fact", &tuple![1i64]), Some(1.0));
+/// // ...and the unsupervised one gets a high (but uncertain) probability.
+/// let p = dd.probability_of("Fact", &tuple![2i64]).unwrap();
+/// assert!(p > 0.5 && p < 1.0);
+/// ```
 pub struct DeepDive {
     grounder: Grounder,
     config: EngineConfig,
+    /// The persistent worker pool serving this engine end to end: full-Gibbs
+    /// hogwild inference and learning-gradient estimation all dispatch here
+    /// (above [`EngineConfig::parallel_threshold`]), so workers are spawned
+    /// once per engine — or once per process, when the config shares the
+    /// global pool — rather than per sweep.  Filled eagerly for a dedicated
+    /// `num_threads` pool, lazily (first above-threshold use) for the shared
+    /// global pool, so small-graph engines never spawn workers at all.
+    pool: OnceLock<Arc<ThreadPool>>,
     materialization: Option<Materialization>,
     /// The distribution change accumulated since the materialization was taken:
     /// successive incremental updates all reuse the same stored samples, so the
@@ -118,9 +163,14 @@ impl DeepDive {
         udfs: UdfRegistry,
         config: EngineConfig,
     ) -> Result<Self, String> {
+        let pool = OnceLock::new();
+        if let Some(n) = config.num_threads {
+            let _ = pool.set(Arc::new(ThreadPool::new(n)));
+        }
         Ok(DeepDive {
             grounder: Grounder::new(program, db, udfs)?,
             config,
+            pool,
             materialization: None,
             cumulative_change: DistributionChange::default(),
             marginals: None,
@@ -167,8 +217,7 @@ impl DeepDive {
             seed: self.config.seed,
             ..self.config.learn.clone()
         };
-        let trace = Learner::new(self.grounder.graph_mut()).learn(&learn);
-        self.learned_weights = trace.final_weights;
+        self.learned_weights = self.run_learner(&learn).final_weights;
         let learning_secs = t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
@@ -228,8 +277,7 @@ impl DeepDive {
                     warmstart: None,
                     ..self.config.learn.clone()
                 };
-                let trace = Learner::new(self.grounder.graph_mut()).learn(&learn);
-                self.learned_weights = trace.final_weights;
+                self.learned_weights = self.run_learner(&learn).final_weights;
                 let learning_secs = t1.elapsed().as_secs_f64();
 
                 // Full Gibbs over the whole updated graph.
@@ -268,8 +316,7 @@ impl DeepDive {
                         ..self.config.learn.clone()
                     };
                     let pre_learn_weights = self.grounder.graph().weight_values();
-                    let trace = Learner::new(self.grounder.graph_mut()).learn(&learn);
-                    self.learned_weights = trace.final_weights;
+                    self.learned_weights = self.run_learner(&learn).final_weights;
                     // Weight updates are part of the distribution change the
                     // sampling strategy must account for.
                     for (w, (&old, &new)) in pre_learn_weights
@@ -414,16 +461,51 @@ impl DeepDive {
 
     // ---------------------------------------------------------------- helpers
 
+    /// The engine's dispatch pool, resolving to the process-global one on
+    /// first use when no dedicated size was configured.
+    fn pool(&self) -> &Arc<ThreadPool> {
+        self.pool.get_or_init(|| Arc::clone(rayon::global_pool()))
+    }
+
+    /// Run weight learning over the current graph on the engine's pool (the
+    /// learner goes hogwild above the configured query-variable threshold),
+    /// returning the trace.  The pool is only resolved when the threshold is
+    /// actually met, so small-graph engines stay pool-free.
+    fn run_learner(&mut self, learn: &LearnOptions) -> dd_inference::LearningTrace {
+        let threshold = self.config.parallel_threshold;
+        let pool = (self.grounder.graph().query_variables().len() >= threshold)
+            .then(|| Arc::clone(self.pool()));
+        let mut learner = Learner::new(self.grounder.graph_mut());
+        if let Some(pool) = pool {
+            learner = learner.with_pool(pool, threshold);
+        }
+        learner.learn(learn)
+    }
+
     /// Full Gibbs over the current graph.  The sampler compiles the graph into
     /// its [`dd_factorgraph::FlatGraph`] hot representation internally; every
     /// engine execution (grounding or learning) changes the graph before the
     /// next inference, so there is nothing to cache across calls.
+    ///
+    /// Graphs with at least [`EngineConfig::parallel_threshold`] query
+    /// variables run hogwild sweeps on the engine's persistent pool; smaller
+    /// graphs run the sequential sampler (faster mixing per wall-second and
+    /// bit-deterministic per seed).
     fn full_gibbs(&self) -> Marginals {
         let options = GibbsOptions {
             seed: self.config.seed,
             ..self.config.gibbs.clone()
         };
-        GibbsSampler::new(self.grounder.graph(), self.config.seed).run(&options)
+        let graph = self.grounder.graph();
+        if graph.query_variables().len() >= self.config.parallel_threshold {
+            let pool = self.pool();
+            if pool.num_threads() > 1 {
+                return ParallelGibbs::new(graph, options.seed)
+                    .with_pool(Arc::clone(pool))
+                    .run(options.sweeps, options.burn_in);
+            }
+        }
+        GibbsSampler::new(graph, self.config.seed).run(&options)
     }
 
     fn incremental_gibbs_options(&self) -> GibbsOptions {
@@ -696,6 +778,38 @@ mod tests {
         assert!(high.iter().all(|(_, p)| *p >= 0.99));
         // unknown relation -> empty
         assert!(dd.extract_facts("Nothing", 0.0).is_empty());
+    }
+
+    #[test]
+    fn hogwild_engine_agrees_on_pinned_facts() {
+        // Force every sampler onto the pooled hogwild path (threshold 1,
+        // dedicated 2-thread pool) and check the pipeline still lands the
+        // supervised fact at probability 1 and separates the phrase pairs.
+        let mut config = EngineConfig::fast();
+        config.num_threads = Some(2);
+        config.parallel_threshold = 1;
+        let mut dd = DeepDive::new(
+            parse_program(PROGRAM).unwrap(),
+            database(),
+            standard_udfs(),
+            config,
+        )
+        .unwrap();
+        dd.initial_run().unwrap();
+        let supervised = dd
+            .probability_of("MarriedMentions", &tuple![10i64, 11i64])
+            .unwrap();
+        assert_eq!(supervised, 1.0);
+        let same_phrase = dd
+            .probability_of("MarriedMentions", &tuple![20i64, 21i64])
+            .unwrap();
+        let other = dd
+            .probability_of("MarriedMentions", &tuple![30i64, 31i64])
+            .unwrap();
+        assert!(
+            same_phrase > other,
+            "same-phrase pair {same_phrase} should beat {other}"
+        );
     }
 
     #[test]

@@ -19,6 +19,14 @@
 //! * [`decomposition`] — Algorithm 2: grouping inactive variables (Appendix B.1).
 //! * [`incremental_learning`] — SGD/GD with and without warmstart (Appendix B.3).
 //! * [`quality`]  — precision / recall / F1 against a ground-truth fact set.
+//!
+//! Every engine owns a persistent worker pool (shared process-global by
+//! default, dedicated via [`config::EngineConfig::num_threads`]); full-Gibbs
+//! inference and learning-gradient estimation switch from the sequential
+//! sampler to pooled hogwild sweeps once a graph reaches
+//! [`config::EngineConfig::parallel_threshold`] query variables.  See
+//! `PERFORMANCE.md` at the repo root for the runtime design and measured
+//! numbers, and `ARCHITECTURE.md` for the paper-to-module map.
 
 pub mod config;
 pub mod decomposition;

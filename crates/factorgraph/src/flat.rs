@@ -151,6 +151,30 @@ pub struct FlatGraph {
 
 impl FactorGraph {
     /// Compile this graph into the flat representation the samplers run on.
+    ///
+    /// Compilation is cheap (microseconds for typical KBC graphs) and the
+    /// result is immutable except for [`FlatGraph::refresh_weights`], so one
+    /// compilation can be shared by many samplers:
+    ///
+    /// ```
+    /// use dd_factorgraph::{Factor, FactorGraphBuilder};
+    ///
+    /// let mut b = FactorGraphBuilder::new();
+    /// let vs = b.add_query_variables(2);
+    /// let w = b.tied_weight("couple", 0.7, false);
+    /// b.add_factor(Factor::equal(w, vs[0], vs[1]));
+    /// let graph = b.build();
+    ///
+    /// let flat = graph.compile();
+    /// assert_eq!(flat.num_variables(), 2);
+    /// assert_eq!(flat.query_variables(), &[vs[0], vs[1]]);
+    /// // The flat energy delta agrees with the build-side reference
+    /// // implementation (which needs scratch mutation) for every variable.
+    /// let mut world = flat.initial_world();
+    /// for v in 0..2 {
+    ///     assert_eq!(flat.energy_delta(v, &world), graph.energy_delta(v, &mut world));
+    /// }
+    /// ```
     pub fn compile(&self) -> FlatGraph {
         FlatGraph::compile(self)
     }

@@ -206,7 +206,7 @@ impl FactorGraph {
         )
     }
 
-    /// Total log-weight `W(F, I)` of a world (paper Equation before §2.5's Pr[I]).
+    /// Total log-weight `W(F, I)` of a world (paper Equation before §2.5's `Pr[I]`).
     pub fn log_weight<W: WorldView + ?Sized>(&self, world: &W) -> f64 {
         self.factors
             .iter()

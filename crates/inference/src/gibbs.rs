@@ -122,6 +122,26 @@ impl SampleSet {
 /// Construct it from a [`FactorGraph`] (compiling on the spot) or, when the
 /// caller already holds a compiled graph — the learning loop, the MH
 /// proposal-extension path — borrow one with [`GibbsSampler::from_flat`].
+///
+/// ```
+/// use dd_factorgraph::{Factor, FactorGraphBuilder};
+/// use dd_inference::{GibbsOptions, GibbsSampler};
+///
+/// // One query variable with a positive prior factor.
+/// let mut b = FactorGraphBuilder::new();
+/// let v = b.add_query_variables(1)[0];
+/// let w = b.tied_weight("prior", 1.0, false);
+/// b.add_factor(Factor::is_true(w, v));
+/// let graph = b.build();
+///
+/// let mut sampler = GibbsSampler::new(&graph, 7);
+/// let marginals = sampler.run(&GibbsOptions::new(4000, 200, 7));
+/// // P(v) = sigmoid(1.0) ≈ 0.731; the chain estimate lands nearby.
+/// assert!((marginals.get(v) - 0.731).abs() < 0.05);
+/// // Runs are bit-deterministic for a fixed seed.
+/// let again = GibbsSampler::new(&graph, 7).run(&GibbsOptions::new(4000, 200, 7));
+/// assert_eq!(marginals.values(), again.values());
+/// ```
 pub struct GibbsSampler<'g> {
     flat: Cow<'g, FlatGraph>,
     rng: SweepRng,

@@ -7,7 +7,11 @@
 //! * [`gibbs`] — sequential Gibbs sampling over a [`dd_factorgraph::FactorGraph`],
 //!   producing marginal probabilities for every query variable;
 //! * [`parallel`] — a lock-free, multi-threaded (hogwild-style) Gibbs sweep, the
-//!   way DimmWitted actually runs on many cores;
+//!   way DimmWitted actually runs on many cores, dispatched onto a persistent
+//!   worker pool ([`rayon::ThreadPool`]) with per-chunk RNG streams and
+//!   worker-local marginal counting;
+//! * [`rng`] — splitmix-style seed mixing that fans one run seed out into
+//!   decorrelated per-chunk RNG streams;
 //! * [`marginals`] — marginal vectors, distances between them, and probability
 //!   calibration;
 //! * [`learning`] — weight learning by contrastive stochastic gradient descent
@@ -25,6 +29,7 @@ pub mod gibbs;
 pub mod learning;
 pub mod marginals;
 pub mod parallel;
+pub mod rng;
 pub mod sampling;
 pub mod strawman;
 pub mod variational;
@@ -35,6 +40,7 @@ pub use gibbs::{sigmoid, GibbsOptions, GibbsSampler, SampleSet, SweepRng};
 pub use learning::{LearnOptions, LearnStrategy, Learner, LearningTrace};
 pub use marginals::{calibration_buckets, CalibrationBucket, Marginals};
 pub use parallel::ParallelGibbs;
+pub use rng::mix_seed;
 pub use sampling::{MhOutcome, SampleMaterialization};
 pub use strawman::StrawmanMaterialization;
 pub use variational::{VariationalMaterialization, VariationalOptions};

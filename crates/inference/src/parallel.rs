@@ -1,14 +1,37 @@
-//! Lock-free parallel Gibbs sampling (hogwild style).
+//! Lock-free parallel Gibbs sampling (hogwild style) on a persistent pool.
 //!
 //! DimmWitted — the sampler behind DeepDive — runs Gibbs sweeps on many cores
 //! concurrently without locking the assignment vector; races are tolerated
 //! because each variable update only reads a small neighbourhood and the chain
 //! remains ergodic.  We reproduce that design: the world lives in a vector of
 //! `AtomicU64` bit-words (the same 1-bit-per-variable layout as the sequential
-//! sampler's `World`), each sweep partitions the query variables across worker
-//! threads, and every thread owns an independent RNG stream seeded from the run
-//! seed and the sweep number (so results are reproducible for a fixed thread
-//! partition).
+//! sampler's `World`), and each sweep partitions the query variables into
+//! chunks dispatched across worker threads.
+//!
+//! Three runtime properties distinguish this from a naive fork-join sweep:
+//!
+//! * **Persistent workers** — sweeps are dispatched onto a long-lived
+//!   [`rayon::ThreadPool`] (the process-global one by default, or any pool
+//!   given to [`ParallelGibbs::with_pool`]); workers park between sweeps
+//!   instead of being respawned, so the per-sweep cost is an epoch-barrier
+//!   wake rather than thread creation.  The retired spawn-per-sweep
+//!   dispatcher is kept behind [`ParallelGibbs::with_spawn_dispatch`] as the
+//!   benchmark baseline.
+//! * **Persistent RNG streams** — every chunk owns a [`SweepRng`] seeded once
+//!   via [`mix_seed`] (a splitmix64-style avalanche mixer)
+//!   and advanced across the whole run, instead of reseeding from weakly
+//!   mixed `(seed, sweep, chunk)` XORs every sweep.  Runs remain fully
+//!   deterministic for a fixed `(seed, chunk count)` whenever chunks execute
+//!   without interleaving (one chunk, or a pool of size 1); with real
+//!   hogwild interleaving, per-chunk streams still make each chunk's draw
+//!   sequence reproducible even though read timing is not.
+//! * **Worker-local marginal counting** — during counting sweeps each chunk
+//!   accumulates `true` counts for *its own* variables into a chunk-local
+//!   buffer while it still holds them in cache; [`ParallelGibbs::run`] merges
+//!   the buffers once at the end.  A variable's value only changes when its
+//!   own chunk resamples it, so counting at resample time is exactly
+//!   equivalent to (and much cheaper than) a sequential end-of-sweep scan of
+//!   the shared world.
 //!
 //! The energy computation is the *same* single-pass
 //! [`FlatGraph::energy_delta`] the sequential sampler uses — it reads the
@@ -18,10 +41,12 @@
 
 use crate::gibbs::SweepRng;
 use crate::marginals::Marginals;
+use crate::rng::mix_seed;
 use dd_factorgraph::{FactorGraph, FlatGraph, VarId, World, WorldView};
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
+use rayon::ThreadPool;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Shared, lock-free, bit-packed world representation.
 struct AtomicWorld {
@@ -64,18 +89,67 @@ impl WorldView for AtomicWorld {
     }
 }
 
+/// State owned by one variable chunk, surviving across sweeps.
+///
+/// Exactly one worker touches a given chunk per sweep (chunks are the unit of
+/// dispatch), so the mutex is uncontended — it exists to move mutable access
+/// through the `&self` the pool job closure captures.
+struct ChunkState {
+    /// This chunk's RNG stream, advanced monotonically across the run.
+    rng: SweepRng,
+    /// Per-variable `true` counts for the current counting phase
+    /// (`counts[j]` belongs to the chunk's `j`-th variable).
+    counts: Vec<u64>,
+}
+
 /// Multi-threaded Gibbs sampler over a compiled factor graph.
+///
+/// ```
+/// use dd_factorgraph::{Factor, FactorGraphBuilder};
+/// use dd_inference::ParallelGibbs;
+///
+/// // A 3-variable chain with a prior on the first variable.
+/// let mut b = FactorGraphBuilder::new();
+/// let vs = b.add_query_variables(3);
+/// let prior = b.tied_weight("prior", 1.5, false);
+/// let couple = b.tied_weight("couple", 0.8, false);
+/// b.add_factor(Factor::is_true(prior, vs[0]));
+/// b.add_factor(Factor::equal(couple, vs[0], vs[1]));
+/// b.add_factor(Factor::equal(couple, vs[1], vs[2]));
+/// let graph = b.build();
+///
+/// // One chunk => a fully deterministic chain for a fixed seed.
+/// let mut sampler = ParallelGibbs::new(&graph, 7).with_chunks(1);
+/// let marginals = sampler.run(2000, 200);
+/// assert!(marginals.get(vs[0]) > 0.5); // positive prior pulls it up
+/// let again = ParallelGibbs::new(&graph, 7).with_chunks(1).run(2000, 200);
+/// assert_eq!(marginals.values(), again.values());
+/// ```
 pub struct ParallelGibbs {
     flat: FlatGraph,
     world: AtomicWorld,
     free_vars: Vec<VarId>,
     seed: u64,
-    /// Number of variable chunks per sweep; defaults to the rayon thread count.
-    chunks: usize,
+    /// Requested chunk count; `None` follows the dispatch pool's size.
+    chunks: Option<usize>,
+    /// The persistent worker pool sweeps are dispatched on; `None` means the
+    /// process-global pool, resolved lazily at the first sweep so that
+    /// constructing a sampler (or immediately overriding with
+    /// [`ParallelGibbs::with_pool`]) never instantiates it.
+    pool: Option<Arc<ThreadPool>>,
+    /// Benchmark baseline: spawn scoped threads per sweep instead of using
+    /// the pool (see [`ParallelGibbs::with_spawn_dispatch`]).
+    spawn_dispatch: bool,
+    /// Variables per chunk for the currently built `chunk_states`.
+    chunk_size: usize,
+    /// One state per chunk (RNG stream + count buffer), kept across sweeps;
+    /// empty until the first sweep after a (re)configuration.
+    chunk_states: Vec<Mutex<ChunkState>>,
 }
 
 impl ParallelGibbs {
-    /// Create a parallel sampler over the graph's query variables.
+    /// Create a parallel sampler over the graph's query variables, running on
+    /// the process-global worker pool.
     pub fn new(graph: &FactorGraph, seed: u64) -> Self {
         Self::from_flat(graph.compile(), seed)
     }
@@ -89,69 +163,208 @@ impl ParallelGibbs {
             world,
             free_vars,
             seed,
-            chunks: rayon::current_num_threads().max(1),
+            chunks: None,
+            pool: None,
+            spawn_dispatch: false,
+            chunk_size: 1,
+            chunk_states: Vec::new(),
         }
+    }
+
+    /// Run on `pool` instead of the process-global one, with one chunk per
+    /// pool thread (call [`ParallelGibbs::with_chunks`] *after* this to
+    /// override the chunk count).
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self.chunks = None;
+        self.chunk_states.clear();
+        self
     }
 
     /// Override the number of chunks the variable set is split into per sweep.
     pub fn with_chunks(mut self, chunks: usize) -> Self {
-        self.chunks = chunks.max(1);
+        self.chunks = Some(chunks.max(1));
+        self.chunk_states.clear();
         self
     }
 
+    /// Dispatch every sweep onto freshly spawned scoped threads (the
+    /// pre-pool runtime), preserving chunk count and RNG streams.  This is
+    /// the baseline leg of `bench_sweeps`' pooled-vs-spawn comparison; there
+    /// is no reason to use it otherwise.
+    pub fn with_spawn_dispatch(mut self) -> Self {
+        self.spawn_dispatch = true;
+        self
+    }
+
+    /// Restrict (or extend) the set of resampled variables — e.g. the free
+    /// chain of weight learning resamples evidence variables too.
+    pub fn with_free_vars(mut self, free_vars: Vec<VarId>) -> Self {
+        self.free_vars = free_vars;
+        self.chunk_states.clear();
+        self
+    }
+
+    /// Re-resolve weight values from `graph` after learning moved them,
+    /// without rebuilding topology, chunk layout, or RNG streams.
+    pub fn refresh_weights(&mut self, graph: &FactorGraph) {
+        self.flat.refresh_weights(graph);
+    }
+
+    /// The dispatch pool, falling back to the process-global one (and caching
+    /// that choice) if none was configured.
+    fn pool(&mut self) -> Arc<ThreadPool> {
+        Arc::clone(
+            self.pool
+                .get_or_insert_with(|| Arc::clone(rayon::global_pool())),
+        )
+    }
+
+    /// Build per-chunk state if the configuration changed since the last
+    /// sweep: fix the chunk layout and seed one RNG stream per chunk
+    /// (splitmix-mixed from the run seed).
+    fn ensure_chunk_states(&mut self) {
+        if !self.chunk_states.is_empty() || self.free_vars.is_empty() {
+            return;
+        }
+        let chunks = match self.chunks {
+            Some(c) => c,
+            // Follow the pool's size; the spawn baseline without an explicit
+            // pool falls back to the machine size rather than instantiating
+            // the global pool it exists to avoid.
+            None => match (&self.pool, self.spawn_dispatch) {
+                (Some(pool), _) => pool.num_threads(),
+                (None, false) => self.pool().num_threads(),
+                (None, true) => std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            },
+        }
+        .max(1);
+        self.chunk_size = self.free_vars.len().div_ceil(chunks).max(1);
+        let num_chunks = self.free_vars.len().div_ceil(self.chunk_size);
+        self.chunk_states = (0..num_chunks)
+            .map(|chunk| {
+                Mutex::new(ChunkState {
+                    rng: SweepRng::seed_from_u64(mix_seed(self.seed, chunk as u64)),
+                    counts: Vec::new(),
+                })
+            })
+            .collect();
+    }
+
     /// One hogwild sweep: every free variable is resampled exactly once, with
-    /// the variable set partitioned across threads.
-    pub fn sweep(&mut self, sweep_index: usize) {
-        let chunk_size = self.free_vars.len().div_ceil(self.chunks).max(1);
+    /// the variable set partitioned across the pool's threads.
+    pub fn sweep(&mut self) {
+        self.sweep_internal(false);
+    }
+
+    fn sweep_internal(&mut self, count: bool) {
+        self.ensure_chunk_states();
+        // The spawn baseline never touches the pool; resolve it only for the
+        // pooled path so `with_spawn_dispatch` cannot instantiate workers.
+        let pool = (!self.spawn_dispatch).then(|| self.pool());
+        let chunk_size = self.chunk_size;
         let flat = &self.flat;
         let world = &self.world;
-        let seed = self.seed;
-        self.free_vars
-            .par_chunks(chunk_size)
-            .enumerate()
-            .for_each(|(chunk_id, vars)| {
-                let mut rng =
-                    SweepRng::seed_from_u64(seed ^ (sweep_index as u64) << 20 ^ chunk_id as u64);
-                for &v in vars {
-                    let p_true = flat.conditional_p_true(v, world);
-                    world.set(v, rng.gen::<f64>() < p_true);
+        let free_vars = &self.free_vars;
+        let chunk_states = &self.chunk_states;
+        let run_chunk = |chunk: usize| {
+            let range = chunk_range(chunk, chunk_size, free_vars.len());
+            let mut state = lock_chunk(&chunk_states[chunk]);
+            let state = &mut *state;
+            for (j, &v) in free_vars[range].iter().enumerate() {
+                let p_true = flat.conditional_p_true(v, world);
+                let value = state.rng.gen::<f64>() < p_true;
+                world.set(v, value);
+                if count && value {
+                    state.counts[j] += 1;
                 }
-            });
+            }
+        };
+        match pool {
+            Some(pool) => pool.run_chunks(chunk_states.len(), &run_chunk),
+            None => {
+                // Equal-thread-count baseline: mirror the explicit pool's
+                // parallelism, or one thread per chunk when unconfigured.
+                let threads = match &self.pool {
+                    Some(pool) => pool.num_threads(),
+                    None => chunk_states.len(),
+                };
+                rayon::spawn_run_chunks(chunk_states.len(), threads, &run_chunk);
+            }
+        }
     }
 
     /// Run burn-in plus `sweeps` counting sweeps, returning marginals.
     pub fn run(&mut self, sweeps: usize, burn_in: usize) -> Marginals {
-        for s in 0..burn_in {
-            self.sweep(s);
+        self.ensure_chunk_states();
+        for _ in 0..burn_in {
+            self.sweep();
         }
-        // Only free variables change between sweeps; count just those and fill
-        // the clamped remainder in once at the end.
-        let mut counts = vec![0usize; self.free_vars.len()];
+        // Counting phase: chunks count their own variables locally during the
+        // sweep (see module docs); zero the buffers first.
+        let chunk_size = self.chunk_size;
+        for (chunk, state) in self.chunk_states.iter().enumerate() {
+            let range = chunk_range(chunk, chunk_size, self.free_vars.len());
+            lock_chunk(state).counts = vec![0; range.len()];
+        }
         let sweeps = sweeps.max(1);
-        for s in 0..sweeps {
-            self.sweep(burn_in + s);
-            for (i, &v) in self.free_vars.iter().enumerate() {
-                if self.world.value(v) {
-                    counts[i] += 1;
-                }
-            }
+        for _ in 0..sweeps {
+            self.sweep_internal(true);
         }
+        // Merge: clamped variables report their fixed value, free variables
+        // their empirical frequency.
         let mut values: Vec<f64> = self
             .world
             .to_world()
             .iter()
             .map(|b| if b { 1.0 } else { 0.0 })
             .collect();
-        for (i, &v) in self.free_vars.iter().enumerate() {
-            values[v] = counts[i] as f64 / sweeps as f64;
+        for (chunk, state) in self.chunk_states.iter().enumerate() {
+            let lo = chunk_range(chunk, chunk_size, self.free_vars.len()).start;
+            let state = lock_chunk(state);
+            for (j, &c) in state.counts.iter().enumerate() {
+                values[self.free_vars[lo + j]] = c as f64 / sweeps as f64;
+            }
         }
         Marginals::from_values(values)
+    }
+
+    /// Expected total feature value per weight over `sweeps` hogwild samples —
+    /// the sufficient statistic of the learning gradient, estimated with the
+    /// parallel chain (the pool-backed counterpart of
+    /// [`GibbsSampler::expected_feature_counts`](crate::GibbsSampler::expected_feature_counts)).
+    pub fn expected_feature_counts(&mut self, sweeps: usize) -> Vec<f64> {
+        let mut totals = vec![0.0; self.flat.num_weights()];
+        let sweeps = sweeps.max(1);
+        for _ in 0..sweeps {
+            self.sweep();
+            self.flat
+                .accumulate_feature_counts(&self.world, &mut totals);
+        }
+        for t in &mut totals {
+            *t /= sweeps as f64;
+        }
+        totals
     }
 
     /// Snapshot of the current world.
     pub fn world(&self) -> World {
         self.world.to_world()
     }
+}
+
+/// The variable index range owned by `chunk` under a fixed chunk size.
+fn chunk_range(chunk: usize, chunk_size: usize, num_vars: usize) -> std::ops::Range<usize> {
+    let lo = chunk * chunk_size;
+    lo..(lo + chunk_size).min(num_vars)
+}
+
+/// Chunk mutexes are uncontended by construction (one worker per chunk per
+/// sweep); ignore poisoning so an aborted sweep doesn't brick the sampler.
+fn lock_chunk(state: &Mutex<ChunkState>) -> MutexGuard<'_, ChunkState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -205,7 +418,7 @@ mod tests {
     fn world_snapshot_has_right_size() {
         let g = chain_graph(10, 0.0, 0.1);
         let mut s = ParallelGibbs::new(&g, 5);
-        s.sweep(0);
+        s.sweep();
         assert_eq!(s.world().len(), 10);
     }
 
@@ -228,5 +441,84 @@ mod tests {
         let m1 = ParallelGibbs::new(&g, 41).with_chunks(1).run(200, 20);
         let m2 = ParallelGibbs::new(&g, 41).with_chunks(1).run(200, 20);
         assert_eq!(m1.values(), m2.values());
+    }
+
+    #[test]
+    fn spawn_dispatch_baseline_agrees_with_pool_on_one_chunk() {
+        // Same chunk layout + same persistent RNG streams => the dispatch
+        // runtime must not change the chain.
+        let g = chain_graph(32, 0.3, 0.4);
+        let pooled = ParallelGibbs::new(&g, 41).with_chunks(1).run(200, 20);
+        let spawned = ParallelGibbs::new(&g, 41)
+            .with_chunks(1)
+            .with_spawn_dispatch()
+            .run(200, 20);
+        assert_eq!(pooled.values(), spawned.values());
+    }
+
+    #[test]
+    fn explicit_pool_runs_and_counts_correctly() {
+        let g = chain_graph(64, 0.5, 0.2);
+        let pool = Arc::new(ThreadPool::new(3));
+        let mut s = ParallelGibbs::new(&g, 11).with_pool(Arc::clone(&pool));
+        s.sweep();
+        // Default chunking follows the explicit pool's size (built lazily at
+        // the first sweep).
+        assert_eq!(s.chunk_states.len(), 3);
+        let m = s.run(400, 50);
+        for v in 0..64 {
+            assert!((0.0..=1.0).contains(&m.get(v)));
+        }
+        // Pool outlives the sampler and stays usable.
+        drop(s);
+        let mut s2 = ParallelGibbs::new(&g, 12).with_pool(pool);
+        s2.sweep();
+    }
+
+    #[test]
+    fn worker_local_counts_match_end_of_sweep_scan() {
+        // Run the counting phase, then verify against marginals recomputed by
+        // replaying the identical chain with a sequential end-of-sweep scan.
+        let g = chain_graph(20, 0.4, 0.6);
+        let m_fast = ParallelGibbs::new(&g, 99).with_chunks(1).run(300, 30);
+
+        let mut s = ParallelGibbs::new(&g, 99).with_chunks(1);
+        for _ in 0..30 {
+            s.sweep();
+        }
+        let mut counts = vec![0usize; 20];
+        for _ in 0..300 {
+            s.sweep();
+            let w = s.world();
+            for (v, c) in counts.iter_mut().enumerate() {
+                if w.value(v) {
+                    *c += 1;
+                }
+            }
+        }
+        for v in 0..20 {
+            assert!((m_fast.get(v) - counts[v] as f64 / 300.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_feature_counts_reflect_marginals() {
+        let mut b = FactorGraphBuilder::new();
+        let v = b.add_query_variables(1)[0];
+        let w = b.tied_weight("prior", 2.0, false);
+        b.add_factor(Factor::is_true(w, v));
+        let g = b.build();
+        let mut s = ParallelGibbs::new(&g, 17);
+        for _ in 0..100 {
+            s.sweep();
+        }
+        let counts = s.expected_feature_counts(3000);
+        let expected = g.exact_marginal(0);
+        assert!(
+            (counts[0] - expected).abs() < 0.05,
+            "{} vs {}",
+            counts[0],
+            expected
+        );
     }
 }

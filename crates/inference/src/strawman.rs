@@ -1,7 +1,7 @@
 //! The strawman strategy: complete materialization of all possible worlds
 //! (paper §3.2.1).
 //!
-//! "We explicitly store the value of the probability Pr[I] for every possible
+//! "We explicitly store the value of the probability `Pr[I]` for every possible
 //! world I.  This approach has perfect fidelity, but storing all possible worlds
 //! takes an exponential amount of space and time."  It exists to anchor the
 //! tradeoff study (Figure 5a): it is exact and its incremental-inference phase is

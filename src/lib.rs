@@ -15,7 +15,8 @@
 //! * [`workloads`] — synthetic corpora, the five KBC systems, the Voting program,
 //!   and the tradeoff-study graphs.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the paper-to-module map.
+//! See `README.md` for a quickstart and `ARCHITECTURE.md` for the
+//! paper-to-module map.
 
 pub use dd_factorgraph as factorgraph;
 pub use dd_grounding as grounding;

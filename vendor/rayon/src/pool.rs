@@ -1,0 +1,428 @@
+//! A persistent worker pool with epoch-barrier dispatch.
+//!
+//! This is the long-lived runtime behind the facade's `par_chunks`/`par_iter`
+//! and behind `dd_inference::ParallelGibbs`: workers are spawned **once**,
+//! park on a condvar between jobs, and are woken by bumping an epoch counter —
+//! so dispatching a hogwild sweep costs a mutex round-trip and a wake instead
+//! of `N` `clone(2)` syscalls per sweep (the per-sweep `std::thread::scope`
+//! fan-out this pool replaced; that path survives as [`spawn_run_chunks`], the
+//! benchmark baseline).
+//!
+//! # Design
+//!
+//! * **Parallelism accounting** — a pool of size `n` spawns `n - 1` worker
+//!   threads; the thread that calls [`ThreadPool::run_chunks`] participates in
+//!   the job itself, so total concurrency is exactly `n` and a pool of size 1
+//!   degenerates to inline execution (no threads, fully deterministic).
+//! * **Epoch barrier** — a job is published by storing a type-erased closure
+//!   pointer and incrementing the epoch under the state mutex, then waking all
+//!   workers.  Each worker runs the job at most once per epoch, decrements the
+//!   outstanding count, and the dispatcher blocks on a second condvar until
+//!   the count reaches zero.  Because the dispatcher cannot return before
+//!   every worker is done, the job closure may safely borrow from the
+//!   dispatcher's stack (the same argument that makes `std::thread::scope`
+//!   sound); the lifetime erasure is confined to the internal `dispatch` method.
+//! * **Work distribution** — [`ThreadPool::run_chunks`] hands out chunk
+//!   indices from a shared atomic counter, so a slow chunk does not stall the
+//!   others (the same dynamic schedule the scoped-thread path used).
+//! * **Panic safety** — a worker that panics inside a job still decrements the
+//!   outstanding count; the panic is recorded and re-raised on the dispatching
+//!   thread once the barrier closes, so a poisoned sweep cannot deadlock the
+//!   pool.
+//!
+//! `Drop` signals shutdown and joins every worker.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// Lock ignoring poisoning: all state transitions in this module are
+/// panic-safe (user closures run under `catch_unwind`), so a poisoned mutex
+/// still guards consistent data and must not take the pool down with it.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Identity of the pool this thread is currently engaged with — serving
+    /// as a worker, or blocked inside `dispatch` — used to turn the latent
+    /// self-deadlock of *nested* dispatch on one pool into an immediate
+    /// panic.  Dispatching on a *different* pool from inside a job is fine.
+    static ENGAGED_POOL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Marks the current thread engaged with a pool for the guard's lifetime,
+/// restoring the previous engagement on drop (including during unwinding).
+struct EngagedGuard {
+    previous: usize,
+}
+
+impl EngagedGuard {
+    fn enter(pool_key: usize) -> Self {
+        let previous = ENGAGED_POOL.with(|c| c.replace(pool_key));
+        EngagedGuard { previous }
+    }
+}
+
+impl Drop for EngagedGuard {
+    fn drop(&mut self) {
+        ENGAGED_POOL.with(|c| c.set(self.previous));
+    }
+}
+
+/// A job is a borrowed `Fn(worker_index)` whose lifetime has been erased; see
+/// the module docs for why the erasure is sound.
+#[derive(Copy, Clone)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from many threads) and the
+// dispatch barrier guarantees it outlives every call.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Incremented once per published job; workers run each epoch's job once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch's job.
+    outstanding: usize,
+    /// True if a worker panicked inside the current epoch's job.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new job is published (or on shutdown).
+    work_ready: Condvar,
+    /// Signalled when the last worker finishes the current job.
+    work_done: Condvar,
+}
+
+/// A persistent pool of parked worker threads; see the module docs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes dispatchers so two concurrent `run_chunks` calls cannot
+    /// clobber each other's published job.
+    dispatch_gate: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Create a pool with parallelism `threads` (clamped to at least 1).
+    ///
+    /// `threads - 1` workers are spawned; the caller of
+    /// [`ThreadPool::run_chunks`] is the remaining thread.
+    pub fn new(threads: usize) -> Self {
+        let workers_wanted = threads.max(1) - 1;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                outstanding: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (0..workers_wanted)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dd-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            dispatch_gate: Mutex::new(()),
+        }
+    }
+
+    /// The pool's parallelism (worker threads plus the participating caller).
+    pub fn num_threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Run `f(chunk_index)` for every index in `0..num_chunks`, distributing
+    /// indices dynamically across the pool.  Blocks until all chunks finish.
+    /// The calling thread participates, so this is also correct (and purely
+    /// sequential) on a pool of size 1.
+    pub fn run_chunks(&self, num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if num_chunks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || num_chunks == 1 {
+            for i in 0..num_chunks {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let pull = |_worker: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= num_chunks {
+                break;
+            }
+            f(i);
+        };
+        self.dispatch(&pull);
+    }
+
+    /// Publish `job` to every worker, run it on the calling thread too, and
+    /// block until all copies return.  Re-raises any worker panic.
+    ///
+    /// Invariant: a job must not dispatch back onto the **same** pool — the
+    /// outer barrier is waiting on the very thread that would have to serve
+    /// the inner one (the replaced scoped-thread dispatcher tolerated
+    /// nesting; this runtime trades that for parked workers).  The guard
+    /// below turns the would-be deadlock into an immediate panic.  Nothing
+    /// in-tree nests; dispatching on a *different* pool remains legal.
+    fn dispatch(&self, job: &(dyn Fn(usize) + Sync)) {
+        let pool_key = Arc::as_ptr(&self.shared) as usize;
+        assert!(
+            ENGAGED_POOL.with(std::cell::Cell::get) != pool_key,
+            "nested parallel dispatch on the same ThreadPool would deadlock"
+        );
+        let _engaged = EngagedGuard::enter(pool_key);
+        let _gate = lock(&self.dispatch_gate);
+        // SAFETY (lifetime erasure): we block below until `outstanding == 0`,
+        // i.e. until no worker can touch the pointer again, so the borrow
+        // `job` lives strictly longer than every dereference.
+        let erased = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(job)
+        });
+        {
+            let mut st = lock(&self.shared.state);
+            st.job = Some(erased);
+            st.outstanding = self.workers.len();
+            st.panicked = false;
+            st.epoch += 1;
+        }
+        self.shared.work_ready.notify_all();
+
+        // Participate: the dispatcher is one of the pool's threads.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| job(self.workers.len())));
+
+        let mut st = lock(&self.shared.state);
+        while st.outstanding > 0 {
+            st = self
+                .shared
+                .work_done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a pool worker panicked while running a parallel job");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    // A worker serves exactly one pool for its whole life; mark it engaged so
+    // a job that tries to dispatch back onto this pool panics instead of
+    // deadlocking (see `ThreadPool::dispatch`).
+    ENGAGED_POOL.with(|c| c.set(shared as *const Shared as usize));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    match st.job {
+                        Some(job) => break job,
+                        // Already-cleared epoch (we woke late); keep waiting.
+                        None => continue,
+                    }
+                }
+                st = shared.work_ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // SAFETY: the dispatcher blocks until we decrement `outstanding`
+        // below, so the closure behind the pointer is still alive here.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(index) }));
+        let mut st = lock(&shared.state);
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+/// The process-wide shared pool, sized to the machine (lazily created).
+///
+/// Everything that does not need a specific thread count — the `par_iter` /
+/// `par_chunks` facade, `ParallelGibbs::from_flat`, the engine default — runs
+/// here, so the whole pipeline shares one set of long-lived workers.
+pub fn global_pool() -> &'static Arc<ThreadPool> {
+    static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Arc::new(ThreadPool::new(threads))
+    })
+}
+
+/// The per-call scoped-thread dispatcher the pool replaced: spawns
+/// `threads - 1` scoped workers (the caller participates) that pull chunk
+/// indices from a shared counter, and tears them down when the call returns.
+///
+/// Kept as the *baseline* for `bench_sweeps`' pooled-vs-spawn comparison —
+/// same dynamic schedule, same participation accounting, the only difference
+/// is thread creation per call versus parking.  Not used on any hot path.
+pub fn spawn_run_chunks(num_chunks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
+    if num_chunks == 0 {
+        return;
+    }
+    let spawned = (threads.max(1) - 1).min(num_chunks.saturating_sub(1));
+    if spawned == 0 {
+        for i in 0..num_chunks {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let pull = |_worker: usize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= num_chunks {
+            break;
+        }
+        f(i);
+    };
+    std::thread::scope(|scope| {
+        for w in 0..spawned {
+            let pull = &pull;
+            scope.spawn(move || pull(w));
+        }
+        pull(spawned);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_chunks_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run_chunks(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn size_one_pool_is_inline_and_ordered() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.run_chunks(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_survives_many_dispatch_epochs() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run_chunks(6, &|i| {
+                total.fetch_add(i + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 500 * 21);
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_not_deadlocked() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(8, &|i| {
+                if i % 2 == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable after the panic.
+        let count = AtomicUsize::new(0);
+        pool.run_chunks(4, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_dispatch_on_same_pool_panics_instead_of_deadlocking() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunks(4, &|_| {
+                pool.run_chunks(2, &|_| {});
+            });
+        }));
+        assert!(result.is_err());
+        // Dispatching on a *different* pool from inside a job stays legal.
+        let other = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        pool.run_chunks(2, &|_| {
+            other.run_chunks(2, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn spawn_baseline_matches_pool_semantics() {
+        let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        spawn_run_chunks(hits.len(), 4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global_pool();
+        let b = global_pool();
+        assert!(Arc::ptr_eq(a, b));
+        assert!(a.num_threads() >= 1);
+    }
+}
