@@ -11,12 +11,12 @@ use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
 
 fn prepared_engine() -> (DeepDive, dd_grounding::KbcUpdate) {
     let system = KbcSystem::generate(SystemKind::News, 0.15, 11);
-    let mut engine = DeepDive::new(
-        system.program.clone(),
-        system.corpus.database.clone(),
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
+    let mut engine = DeepDive::builder()
+        .program(system.program.clone())
+        .database(system.corpus.database.clone())
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
     .expect("engine builds");
     // Bring the system to the state just before the FE2 iteration.
     engine

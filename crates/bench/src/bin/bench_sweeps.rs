@@ -197,12 +197,12 @@ fn bench_workload(
 /// state just before the FE2 iteration, exactly like the fig9 bench.
 fn fig9_graph() -> FactorGraph {
     let system = KbcSystem::generate(SystemKind::News, 0.3, 11);
-    let mut engine = DeepDive::new(
-        system.program.clone(),
-        system.corpus.database.clone(),
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
+    let mut engine = DeepDive::builder()
+        .program(system.program.clone())
+        .database(system.corpus.database.clone())
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
     .expect("engine builds");
     engine
         .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)

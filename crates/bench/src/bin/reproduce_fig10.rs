@@ -11,12 +11,12 @@ use dd_workloads::{KbcSystem, SystemKind};
 use deepdive::{DeepDive, EngineConfig, ExecutionMode};
 
 fn engine_for(system: &KbcSystem) -> DeepDive {
-    DeepDive::new(
-        system.program.clone(),
-        system.corpus.database.clone(),
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
+    DeepDive::builder()
+        .program(system.program.clone())
+        .database(system.corpus.database.clone())
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
     .expect("engine builds")
 }
 
@@ -47,7 +47,8 @@ fn main() {
             ]);
         }
         // keep the final marginals of each mode for the agreement comparison
-        let m = engine.marginals().cloned();
+        let snapshot = engine.snapshot();
+        let m = (snapshot.epoch() > 0).then(|| snapshot.marginals().clone());
         marginal_pairs = match (marginal_pairs, m) {
             (None, Some(m)) => Some((Some(m), None)),
             (Some((a, _)), Some(m)) => Some((a, Some(m))),

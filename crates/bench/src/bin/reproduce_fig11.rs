@@ -16,12 +16,12 @@ fn main() {
     let mut rows = Vec::new();
     for template in RuleTemplate::all() {
         // Prepare a trained, materialized engine just before this rule's iteration.
-        let mut engine = DeepDive::new(
-            system.program.clone(),
-            system.corpus.database.clone(),
-            standard_udfs(),
-            EngineConfig::fast(),
-        )
+        let mut engine = DeepDive::builder()
+            .program(system.program.clone())
+            .database(system.corpus.database.clone())
+            .udfs(standard_udfs())
+            .config(EngineConfig::fast())
+            .build()
         .expect("engine builds");
         engine
             .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)

@@ -13,12 +13,12 @@ fn main() {
     let mut rows = Vec::new();
     for kind in SystemKind::all() {
         let system = KbcSystem::generate(kind, 0.15, 81);
-        let mut engine = DeepDive::new(
-            system.program.clone(),
-            system.corpus.database.clone(),
-            standard_udfs(),
-            EngineConfig::fast(),
-        )
+        let mut engine = DeepDive::builder()
+            .program(system.program.clone())
+            .database(system.corpus.database.clone())
+            .udfs(standard_udfs())
+            .config(EngineConfig::fast())
+            .build()
         .expect("engine builds");
         engine
             .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)

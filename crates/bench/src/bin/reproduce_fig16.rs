@@ -11,12 +11,12 @@ use deepdive::{compare_learning_strategies, DeepDive, EngineConfig, ExecutionMod
 fn main() {
     println!("# Figure 16 — incremental learning strategies (News, FE2 + S2 update)");
     let system = KbcSystem::generate(SystemKind::News, 0.25, 91);
-    let mut engine = DeepDive::new(
-        system.program.clone(),
-        system.corpus.database.clone(),
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
+    let mut engine = DeepDive::builder()
+        .program(system.program.clone())
+        .database(system.corpus.database.clone())
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
     .expect("engine builds");
     // Learn the "previous" model on FE1 + S1.
     engine

@@ -13,12 +13,12 @@ fn main() {
 
     // Build the News system with features + supervision so the graph is non-trivial.
     let system = KbcSystem::generate(SystemKind::News, 0.3, 21);
-    let mut engine = DeepDive::new(
-        system.program.clone(),
-        system.corpus.database.clone(),
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
+    let mut engine = DeepDive::builder()
+        .program(system.program.clone())
+        .database(system.corpus.database.clone())
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
     .expect("engine builds");
     for t in [RuleTemplate::FE1, RuleTemplate::FE2, RuleTemplate::S1, RuleTemplate::S2] {
         engine

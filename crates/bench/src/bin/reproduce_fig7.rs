@@ -12,12 +12,12 @@ fn main() {
     for kind in SystemKind::all() {
         let paper = kind.paper_stats();
         let system = KbcSystem::generate(kind, 0.2, 31);
-        let mut engine = DeepDive::new(
-            system.program.clone(),
-            system.corpus.database.clone(),
-            standard_udfs(),
-            EngineConfig::fast(),
-        )
+        let mut engine = DeepDive::builder()
+            .program(system.program.clone())
+            .database(system.corpus.database.clone())
+            .udfs(standard_udfs())
+            .config(EngineConfig::fast())
+            .build()
         .expect("engine builds");
         // Apply every rule template so the graph contains all rules (as Figure 7
         // counts "factor graphs that contain all rules").

@@ -10,12 +10,12 @@ use deepdive::{DeepDive, EngineConfig, ExecutionMode};
 /// Build an engine that has already executed the FE1 + S1 iterations (so that
 /// every later rule template operates on a trained system), then materialize.
 fn prepared(system: &KbcSystem) -> DeepDive {
-    let mut engine = DeepDive::new(
-        system.program.clone(),
-        system.corpus.database.clone(),
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
+    let mut engine = DeepDive::builder()
+        .program(system.program.clone())
+        .database(system.corpus.database.clone())
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
     .expect("engine builds");
     engine
         .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)

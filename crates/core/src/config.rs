@@ -37,6 +37,16 @@ pub struct EngineConfig {
     /// single chain mixes faster than an under-utilized parallel dispatch,
     /// and sequential runs are bit-deterministic per seed.
     pub parallel_threshold: usize,
+    /// When true, an Incremental update that the stored materialization
+    /// cannot serve — never materialized, samples exhausted with the
+    /// variational fallback stale, or the variational strategy chosen while
+    /// stale — returns [`crate::EngineError::StaleMaterialization`] exactly
+    /// where the non-strict engine would silently fall back to full Gibbs
+    /// sampling.  A serving deployment usually wants to re-materialize on its
+    /// own schedule ([`crate::DeepDive::materialize`] +
+    /// [`crate::DeepDive::refresh`]) rather than absorb an unbounded latency
+    /// spike mid-update.  Defaults to false (paper behavior).
+    pub strict_incremental: bool,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +65,7 @@ impl Default for EngineConfig {
             seed: 7,
             num_threads: None,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            strict_incremental: false,
         }
     }
 }
@@ -82,6 +93,7 @@ impl EngineConfig {
             seed: 7,
             num_threads: None,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            strict_incremental: false,
         }
     }
 }

@@ -19,10 +19,13 @@
 //! measured separately by the `grounding_dred` benchmark, matching how the paper
 //! reports it separately from Figure 9.
 
+use crate::builder::DeepDiveBuilder;
 use crate::config::EngineConfig;
+use crate::error::{EngineError, StaleKind};
 use crate::materialization::Materialization;
 use crate::optimizer::{choose_strategy, StrategyChoice};
-use crate::quality::{evaluate_quality, QualityReport};
+use crate::quality::QualityReport;
+use crate::snapshot::{self, Snapshot, SnapshotReader};
 use dd_factorgraph::FactorGraph;
 use dd_grounding::{Grounder, KbcUpdate, Program, UdfRegistry};
 use dd_inference::{
@@ -32,8 +35,8 @@ use dd_inference::{
 use dd_relstore::{Database, Tuple};
 use rayon::ThreadPool;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use std::sync::{Arc, OnceLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Whether an update is executed from scratch or incrementally.
@@ -83,24 +86,13 @@ impl IterationReport {
 
 /// The end-to-end engine.
 ///
+/// Constructed with [`DeepDive::builder`]; queried through lock-free
+/// [`Snapshot`]s (see [`DeepDive::snapshot`] / [`DeepDive::reader`]) while
+/// updates run.
+///
 /// ```
-/// use dd_grounding::{parse_program, standard_udfs};
 /// use dd_relstore::{tuple, Database, DataType, Schema};
 /// use deepdive::{DeepDive, EngineConfig};
-///
-/// // A one-rule program: every claim with a supervision label becomes
-/// // evidence; the others get their probability from the shared weight.
-/// let program = parse_program(r#"
-///     relation Claim(id: int, text: text) base.
-///     relation Label(id: int) base.
-///     relation Fact(id: int) variable.
-///
-///     rule F feature:
-///       Fact(id) :- Claim(id, text) weight = 1.5.
-///
-///     rule S supervision+:
-///       Fact(id) :- Claim(id, text), Label(id).
-/// "#).unwrap();
 ///
 /// let mut db = Database::new();
 /// db.create_table("Claim", Schema::of(&[("id", DataType::Int), ("text", DataType::Text)])).unwrap();
@@ -108,12 +100,33 @@ impl IterationReport {
 /// db.insert_all("Claim", vec![tuple![1i64, "alpha"], tuple![2i64, "beta"]]).unwrap();
 /// db.insert_all("Label", vec![tuple![1i64]]).unwrap();
 ///
-/// let mut dd = DeepDive::new(program, db, standard_udfs(), EngineConfig::fast()).unwrap();
+/// // A one-rule program: every claim with a supervision label becomes
+/// // evidence; the others get their probability from the shared weight.
+/// let mut dd = DeepDive::builder()
+///     .program_text(r#"
+///         relation Claim(id: int, text: text) base.
+///         relation Label(id: int) base.
+///         relation Fact(id: int) variable.
+///
+///         rule F feature:
+///           Fact(id) :- Claim(id, text) weight = 1.5.
+///
+///         rule S supervision+:
+///           Fact(id) :- Claim(id, text), Label(id).
+///     "#)
+///     .database(db)
+///     .config(EngineConfig::fast())
+///     .build()
+///     .unwrap();
 /// dd.initial_run().unwrap();
+///
+/// // Reads are served from an immutable snapshot of the run's epoch.
+/// let snap = dd.snapshot();
+/// assert_eq!(snap.epoch(), 1);
 /// // The supervised claim is pinned to probability 1...
-/// assert_eq!(dd.probability_of("Fact", &tuple![1i64]), Some(1.0));
+/// assert_eq!(snap.probability_of("Fact", &tuple![1i64]), Some(1.0));
 /// // ...and the unsupervised one gets a high (but uncertain) probability.
-/// let p = dd.probability_of("Fact", &tuple![2i64]).unwrap();
+/// let p = snap.probability_of("Fact", &tuple![2i64]).unwrap();
 /// assert!(p > 0.5 && p < 1.0);
 /// ```
 pub struct DeepDive {
@@ -128,53 +141,107 @@ pub struct DeepDive {
     /// global pool, so small-graph engines never spawn workers at all.
     pool: OnceLock<Arc<ThreadPool>>,
     materialization: Option<Materialization>,
+    /// Epoch at which [`DeepDive::materialize`] was last called.
+    materialized_epoch: Option<u64>,
+    /// `(num_variables, num_weights)` of the *full* graph when the
+    /// materialization was taken — the coverage the variational strategy can
+    /// serve.  (The approximate graph carries its own unary/pairwise weight
+    /// space, so its counts say nothing about the model's.)
+    materialized_coverage: Option<(usize, usize)>,
     /// The distribution change accumulated since the materialization was taken:
     /// successive incremental updates all reuse the same stored samples, so the
     /// MH acceptance test must compare against the *materialized* distribution,
     /// not just the previous iteration's.
     cumulative_change: DistributionChange,
-    marginals: Option<Marginals>,
     learned_weights: Vec<f64>,
+    /// Number of completed runs; every publish bumps it by one.
+    epoch: u64,
+    /// The per-relation variable catalog shared into every published
+    /// snapshot.  Publishing after an update that added no variables is one
+    /// `Arc` clone; when grounding grew the graph, the catalog is re-indexed
+    /// once (O(catalog)) and then shared by every subsequent epoch until the
+    /// next growth.
+    catalog_cache: Arc<HashMap<String, snapshot::RelationIndex>>,
+    /// The currently served snapshot.  Readers clone the inner `Arc` under a
+    /// briefly-held read lock; the publish step swaps the pointer under the
+    /// write lock — held only for the swap, never across inference.
+    current: Arc<RwLock<Arc<Snapshot>>>,
 }
 
-/// Merge `next` into `acc` (older entries win for weight old-values).
+impl std::fmt::Debug for DeepDive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeepDive")
+            .field("epoch", &self.epoch)
+            .field("config", &self.config)
+            .field("materialized_epoch", &self.materialized_epoch)
+            .field("graph", &self.grounder.graph().stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Merge `next` into `acc`.  New evidence overwrites older values for the same
+/// variable; for changed weights the *oldest* recorded pre-change value wins
+/// (the acceptance test compares against the materialized distribution).
 fn merge_change(acc: &mut DistributionChange, next: &DistributionChange) {
     acc.new_factors.extend(next.new_factors.iter().copied());
     acc.new_variables.extend(next.new_variables.iter().copied());
+    let mut evidence_index: HashMap<usize, usize> = acc
+        .new_evidence
+        .iter()
+        .enumerate()
+        .map(|(i, &(v, _))| (v, i))
+        .collect();
     for &(v, val) in &next.new_evidence {
-        if let Some(entry) = acc.new_evidence.iter_mut().find(|(ev, _)| *ev == v) {
-            entry.1 = val;
-        } else {
-            acc.new_evidence.push((v, val));
+        match evidence_index.get(&v) {
+            Some(&i) => acc.new_evidence[i].1 = val,
+            None => {
+                evidence_index.insert(v, acc.new_evidence.len());
+                acc.new_evidence.push((v, val));
+            }
         }
     }
+    let mut seen_weights: HashSet<usize> =
+        acc.changed_weights.iter().map(|&(w, _)| w).collect();
     for &(w, old) in &next.changed_weights {
-        if !acc.changed_weights.iter().any(|(aw, _)| *aw == w) {
+        if seen_weights.insert(w) {
             acc.changed_weights.push((w, old));
         }
     }
 }
 
 impl DeepDive {
-    /// Create an engine from a program, loaded base data, and UDFs.
-    pub fn new(
+    /// Start building an engine: program, database, UDFs, and config are all
+    /// named fields, and every misconfiguration is a typed [`EngineError`]
+    /// reported by [`DeepDiveBuilder::build`].
+    pub fn builder() -> DeepDiveBuilder {
+        DeepDiveBuilder::default()
+    }
+
+    /// Assemble the engine from already-validated parts ([`DeepDiveBuilder`]
+    /// is the public entrance).
+    pub(crate) fn from_parts(
         program: Program,
         db: Database,
         udfs: UdfRegistry,
         config: EngineConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, EngineError> {
         let pool = OnceLock::new();
         if let Some(n) = config.num_threads {
             let _ = pool.set(Arc::new(ThreadPool::new(n)));
         }
+        let empty = Arc::new(Snapshot::empty(config.fact_threshold));
         Ok(DeepDive {
             grounder: Grounder::new(program, db, udfs)?,
             config,
             pool,
             materialization: None,
+            materialized_epoch: None,
+            materialized_coverage: None,
             cumulative_change: DistributionChange::default(),
-            marginals: None,
             learned_weights: Vec::new(),
+            epoch: 0,
+            catalog_cache: Arc::new(HashMap::new()),
+            current: Arc::new(RwLock::new(empty)),
         })
     }
 
@@ -192,10 +259,6 @@ impl DeepDive {
         &self.config
     }
 
-    pub fn marginals(&self) -> Option<&Marginals> {
-        self.marginals.as_ref()
-    }
-
     pub fn materialization(&self) -> Option<&Materialization> {
         self.materialization.as_ref()
     }
@@ -204,10 +267,83 @@ impl DeepDive {
         &self.learned_weights
     }
 
+    // -------------------------------------------------------------- snapshots
+
+    /// The currently served snapshot (cheap: one `Arc` clone).  Epoch 0 — an
+    /// empty catalog — until the first completed run.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.reader().snapshot()
+    }
+
+    /// A cloneable handle serving threads can poll for the latest snapshot
+    /// while this engine keeps running updates.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader::new(Arc::clone(&self.current))
+    }
+
+    /// The engine's current epoch (number of completed runs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Commit one run's inference output: validate it, write it back into the
+    /// `<relation>_marginal` tables, and atomically publish it as the next
+    /// epoch's snapshot.  Validation happens first so a rejected result
+    /// touches neither the database nor the served snapshot; the write lock is
+    /// held only for the pointer swap.
+    fn commit_marginals(&mut self, marginals: Marginals) -> Result<(), EngineError> {
+        let num_variables = self.grounder.graph().num_variables();
+        if marginals.len() != num_variables {
+            return Err(EngineError::Inference {
+                stage: "snapshot publish",
+                detail: format!(
+                    "marginal vector covers {} of {num_variables} variables",
+                    marginals.len()
+                ),
+            });
+        }
+        if let Some(bad) = marginals.values().iter().find(|p| !p.is_finite()) {
+            return Err(EngineError::Inference {
+                stage: "snapshot publish",
+                detail: format!("non-finite marginal probability {bad}"),
+            });
+        }
+        self.grounder.write_back_marginals(marginals.values());
+
+        // Grounding only ever adds catalog entries, so an entry-count match
+        // means the cached index is still the current catalog.
+        let cached_entries: usize = self
+            .catalog_cache
+            .values()
+            .map(|index| index.len())
+            .sum();
+        if cached_entries != self.grounder.num_catalogued_variables() {
+            self.catalog_cache = Arc::new(snapshot::build_catalog(
+                self.grounder.variable_catalog(),
+            ));
+        }
+        self.epoch += 1;
+        let snapshot = Snapshot::publish(
+            self.epoch,
+            marginals,
+            self.learned_weights.clone(),
+            Arc::clone(&self.catalog_cache),
+            self.grounder.graph().stats(),
+            self.config.fact_threshold,
+        );
+        let next = Arc::new(snapshot);
+        match self.current.write() {
+            Ok(mut guard) => *guard = next,
+            Err(poisoned) => *poisoned.into_inner() = next,
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------ initial run
 
-    /// Run the full pipeline once: grounding, learning, inference.
-    pub fn initial_run(&mut self) -> Result<IterationReport, String> {
+    /// Run the full pipeline once: grounding, learning, inference; publishes
+    /// epoch 1's snapshot.
+    pub fn initial_run(&mut self) -> Result<IterationReport, EngineError> {
         let t0 = Instant::now();
         self.grounder.ground()?;
         let grounding_secs = t0.elapsed().as_secs_f64();
@@ -223,8 +359,7 @@ impl DeepDive {
         let t2 = Instant::now();
         let marginals = self.full_gibbs();
         let inference_secs = t2.elapsed().as_secs_f64();
-        self.write_back(&marginals);
-        self.marginals = Some(marginals);
+        self.commit_marginals(marginals)?;
 
         let stats = self.grounder.graph().stats();
         Ok(IterationReport {
@@ -243,19 +378,62 @@ impl DeepDive {
     /// Build the combined materialization (sampling + variational + strawman).
     pub fn materialize(&mut self) {
         self.materialization = Some(Materialization::build(self.grounder.graph(), &self.config));
+        self.materialized_epoch = Some(self.epoch);
+        self.materialized_coverage = Some((
+            self.grounder.graph().num_variables(),
+            self.grounder.graph().num_weights(),
+        ));
         self.cumulative_change = DistributionChange::default();
+    }
+
+    /// Re-run full inference over the current graph and publish a fresh epoch
+    /// without applying any update.
+    ///
+    /// This is the recovery path after [`EngineError::StaleMaterialization`]:
+    /// the rejected update's grounding (and model refresh) are already
+    /// applied, so `refresh()` — typically after [`DeepDive::materialize`] —
+    /// brings the served snapshot back in sync with the graph.  Do *not*
+    /// re-send the rejected update: its base-relation deltas have already
+    /// been applied, and applying them again inflates derivation counts.
+    pub fn refresh(&mut self) -> Result<IterationReport, EngineError> {
+        let t = Instant::now();
+        let marginals = self.full_gibbs();
+        let inference_secs = t.elapsed().as_secs_f64();
+        self.commit_marginals(marginals)?;
+        Ok(IterationReport {
+            mode: ExecutionMode::Rerun,
+            strategy: None,
+            grounding_secs: 0.0,
+            learning_secs: 0.0,
+            inference_secs,
+            acceptance_rate: None,
+            new_variables: 0,
+            new_factors: 0,
+            fell_back_to_variational: false,
+        })
     }
 
     // --------------------------------------------------------------- updates
 
-    /// Execute one KBC update in the given mode.
+    /// Execute one KBC update in the given mode; on success the next epoch's
+    /// snapshot is published and previously handed-out snapshots keep serving
+    /// their own epoch untouched.
     pub fn run_update(
         &mut self,
         update: &KbcUpdate,
         mode: ExecutionMode,
-    ) -> Result<IterationReport, String> {
+    ) -> Result<IterationReport, EngineError> {
+        // Rules arriving mid-stream get the same UDF-resolution guarantee the
+        // builder gives construction-time rules.  Checked before grounding,
+        // so a rejected update leaves the engine untouched.
+        crate::builder::check_tied_udfs(&update.new_rules, self.grounder.udfs())?;
+
         // Grounding is incremental in both modes.
         let pre_update_graph = self.grounder.graph().clone();
+        let (pre_update_vars, pre_update_weights) = (
+            pre_update_graph.num_variables(),
+            pre_update_graph.num_weights(),
+        );
         let t0 = Instant::now();
         let incremental = self.grounder.ground_incremental(update)?;
         let grounding_secs = t0.elapsed().as_secs_f64();
@@ -284,8 +462,7 @@ impl DeepDive {
                 let t2 = Instant::now();
                 let marginals = self.full_gibbs();
                 let inference_secs = t2.elapsed().as_secs_f64();
-                self.write_back(&marginals);
-                self.marginals = Some(marginals);
+                self.commit_marginals(marginals)?;
 
                 Ok(IterationReport {
                     mode,
@@ -300,12 +477,42 @@ impl DeepDive {
                 })
             }
             ExecutionMode::Incremental => {
+                // The variational strategy infers over (a clone of) the
+                // *materialized* approximate graph plus this update's delta,
+                // so it is only usable when that graph still covers every
+                // pre-update variable and weight — if an earlier update grew
+                // the graph past the materialization (e.g. it was served by
+                // sampling), a variational result would span the wrong id
+                // space and silently drop the newer facts from the snapshot.
+                // In that case fall back to full Gibbs (the sampling strategy
+                // is unaffected: it extends its stored proposals over new
+                // entities against the current full graph).
+                // Two conditions: the materialization must still cover the
+                // full pre-update graph (else the variational result spans
+                // the wrong id space and the newer facts vanish from the
+                // snapshot), and the delta's entity references must be
+                // in-bounds for the *approximate* graph it is applied to
+                // (whose unary/pairwise weight space is its own).
+                let variational_ok = match (&self.materialization, self.materialized_coverage) {
+                    (Some(mat), Some((vars, weights))) => {
+                        let approx = mat.variational.approx_graph();
+                        vars == pre_update_vars
+                            && weights == pre_update_weights
+                            && delta_compatible_with(
+                                &incremental.delta,
+                                approx.num_variables(),
+                                approx.num_weights(),
+                            )
+                    }
+                    _ => false,
+                };
+
                 // Incremental learning: only needed when the model itself must
                 // change (new features or new evidence); warmstarted from the
                 // previous weights.
                 let t1 = Instant::now();
                 let needs_learning =
-                    change.new_factors.iter().any(|_| true) || !change.new_evidence.is_empty();
+                    !change.new_factors.is_empty() || !change.new_evidence.is_empty();
                 if needs_learning {
                     let mut warm = self.learned_weights.clone();
                     warm.resize(self.grounder.graph().num_weights(), 0.0);
@@ -345,17 +552,22 @@ impl DeepDive {
                 merge_change(&mut self.cumulative_change, &change);
                 let change = self.cumulative_change.clone();
 
-                // A materialization taken before the graph grew cannot interpret a
-                // delta that references variables/weights it has never seen; in
-                // that (stale) case fall back to full Gibbs, as a user would
-                // re-materialize.
-                let variational_ok = self
-                    .materialization
-                    .as_ref()
-                    .map(|mat| {
-                        delta_compatible_with(&incremental.delta, mat.variational.approx_graph())
-                    })
-                    .unwrap_or(false);
+                // `strict_incremental` turns every would-be full-Gibbs
+                // fallback below into `StaleMaterialization` — exactly the
+                // spots the non-strict engine silently absorbs an unbounded
+                // latency spike.  Updates the materialization *can* serve
+                // (including sampling over entities it predates) pass through
+                // untouched.
+                let strict = self.config.strict_incremental;
+                let stale = |kind: StaleKind, s: &Self| EngineError::StaleMaterialization {
+                    kind,
+                    materialized_epoch: s.materialized_epoch,
+                    current_epoch: s.epoch,
+                };
+                let unknown_entities = |s: &Self| StaleKind::UnknownEntities {
+                    num_variables: s.grounder.graph().num_variables(),
+                    num_weights: s.grounder.graph().num_weights(),
+                };
 
                 let t2 = Instant::now();
                 let (marginals, acceptance_rate, fell_back) = match (&self.materialization, strategy)
@@ -374,6 +586,8 @@ impl DeepDive {
                                     &incremental.delta,
                                     &self.incremental_gibbs_options(),
                                 )
+                            } else if strict {
+                                return Err(stale(unknown_entities(self), self));
                             } else {
                                 self.full_gibbs()
                             };
@@ -388,14 +602,19 @@ impl DeepDive {
                             .infer(&incremental.delta, &self.incremental_gibbs_options());
                         (m, None, false)
                     }
+                    (Some(_), _) if strict => {
+                        return Err(stale(unknown_entities(self), self));
+                    }
+                    (None, _) if strict => {
+                        return Err(stale(StaleKind::NotMaterialized, self));
+                    }
                     _ => {
                         // Not materialized (or stale): fall back to full Gibbs.
                         (self.full_gibbs(), None, false)
                     }
                 };
                 let inference_secs = t2.elapsed().as_secs_f64();
-                self.write_back(&marginals);
-                self.marginals = Some(marginals);
+                self.commit_marginals(marginals)?;
 
                 Ok(IterationReport {
                     mode,
@@ -413,50 +632,25 @@ impl DeepDive {
     }
 
     // ---------------------------------------------------------------- outputs
+    //
+    // Thin wrappers over the current snapshot, kept for single-threaded
+    // callers; serving threads should hold a [`Snapshot`] (or a
+    // [`SnapshotReader`]) instead and query it directly.
 
     /// Facts of `relation` whose marginal probability is at least `threshold`.
     pub fn extract_facts(&self, relation: &str, threshold: f64) -> Vec<(Tuple, f64)> {
-        let Some(marginals) = &self.marginals else {
-            return Vec::new();
-        };
-        let mut facts: Vec<(Tuple, f64)> = self
-            .grounder
-            .variable_catalog()
-            .filter(|((rel, _), _)| rel == relation)
-            .filter_map(|((_, tuple), &var)| {
-                if var < marginals.len() {
-                    let p = marginals.get(var);
-                    if p >= threshold {
-                        return Some((tuple.clone(), p));
-                    }
-                }
-                None
-            })
-            .collect();
-        facts.sort_by(|a, b| a.0.cmp(&b.0));
-        facts
+        self.snapshot().extract_facts(relation, threshold)
     }
 
     /// Probability currently assigned to one tuple of a variable relation.
     pub fn probability_of(&self, relation: &str, tuple: &Tuple) -> Option<f64> {
-        let var = self.grounder.variable_for(relation, tuple)?;
-        let m = self.marginals.as_ref()?;
-        if var < m.len() {
-            Some(m.get(var))
-        } else {
-            None
-        }
+        self.snapshot().probability_of(relation, tuple)
     }
 
     /// Quality of the facts currently extracted from `relation` (using the
     /// configured threshold) against a ground-truth set.
     pub fn quality(&self, relation: &str, truth: &HashSet<Tuple>) -> QualityReport {
-        let extracted: Vec<Tuple> = self
-            .extract_facts(relation, self.config.fact_threshold)
-            .into_iter()
-            .map(|(t, _)| t)
-            .collect();
-        evaluate_quality(&extracted, truth)
+        self.snapshot().quality(relation, truth)
     }
 
     // ---------------------------------------------------------------- helpers
@@ -515,16 +709,12 @@ impl DeepDive {
         }
     }
 
-    fn write_back(&mut self, marginals: &Marginals) {
-        self.grounder.write_back_marginals(&marginals.values().to_vec());
-    }
 }
 
-/// True if every existing-entity reference of `delta` resolves inside `graph`
-/// (i.e. the materialization the delta will be applied to is not stale).
-fn delta_compatible_with(delta: &dd_factorgraph::GraphDelta, graph: &FactorGraph) -> bool {
-    let nv = graph.num_variables();
-    let nw = graph.num_weights();
+/// True if every existing-entity reference of `delta` resolves inside a graph
+/// with `nv` variables and `nw` weights (i.e. the materialization the delta
+/// will be applied to is not stale).
+fn delta_compatible_with(delta: &dd_factorgraph::GraphDelta, nv: usize, nw: usize) -> bool {
     let var_ok = |r: &dd_factorgraph::NewVarRef| match r {
         dd_factorgraph::NewVarRef::Existing(v) => *v < nv,
         dd_factorgraph::NewVarRef::New(_) => true,
@@ -632,13 +822,13 @@ mod tests {
     }
 
     fn engine() -> DeepDive {
-        DeepDive::new(
-            parse_program(PROGRAM).unwrap(),
-            database(),
-            standard_udfs(),
-            EngineConfig::fast(),
-        )
-        .unwrap()
+        DeepDive::builder()
+            .program(parse_program(PROGRAM).unwrap())
+            .database(database())
+            .udfs(standard_udfs())
+            .config(EngineConfig::fast())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -788,13 +978,12 @@ mod tests {
         let mut config = EngineConfig::fast();
         config.num_threads = Some(2);
         config.parallel_threshold = 1;
-        let mut dd = DeepDive::new(
-            parse_program(PROGRAM).unwrap(),
-            database(),
-            standard_udfs(),
-            config,
-        )
-        .unwrap();
+        let mut dd = DeepDive::builder()
+            .program(parse_program(PROGRAM).unwrap())
+            .database(database())
+            .config(config)
+            .build()
+            .unwrap();
         dd.initial_run().unwrap();
         let supervised = dd
             .probability_of("MarriedMentions", &tuple![10i64, 11i64])
@@ -821,5 +1010,214 @@ mod tests {
         let report = dd.run_update(&update, ExecutionMode::Incremental).unwrap();
         assert!(report.strategy.is_some());
         assert!(report.inference_secs >= 0.0);
+    }
+
+    #[test]
+    fn strict_incremental_reports_missing_materialization() {
+        let mut config = EngineConfig::fast();
+        config.strict_incremental = true;
+        let mut dd = DeepDive::builder()
+            .program(parse_program(PROGRAM).unwrap())
+            .database(database())
+            .config(config)
+            .build()
+            .unwrap();
+        dd.initial_run().unwrap();
+        let mut update = KbcUpdate::new();
+        update.insert("PersonCandidate", tuple![3i64, 32i64, "Joe"]);
+        let err = dd
+            .run_update(&update, ExecutionMode::Incremental)
+            .unwrap_err();
+        match err {
+            crate::error::EngineError::StaleMaterialization {
+                kind: StaleKind::NotMaterialized,
+                materialized_epoch: None,
+                current_epoch: 1,
+            } => {}
+            other => panic!("expected NotMaterialized at epoch 1, got {other:?}"),
+        }
+        // Recovery: materialize + refresh publishes a fresh epoch from the
+        // already-applied grounding, and the next update is served.
+        dd.materialize();
+        dd.refresh().unwrap();
+        assert_eq!(dd.epoch(), 2);
+        let mut update = KbcUpdate::new();
+        update.insert("PersonCandidate", tuple![3i64, 33i64, "Jill"]);
+        dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+        assert_eq!(dd.epoch(), 3);
+    }
+
+    #[test]
+    fn strict_incremental_serves_sampling_compatible_updates() {
+        // Growth the sampling strategy can serve does not trip strict mode:
+        // a new document adds variables the materialization predates, but the
+        // stored proposals extend over them (§3.2.2).
+        let mut config = EngineConfig::fast();
+        config.strict_incremental = true;
+        let mut dd = DeepDive::builder()
+            .program(parse_program(PROGRAM).unwrap())
+            .database(database())
+            .config(config)
+            .build()
+            .unwrap();
+        dd.initial_run().unwrap();
+        dd.materialize();
+        let mut update = KbcUpdate::new();
+        update
+            .insert("Sentence", tuple![4i64, "Franklin and his wife Eleanor hosted the gala"])
+            .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
+            .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
+        let report = dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+        assert_eq!(report.strategy, Some(StrategyChoice::Sampling));
+        assert!(!report.fell_back_to_variational);
+    }
+
+    #[test]
+    fn update_rule_with_unknown_udf_is_rejected_before_grounding() {
+        use dd_grounding::{Rule, RuleAtom, RuleKind, WeightSpec};
+        use dd_relstore::view::Term;
+
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        let vars_before = dd.graph().num_variables();
+        let epoch_before = dd.epoch();
+
+        let mut update = KbcUpdate::new();
+        update.insert("PersonCandidate", tuple![3i64, 32i64, "Joe"]);
+        update.add_rule(Rule::new(
+            "FE_typo",
+            RuleKind::FeatureExtraction,
+            RuleAtom::new("MarriedMentions", vec![Term::var("m1"), Term::var("m2")]),
+            vec![RuleAtom::new(
+                "MarriedCandidate",
+                vec![Term::var("m1"), Term::var("m2")],
+            )],
+            WeightSpec::Tied {
+                udf: "phrse".into(), // typo: not registered
+                args: vec![],
+            },
+        ));
+        let err = dd.run_update(&update, ExecutionMode::Incremental).unwrap_err();
+        match err {
+            EngineError::Udf { rule, udf, .. } => {
+                assert_eq!(rule, "FE_typo");
+                assert_eq!(udf, "phrse");
+            }
+            other => panic!("expected Udf error, got {other:?}"),
+        }
+        // Rejected before grounding: no data applied, no epoch published.
+        assert_eq!(dd.graph().num_variables(), vars_before);
+        assert_eq!(dd.epoch(), epoch_before);
+    }
+
+    #[test]
+    fn snapshots_are_epoch_consistent_across_updates() {
+        let mut dd = engine();
+        assert_eq!(dd.snapshot().epoch(), 0);
+        dd.initial_run().unwrap();
+        dd.materialize();
+        let epoch1 = dd.snapshot();
+        assert_eq!(epoch1.epoch(), 1);
+        let facts_before = epoch1.extract_facts("MarriedMentions", 0.0).len();
+
+        let mut update = KbcUpdate::new();
+        update
+            .insert("Sentence", tuple![4i64, "Franklin and his wife Eleanor hosted the gala"])
+            .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
+            .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
+        dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+
+        // The old handle still serves its own epoch: the new pair is invisible.
+        assert_eq!(epoch1.epoch(), 1);
+        assert_eq!(epoch1.probability_of("MarriedMentions", &tuple![40i64, 41i64]), None);
+        assert_eq!(epoch1.extract_facts("MarriedMentions", 0.0).len(), facts_before);
+        // The fresh snapshot sees it.
+        let epoch2 = dd.snapshot();
+        assert_eq!(epoch2.epoch(), 2);
+        assert!(epoch2
+            .probability_of("MarriedMentions", &tuple![40i64, 41i64])
+            .is_some());
+    }
+
+    #[test]
+    fn strict_mode_serves_variational_updates_on_a_fresh_materialization() {
+        // A supervision-only update right after materialize() routes to the
+        // variational strategy and must be *served*, not rejected: strict
+        // mode distinguishes a usable materialization (full-graph coverage
+        // recorded at materialize time) from the approximate graph's own
+        // unary/pairwise weight space, whose counts never match the model's.
+        let mut config = EngineConfig::fast();
+        config.strict_incremental = true;
+        let mut dd = DeepDive::builder()
+            .program(parse_program(PROGRAM).unwrap())
+            .database(database())
+            .config(config)
+            .build()
+            .unwrap();
+        dd.initial_run().unwrap();
+        dd.materialize();
+
+        let mut update = KbcUpdate::new();
+        update
+            .insert("EL", tuple![20i64, "George_Bush_1"])
+            .insert("EL", tuple![21i64, "Laura_Bush_1"])
+            .insert("Married", tuple!["George_Bush_1", "Laura_Bush_1"]);
+        let report = dd
+            .run_update(&update, ExecutionMode::Incremental)
+            .expect("fresh materialization must serve the variational update");
+        assert_eq!(report.strategy, Some(StrategyChoice::Variational));
+        assert_eq!(
+            dd.probability_of("MarriedMentions", &tuple![20i64, 21i64]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn variational_update_after_sampling_served_growth_keeps_full_coverage() {
+        // materialize() at N variables; a document update grows the graph
+        // (served by sampling); a later supervision-only update routes to the
+        // variational strategy, whose materialized approx graph predates the
+        // growth.  The engine must notice the stale coverage and fall back,
+        // publishing marginals over the *full* graph — the grown fact stays
+        // visible in every later epoch.
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        dd.materialize();
+
+        let mut grow = KbcUpdate::new();
+        grow.insert("Sentence", tuple![4i64, "Franklin and his wife Eleanor hosted the gala"])
+            .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
+            .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
+        let report = dd.run_update(&grow, ExecutionMode::Incremental).unwrap();
+        assert_eq!(report.strategy, Some(StrategyChoice::Sampling));
+        assert_eq!(report.new_variables, 1);
+
+        let mut label = KbcUpdate::new();
+        label
+            .insert("EL", tuple![20i64, "George_Bush_1"])
+            .insert("EL", tuple![21i64, "Laura_Bush_1"])
+            .insert("Married", tuple!["George_Bush_1", "Laura_Bush_1"]);
+        dd.run_update(&label, ExecutionMode::Incremental).unwrap();
+
+        let snap = dd.snapshot();
+        assert_eq!(snap.stats().num_variables, snap.marginals().len());
+        assert!(
+            snap.probability_of("MarriedMentions", &tuple![40i64, 41i64]).is_some(),
+            "fact from the sampling-served growth update must survive the later epoch"
+        );
+        assert_eq!(snap.probability_of("MarriedMentions", &tuple![20i64, 21i64]), Some(1.0));
+    }
+
+    #[test]
+    fn fact_query_on_engine_snapshot_paginates() {
+        let mut dd = engine();
+        dd.initial_run().unwrap();
+        let snap = dd.snapshot();
+        let all = snap.facts("MarriedMentions").run();
+        assert_eq!(all.len(), 3);
+        let top = snap.facts("MarriedMentions").top_k(1).run();
+        assert_eq!(top[0].0, tuple![10i64, 11i64]); // the supervised pair at 1.0
+        let page = snap.facts("MarriedMentions").offset(2).limit(5).run();
+        assert_eq!(page.len(), 1);
     }
 }

@@ -1,0 +1,186 @@
+//! The engine's typed error surface.
+//!
+//! Every fallible public API of the `deepdive` crate returns [`EngineError`].
+//! Each variant carries the source payload of the layer that failed, so a
+//! serving deployment can branch on the failure class — reject a bad program at
+//! build time, surface a schema conflict to the data loader, or trigger
+//! re-materialization on [`EngineError::StaleMaterialization`] — without ever
+//! parsing an error string.
+
+use dd_grounding::{GroundingError, ParseError};
+use dd_relstore::RelError;
+use std::fmt;
+
+/// Why an incremental update could not be served from the stored
+/// materialization (only raised when
+/// [`crate::EngineConfig::strict_incremental`] is set; the default behavior is
+/// to fall back to full Gibbs sampling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaleKind {
+    /// [`crate::DeepDive::materialize`] was never called.
+    NotMaterialized,
+    /// The update references variables or weights created after the
+    /// materialization was taken, so the stored samples and approximate
+    /// factorization cannot interpret the delta.
+    UnknownEntities {
+        /// Variables in the graph now.
+        num_variables: usize,
+        /// Weights in the graph now.
+        num_weights: usize,
+    },
+}
+
+/// Any failure raised by the DeepDive engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The program text handed to the builder did not parse.
+    Parse(ParseError),
+    /// A pre-loaded table's schema conflicts with the program's declaration of
+    /// the same relation, or a relational operation failed.
+    Schema(RelError),
+    /// Program validation or rule evaluation failed in the grounding layer.
+    Grounding(GroundingError),
+    /// A rule ties its weight through a UDF that is not registered.
+    Udf {
+        /// The rule whose `weight = udf(…)` clause references the UDF.
+        rule: String,
+        /// The missing UDF name.
+        udf: String,
+        /// The names that *are* registered, for the error message.
+        available: Vec<String>,
+    },
+    /// An internal invariant of the inference pipeline was violated (e.g. the
+    /// sampler returned a marginal vector that does not cover the graph).
+    Inference {
+        /// The pipeline stage that failed.
+        stage: &'static str,
+        detail: String,
+    },
+    /// A strict-mode incremental update could not be served from the stored
+    /// materialization — raised exactly where the non-strict engine would
+    /// silently fall back to full Gibbs sampling.  The update's grounding and
+    /// model refresh are already applied (and, on the samples-exhausted path,
+    /// a sampling pass has already run and been discarded), but no result was
+    /// published: readers keep serving the previous epoch.  Recover with
+    /// [`crate::DeepDive::materialize`] followed by
+    /// [`crate::DeepDive::refresh`]; do *not* re-send the same update (its
+    /// base-relation deltas are already applied).
+    StaleMaterialization {
+        kind: StaleKind,
+        /// Engine epoch at which the materialization was taken, if any.
+        materialized_epoch: Option<u64>,
+        /// Engine epoch when the update was attempted.
+        current_epoch: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "program parse failed: {e}"),
+            EngineError::Schema(e) => write!(f, "schema conflict: {e}"),
+            EngineError::Grounding(e) => write!(f, "grounding failed: {e}"),
+            EngineError::Udf { rule, udf, available } => write!(
+                f,
+                "rule `{rule}` ties its weight through unregistered UDF `{udf}` (registered: {})",
+                if available.is_empty() {
+                    "none".to_string()
+                } else {
+                    available.join(", ")
+                }
+            ),
+            EngineError::Inference { stage, detail } => {
+                write!(f, "inference invariant violated during {stage}: {detail}")
+            }
+            EngineError::StaleMaterialization {
+                kind,
+                materialized_epoch,
+                current_epoch,
+            } => {
+                match kind {
+                    StaleKind::NotMaterialized => write!(
+                        f,
+                        "strict incremental update at epoch {current_epoch} but the engine was never materialized"
+                    )?,
+                    StaleKind::UnknownEntities {
+                        num_variables,
+                        num_weights,
+                    } => write!(
+                        f,
+                        "materialization taken at epoch {} is stale at epoch {current_epoch}: the graph has grown to {num_variables} variables / {num_weights} weights",
+                        materialized_epoch.unwrap_or(0)
+                    )?,
+                }
+                write!(f, "; call materialize() then refresh()")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Schema(e) => Some(e),
+            EngineError::Grounding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<RelError> for EngineError {
+    fn from(e: RelError) -> Self {
+        EngineError::Schema(e)
+    }
+}
+
+impl From<GroundingError> for EngineError {
+    fn from(e: GroundingError) -> Self {
+        EngineError::Grounding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_grounding::ProgramError;
+
+    #[test]
+    fn conversion_chain_preserves_the_source() {
+        use std::error::Error;
+        let inner = GroundingError::Program(ProgramError::CyclicCandidateRules);
+        let e: EngineError = inner.into();
+        let source = e.source().expect("grounding source");
+        assert!(source.to_string().contains("cyclic"));
+        // ...and the grounding error itself chains down to the program error.
+        assert!(source.source().is_some());
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let e = EngineError::Udf {
+            rule: "FE1".into(),
+            udf: "phrse".into(),
+            available: vec!["phrase".into(), "identity".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("FE1") && msg.contains("phrse") && msg.contains("phrase"));
+
+        let e = EngineError::StaleMaterialization {
+            kind: StaleKind::UnknownEntities {
+                num_variables: 12,
+                num_weights: 4,
+            },
+            materialized_epoch: Some(3),
+            current_epoch: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("epoch 3") && msg.contains("epoch 5") && msg.contains("materialize()"));
+    }
+}

@@ -8,11 +8,29 @@
 //! scratch (`Rerun`) or incrementally (`Incremental`), which is the comparison
 //! of the paper's evaluation (§4).
 //!
+//! The public API is organized around three pillars:
+//!
+//! * **Builder construction** — [`DeepDive::builder`] names every input
+//!   (program, database, UDFs, config) and validates the whole configuration
+//!   at [`builder::DeepDiveBuilder::build`] time.
+//! * **Typed errors** — every fallible path returns [`error::EngineError`],
+//!   with source payloads chaining down to the grounding and relational
+//!   layers; no `Result<_, String>` anywhere.
+//! * **Lock-free read snapshots** — [`DeepDive::initial_run`] /
+//!   [`DeepDive::run_update`] atomically publish an immutable
+//!   [`snapshot::Snapshot`] per epoch; any number of serving threads query
+//!   `Arc<Snapshot>` handles (see [`DeepDive::reader`]) while the next update
+//!   grounds, learns, and infers.
+//!
 //! Modules:
 //!
 //! * [`config`]   — engine configuration (sampler, learner, materialization).
+//! * [`builder`]  — [`builder::DeepDiveBuilder`], the validated constructor.
+//! * [`error`]    — [`error::EngineError`] and its payload types.
 //! * [`engine`]   — the [`DeepDive`] engine: initial run, materialization,
-//!   Rerun vs Incremental update execution, fact extraction.
+//!   Rerun vs Incremental update execution, snapshot publication.
+//! * [`snapshot`] — [`snapshot::Snapshot`], [`snapshot::FactQuery`], and the
+//!   [`snapshot::SnapshotReader`] serving handle.
 //! * [`materialization`] — the combined sampling + variational materialization
 //!   (§3.3: both are materialized, the choice is deferred to inference time).
 //! * [`optimizer`] — the rule-based strategy optimizer of §3.3.
@@ -28,18 +46,24 @@
 //! `PERFORMANCE.md` at the repo root for the runtime design and measured
 //! numbers, and `ARCHITECTURE.md` for the paper-to-module map.
 
+pub mod builder;
 pub mod config;
 pub mod decomposition;
 pub mod engine;
+pub mod error;
 pub mod incremental_learning;
 pub mod materialization;
 pub mod optimizer;
 pub mod quality;
+pub mod snapshot;
 
+pub use builder::DeepDiveBuilder;
 pub use config::EngineConfig;
 pub use decomposition::{decompose, DecompositionGroup};
 pub use engine::{DeepDive, ExecutionMode, IterationReport};
+pub use error::{EngineError, StaleKind};
 pub use incremental_learning::{compare_learning_strategies, LearningComparison};
 pub use materialization::Materialization;
 pub use optimizer::{choose_strategy, StrategyChoice};
 pub use quality::{evaluate_quality, QualityReport};
+pub use snapshot::{FactQuery, Snapshot, SnapshotReader};

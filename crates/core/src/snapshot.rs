@@ -1,0 +1,412 @@
+//! Lock-free read snapshots for online serving.
+//!
+//! The paper's system is an *online* KBC service: analysts and applications
+//! query the current knowledge base continuously while incremental updates land
+//! (§1, §3.3).  A [`Snapshot`] is the read half of that split — an immutable,
+//! `Send + Sync` view bundling the marginals, the learned weights, the
+//! `(relation, tuple) → variable` catalog, the graph statistics, and an epoch
+//! number.  [`crate::DeepDive::initial_run`] and [`crate::DeepDive::run_update`]
+//! publish a fresh snapshot atomically (a pointer swap under a briefly-held
+//! write lock); readers hold `Arc<Snapshot>` handles, so every query they run
+//! touches no lock at all and always observes one consistent epoch — the same
+//! snapshot-isolation structure HTAP designs use to let analytical readers run
+//! against a stable version while the update path proceeds.
+//!
+//! ```
+//! use deepdive::{DeepDive, EngineConfig};
+//! use dd_grounding::standard_udfs;
+//! use dd_relstore::{tuple, Database, DataType, Schema};
+//!
+//! let mut db = Database::new();
+//! db.create_table("Claim", Schema::of(&[("id", DataType::Int)])).unwrap();
+//! db.create_table("Label", Schema::of(&[("id", DataType::Int)])).unwrap();
+//! db.insert_all("Claim", vec![tuple![1i64], tuple![2i64]]).unwrap();
+//! db.insert_all("Label", vec![tuple![1i64]]).unwrap();
+//!
+//! let mut dd = DeepDive::builder()
+//!     .program_text(r#"
+//!         relation Claim(id: int) base.
+//!         relation Label(id: int) base.
+//!         relation Fact(id: int) variable.
+//!         rule F feature: Fact(id) :- Claim(id) weight = 1.5.
+//!         rule S supervision+: Fact(id) :- Claim(id), Label(id).
+//!     "#)
+//!     .database(db)
+//!     .config(EngineConfig::fast())
+//!     .build()
+//!     .unwrap();
+//! dd.initial_run().unwrap();
+//!
+//! // A snapshot is a cheap Arc clone; hand it to any number of threads.
+//! let snap = dd.snapshot();
+//! assert_eq!(snap.epoch(), 1);
+//! assert_eq!(snap.probability_of("Fact", &tuple![1i64]), Some(1.0));
+//! let top = snap.facts("Fact").min_probability(0.5).top_k(1).run();
+//! assert_eq!(top[0].0, tuple![1i64]);
+//! ```
+
+use crate::quality::{evaluate_quality, QualityReport};
+use dd_factorgraph::GraphStats;
+use dd_inference::Marginals;
+use dd_relstore::Tuple;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
+
+/// One relation's slice of the variable catalog, pre-indexed for serving: a
+/// single tuple-sorted vector, so scans are pre-ordered (un-ranked queries
+/// never sort) and point lookups are allocation-free binary searches.
+#[derive(Debug, Default)]
+pub(crate) struct RelationIndex {
+    sorted: Vec<(Tuple, usize)>,
+}
+
+impl RelationIndex {
+    /// Number of catalogued tuples in this relation.
+    pub(crate) fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Variable id of `tuple`, if catalogued.
+    fn get(&self, tuple: &Tuple) -> Option<usize> {
+        self.sorted
+            .binary_search_by(|(t, _)| t.cmp(tuple))
+            .ok()
+            .map(|i| self.sorted[i].1)
+    }
+}
+
+/// Build the per-relation serving index from `(relation, tuple) → variable`
+/// catalog entries (one tuple clone per entry).
+pub(crate) fn build_catalog<'a>(
+    entries: impl Iterator<Item = (&'a (String, Tuple), &'a usize)>,
+) -> HashMap<String, RelationIndex> {
+    let mut catalog: HashMap<String, RelationIndex> = HashMap::new();
+    for ((relation, tuple), &var) in entries {
+        catalog
+            .entry(relation.clone())
+            .or_default()
+            .sorted
+            .push((tuple.clone(), var));
+    }
+    for index in catalog.values_mut() {
+        index.sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    catalog
+}
+
+/// An immutable, shareable view of the knowledge base at one epoch.
+///
+/// All read APIs of the engine live here; [`crate::DeepDive`]'s read methods
+/// are thin wrappers over its current snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    marginals: Marginals,
+    weights: Vec<f64>,
+    /// Per-relation variable catalog, frozen at publish time.  Shared with the
+    /// engine (and with other epochs' snapshots): republishing without graph
+    /// growth is one `Arc` clone; growth re-indexes the catalog once.
+    catalog: Arc<HashMap<String, RelationIndex>>,
+    stats: GraphStats,
+    /// The engine's fact-extraction threshold at publish time (used by
+    /// [`Snapshot::quality`]).
+    fact_threshold: f64,
+}
+
+impl Snapshot {
+    /// The empty epoch-0 snapshot an engine holds before any run.
+    pub(crate) fn empty(fact_threshold: f64) -> Self {
+        Snapshot {
+            epoch: 0,
+            marginals: Marginals::zeros(0),
+            weights: Vec::new(),
+            catalog: Arc::new(HashMap::new()),
+            stats: GraphStats {
+                num_variables: 0,
+                num_query_variables: 0,
+                num_evidence_variables: 0,
+                num_factors: 0,
+                num_weights: 0,
+                weight_density: 0.0,
+                avg_degree: 0.0,
+            },
+            fact_threshold,
+        }
+    }
+
+    pub(crate) fn publish(
+        epoch: u64,
+        marginals: Marginals,
+        weights: Vec<f64>,
+        catalog: Arc<HashMap<String, RelationIndex>>,
+        stats: GraphStats,
+        fact_threshold: f64,
+    ) -> Self {
+        Snapshot {
+            epoch,
+            marginals,
+            weights,
+            catalog,
+            stats,
+            fact_threshold,
+        }
+    }
+
+    /// The epoch this snapshot was published at (0 = never ran, then +1 per
+    /// completed `initial_run` / `run_update`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Marginal probabilities, one per variable.
+    pub fn marginals(&self) -> &Marginals {
+        &self.marginals
+    }
+
+    /// The learned weight vector of this epoch's model.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Graph statistics at publish time.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+
+    /// Number of `(relation, tuple)` entries in the variable catalog.
+    pub fn num_catalogued_variables(&self) -> usize {
+        self.catalog.values().map(|index| index.sorted.len()).sum()
+    }
+
+    /// Probability currently assigned to one tuple of a variable relation
+    /// (allocation-free: a binary search in the per-relation index).
+    pub fn probability_of(&self, relation: &str, tuple: &Tuple) -> Option<f64> {
+        let var = self.catalog.get(relation)?.get(tuple)?;
+        (var < self.marginals.len()).then(|| self.marginals.get(var))
+    }
+
+    /// Facts of `relation` whose marginal probability is at least `threshold`,
+    /// sorted by tuple.  Convenience wrapper over [`Snapshot::facts`].
+    pub fn extract_facts(&self, relation: &str, threshold: f64) -> Vec<(Tuple, f64)> {
+        self.facts(relation).min_probability(threshold).run()
+    }
+
+    /// Start building a paginated fact query against this snapshot.
+    pub fn facts<'a>(&'a self, relation: &'a str) -> FactQuery<'a> {
+        FactQuery {
+            snapshot: self,
+            relation,
+            min_probability: 0.0,
+            top_k: None,
+            offset: 0,
+            limit: None,
+        }
+    }
+
+    /// Quality of the facts extracted from `relation` at the engine's
+    /// configured threshold, against a ground-truth set.
+    pub fn quality(&self, relation: &str, truth: &HashSet<Tuple>) -> QualityReport {
+        let extracted: Vec<Tuple> = self
+            .extract_facts(relation, self.fact_threshold)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        evaluate_quality(&extracted, truth)
+    }
+}
+
+/// A cloneable, thread-safe handle onto an engine's *current* snapshot.
+///
+/// Obtained from [`crate::DeepDive::reader`] and handed to serving threads:
+/// each call to [`SnapshotReader::snapshot`] returns the most recently
+/// published epoch as a cheap `Arc` clone.  The engine's publish step swaps the
+/// pointer under a write lock held only for the swap itself, so readers never
+/// wait on grounding, learning, or inference — once a reader holds an
+/// `Arc<Snapshot>`, every query on it is lock-free and epoch-consistent.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    current: Arc<RwLock<Arc<Snapshot>>>,
+}
+
+impl SnapshotReader {
+    pub(crate) fn new(current: Arc<RwLock<Arc<Snapshot>>>) -> Self {
+        SnapshotReader { current }
+    }
+
+    /// The most recently published snapshot (cheap: one `Arc` clone under a
+    /// briefly-held read lock).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        // A poisoned lock can only mean a panic during the pointer swap
+        // itself; the Arc inside is still valid, so recover it.
+        match self.current.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+
+    /// The epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+}
+
+/// A builder-style query over one relation's facts in a [`Snapshot`].
+///
+/// Filters by probability threshold, optionally keeps only the `top_k` most
+/// probable facts, and paginates with `offset`/`limit`.  Results are ordered by
+/// descending probability when `top_k` is set and by tuple otherwise, so pages
+/// are stable for a given snapshot.
+#[derive(Debug, Clone)]
+pub struct FactQuery<'a> {
+    snapshot: &'a Snapshot,
+    relation: &'a str,
+    min_probability: f64,
+    top_k: Option<usize>,
+    offset: usize,
+    limit: Option<usize>,
+}
+
+impl<'a> FactQuery<'a> {
+    /// Keep only facts with probability at least `p`.
+    pub fn min_probability(mut self, p: f64) -> Self {
+        self.min_probability = p;
+        self
+    }
+
+    /// Keep only the `k` most probable facts (switches the result order to
+    /// descending probability, ties broken by tuple).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Skip the first `n` facts of the ordered result (pagination).
+    pub fn offset(mut self, n: usize) -> Self {
+        self.offset = n;
+        self
+    }
+
+    /// Return at most `n` facts after the offset (pagination).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Execute the query.  The per-relation index is pre-sorted by tuple, so
+    /// an un-ranked page costs O(offset + limit) clones; only ranked
+    /// (`top_k`) queries materialize (and sort) the whole surviving set.
+    pub fn run(self) -> Vec<(Tuple, f64)> {
+        let Some(index) = self.snapshot.catalog.get(self.relation) else {
+            return Vec::new();
+        };
+        let marginals = &self.snapshot.marginals;
+        // Filter before cloning: only facts that reach the page allocate.
+        let surviving = index.sorted.iter().filter_map(|(tuple, var)| {
+            let p = (*var < marginals.len()).then(|| marginals.get(*var))?;
+            (p >= self.min_probability).then_some((tuple, p))
+        });
+        let limit = self.limit.unwrap_or(usize::MAX);
+        match self.top_k {
+            Some(k) => {
+                let mut facts: Vec<(Tuple, f64)> =
+                    surviving.map(|(tuple, p)| (tuple.clone(), p)).collect();
+                facts.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                facts.truncate(k);
+                facts.into_iter().skip(self.offset).take(limit).collect()
+            }
+            None => surviving
+                .skip(self.offset)
+                .take(limit)
+                .map(|(tuple, p)| (tuple.clone(), p))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_relstore::tuple;
+
+    fn snapshot() -> Snapshot {
+        let mut catalog = HashMap::new();
+        catalog.insert(("Fact".to_string(), tuple![1i64]), 0usize);
+        catalog.insert(("Fact".to_string(), tuple![2i64]), 1usize);
+        catalog.insert(("Fact".to_string(), tuple![3i64]), 2usize);
+        catalog.insert(("Other".to_string(), tuple![9i64]), 3usize);
+        Snapshot::publish(
+            4,
+            Marginals::from_values(vec![1.0, 0.7, 0.2, 0.5]),
+            vec![1.5, -0.5],
+            Arc::new(build_catalog(catalog.iter())),
+            Snapshot::empty(0.9).stats,
+            0.9,
+        )
+    }
+
+    #[test]
+    fn probability_lookup_and_epoch() {
+        let s = snapshot();
+        assert_eq!(s.epoch(), 4);
+        assert_eq!(s.probability_of("Fact", &tuple![1i64]), Some(1.0));
+        assert_eq!(s.probability_of("Fact", &tuple![42i64]), None);
+        assert_eq!(s.probability_of("Nothing", &tuple![1i64]), None);
+        assert_eq!(s.weights(), &[1.5, -0.5]);
+    }
+
+    #[test]
+    fn fact_query_threshold_and_order() {
+        let s = snapshot();
+        let all = s.facts("Fact").run();
+        assert_eq!(all.len(), 3);
+        // default order: by tuple
+        assert_eq!(all[0].0, tuple![1i64]);
+        let high = s.facts("Fact").min_probability(0.5).run();
+        assert_eq!(high.len(), 2);
+        assert!(s.facts("Nothing").run().is_empty());
+    }
+
+    #[test]
+    fn fact_query_top_k_orders_by_probability() {
+        let s = snapshot();
+        let top = s.facts("Fact").top_k(2).run();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (tuple![1i64], 1.0));
+        assert_eq!(top[1], (tuple![2i64], 0.7));
+    }
+
+    #[test]
+    fn fact_query_pagination() {
+        let s = snapshot();
+        let page1 = s.facts("Fact").limit(2).run();
+        let page2 = s.facts("Fact").offset(2).limit(2).run();
+        assert_eq!(page1.len(), 2);
+        assert_eq!(page2.len(), 1);
+        assert_eq!(page1[0].0, tuple![1i64]);
+        assert_eq!(page2[0].0, tuple![3i64]);
+        // offset past the end is empty, not a panic
+        assert!(s.facts("Fact").offset(10).run().is_empty());
+    }
+
+    #[test]
+    fn quality_uses_the_published_threshold() {
+        let s = snapshot();
+        let truth: HashSet<Tuple> = [tuple![1i64]].into_iter().collect();
+        let q = s.quality("Fact", &truth);
+        // threshold 0.9 extracts only tuple 1 -> perfect precision and recall
+        assert_eq!(q.extracted, 1);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<std::sync::Arc<Snapshot>>();
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed errors for program validation and grounding.
+//!
+//! Grounding can fail for two reasons: the program itself is ill-formed
+//! ([`ProgramError`]) or a rule evaluation hit the relational substrate with a
+//! malformed query ([`dd_relstore::RelError`]).  [`GroundingError`] wraps both
+//! with a `source()` chain so callers (the engine, examples, tests) can match
+//! on the failure class instead of parsing strings.
+
+use crate::ast::RuleKind;
+use crate::program::RelationRole;
+use dd_relstore::RelError;
+use std::fmt;
+
+/// A structural problem with a DeepDive program, detected by
+/// [`crate::Program::validate`] before any rule is evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A rule heads into a relation that was never declared.
+    UndeclaredHead { rule: String, relation: String },
+    /// A rule body reads a relation that was never declared.
+    UndeclaredBody { rule: String, relation: String },
+    /// A weighted or supervision rule heads into a non-variable relation.
+    NonVariableHead {
+        rule: String,
+        kind: RuleKind,
+        relation: String,
+        role: RelationRole,
+    },
+    /// A candidate-mapping rule writes into a base relation.
+    CandidateHeadIsBase { rule: String, relation: String },
+    /// The candidate-mapping rules have a cyclic dependency and cannot be
+    /// stratified.
+    CyclicCandidateRules,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UndeclaredHead { rule, relation } => {
+                write!(f, "rule `{rule}` heads into undeclared relation `{relation}`")
+            }
+            ProgramError::UndeclaredBody { rule, relation } => {
+                write!(f, "rule `{rule}` reads undeclared relation `{relation}`")
+            }
+            ProgramError::NonVariableHead {
+                rule,
+                kind,
+                relation,
+                role,
+            } => write!(
+                f,
+                "rule `{rule}` ({kind:?}) must head into a variable relation, but `{relation}` is {role:?}"
+            ),
+            ProgramError::CandidateHeadIsBase { rule, relation } => {
+                write!(f, "candidate rule `{rule}` cannot write into base relation `{relation}`")
+            }
+            ProgramError::CyclicCandidateRules => {
+                write!(f, "candidate-mapping rules are cyclic and cannot be stratified")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Any failure raised by the grounding layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroundingError {
+    /// The program failed structural validation.
+    Program(ProgramError),
+    /// A rule evaluation failed inside the relational substrate.
+    Relational(RelError),
+}
+
+impl fmt::Display for GroundingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundingError::Program(e) => write!(f, "invalid program: {e}"),
+            GroundingError::Relational(e) => write!(f, "rule evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GroundingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GroundingError::Program(e) => Some(e),
+            GroundingError::Relational(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProgramError> for GroundingError {
+    fn from(e: ProgramError) -> Self {
+        GroundingError::Program(e)
+    }
+}
+
+impl From<RelError> for GroundingError {
+    fn from(e: RelError) -> Self {
+        GroundingError::Relational(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_rule_and_relation() {
+        let e = ProgramError::UndeclaredBody {
+            rule: "FE1".into(),
+            relation: "Nowhere".into(),
+        };
+        assert!(e.to_string().contains("FE1"));
+        assert!(e.to_string().contains("Nowhere"));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_relational_error() {
+        use std::error::Error;
+        let e = GroundingError::from(RelError::NoSuchTable("Mentions".into()));
+        let source = e.source().expect("has a source");
+        assert!(source.to_string().contains("Mentions"));
+    }
+
+    #[test]
+    fn program_errors_convert() {
+        let e: GroundingError = ProgramError::CyclicCandidateRules.into();
+        assert!(matches!(
+            e,
+            GroundingError::Program(ProgramError::CyclicCandidateRules)
+        ));
+    }
+}

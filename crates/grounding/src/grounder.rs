@@ -8,6 +8,7 @@
 //! incremental grounder in [`crate::incremental`] updates all of them in place.
 
 use crate::ast::{Rule, RuleKind, WeightSpec};
+use crate::error::{GroundingError, ProgramError};
 use crate::program::{Program, RelationRole};
 use crate::udf::UdfRegistry;
 use dd_factorgraph::{
@@ -49,7 +50,11 @@ pub struct Grounder {
 impl Grounder {
     /// Create a grounder over a program, database, and UDF registry.  Declared
     /// relations missing from the database are created empty.
-    pub fn new(program: Program, mut db: Database, udfs: UdfRegistry) -> Result<Self, String> {
+    pub fn new(
+        program: Program,
+        mut db: Database,
+        udfs: UdfRegistry,
+    ) -> Result<Self, GroundingError> {
         program.validate()?;
         program.create_schema(&mut db);
         Ok(Grounder {
@@ -108,6 +113,11 @@ impl Grounder {
         self.var_catalog.iter()
     }
 
+    /// Number of entries in the `(relation, tuple) → variable` catalog.
+    pub fn num_catalogued_variables(&self) -> usize {
+        self.var_catalog.len()
+    }
+
     /// Weight id for a tying key, if known.
     pub fn weight_for(&self, description: &str) -> Option<WeightId> {
         self.weight_catalog.get(description).copied()
@@ -121,17 +131,17 @@ impl Grounder {
     // ---------------------------------------------------------------- grounding
 
     /// Ground the whole program from scratch.
-    pub fn ground(&mut self) -> Result<GroundingResult, String> {
+    pub fn ground(&mut self) -> Result<GroundingResult, GroundingError> {
         // Phase 1: candidate mappings in stratified order.
         let ordered: Vec<Rule> = self
             .program
             .stratified_candidate_rules()
-            .ok_or_else(|| "candidate-mapping rules are cyclic".to_string())?
+            .ok_or(ProgramError::CyclicCandidateRules)?
             .into_iter()
             .cloned()
             .collect();
         for rule in &ordered {
-            self.evaluate_candidate_rule(rule).map_err(|e| e.to_string())?;
+            self.evaluate_candidate_rule(rule)?;
         }
 
         // Phase 2: weighted and supervision rules.
@@ -148,7 +158,7 @@ impl Grounder {
             .cloned()
             .collect();
         for rule in &rules {
-            self.ground_rule(rule).map_err(|e| e.to_string())?;
+            self.ground_rule(rule)?;
         }
 
         Ok(self.result())
@@ -376,13 +386,12 @@ impl Grounder {
 
     /// Write marginal probabilities back into a `<relation>_marginal` table:
     /// `(original columns…, probability)`.  This mirrors DeepDive reloading each
-    /// tuple into the database with its marginal probability (§2.5).
-    pub fn write_back_marginals(&mut self, marginals: &dyn dd_inference_marginals::MarginalsLike) {
-        // The inference crate is not a dependency of this crate (to keep the
-        // build DAG clean), so the engine passes marginals through a tiny trait.
+    /// tuple into the database with its marginal probability (§2.5).  The slice
+    /// is indexed by variable id; variables beyond its end are skipped.
+    pub fn write_back_marginals(&mut self, marginals: &[f64]) {
         let mut rows: HashMap<String, Vec<(Tuple, f64)>> = HashMap::new();
         for ((relation, tuple), &var) in &self.var_catalog {
-            if let Some(p) = marginals.probability(var) {
+            if let Some(&p) = marginals.get(var) {
                 rows.entry(relation.clone()).or_default().push((tuple.clone(), p));
             }
         }
@@ -410,27 +419,6 @@ impl Grounder {
                 values.push(Value::Float(p));
                 let _ = table.insert(Tuple::new(values));
             }
-        }
-    }
-}
-
-/// A minimal abstraction over "something that knows the probability of a
-/// variable", so this crate does not need to depend on the inference crate.
-pub mod dd_inference_marginals {
-    /// Anything that can report a per-variable probability.
-    pub trait MarginalsLike {
-        fn probability(&self, var: usize) -> Option<f64>;
-    }
-
-    impl MarginalsLike for Vec<f64> {
-        fn probability(&self, var: usize) -> Option<f64> {
-            self.get(var).copied()
-        }
-    }
-
-    impl MarginalsLike for &[f64] {
-        fn probability(&self, var: usize) -> Option<f64> {
-            self.get(var).copied()
         }
     }
 }
@@ -724,6 +712,8 @@ mod tests {
         let n = g.graph().num_variables();
         let marginals: Vec<f64> = (0..n).map(|i| 0.25 + 0.5 * (i % 2) as f64).collect();
         g.write_back_marginals(&marginals);
+        // A short slice writes back only the variables it covers.
+        g.write_back_marginals(&marginals[..0]);
         let t = g.database().table("MarriedMentions_marginal").unwrap();
         assert_eq!(t.len(), n);
         assert_eq!(t.schema().arity(), 3);

@@ -22,6 +22,7 @@
 //! is orthogonal to the materialization tradeoff being studied.
 
 use crate::ast::{Rule, RuleKind, WeightSpec};
+use crate::error::{GroundingError, ProgramError};
 use crate::grounder::Grounder;
 use crate::program::RelationRole;
 use dd_factorgraph::{
@@ -264,7 +265,7 @@ impl Grounder {
     pub fn ground_incremental(
         &mut self,
         update: &KbcUpdate,
-    ) -> Result<IncrementalGrounding, String> {
+    ) -> Result<IncrementalGrounding, GroundingError> {
         let mut accumulated: HashMap<String, DeltaRelation> = update
             .base_deltas
             .iter()
@@ -278,7 +279,7 @@ impl Grounder {
         let ordered: Vec<Rule> = self
             .program
             .stratified_candidate_rules()
-            .ok_or_else(|| "candidate-mapping rules are cyclic".to_string())?
+            .ok_or(ProgramError::CyclicCandidateRules)?
             .into_iter()
             .cloned()
             .collect();
@@ -288,7 +289,7 @@ impl Grounder {
         // visible to the weighted rules below.
         for rule in &ordered {
             if !self.candidate_views.contains_key(&rule.name) {
-                self.evaluate_candidate_rule(rule).map_err(|e| e.to_string())?;
+                self.evaluate_candidate_rule(rule)?;
             }
         }
         for rule in &ordered {
@@ -307,9 +308,7 @@ impl Grounder {
                 .unwrap_or_default();
 
             let view_delta = match self.candidate_views.get_mut(&rule.name) {
-                Some(view) => view
-                    .refresh_incremental(&self.db, &accumulated)
-                    .map_err(|e| e.to_string())?,
+                Some(view) => view.refresh_incremental(&self.db, &accumulated)?,
                 None => {
                     // The rule was never grounded (e.g. added in an earlier update
                     // without data): materialize it now against the pre-update
@@ -320,11 +319,8 @@ impl Grounder {
                         rule.body.clone(),
                     )
                     .with_filters(rule.filters.clone());
-                    let mut view =
-                        MaterializedView::materialize(q, &self.db).map_err(|e| e.to_string())?;
-                    let d = view
-                        .refresh_incremental(&self.db, &accumulated)
-                        .map_err(|e| e.to_string())?;
+                    let mut view = MaterializedView::materialize(q, &self.db)?;
+                    let d = view.refresh_incremental(&self.db, &accumulated)?;
                     self.candidate_views.insert(rule.name.clone(), view);
                     d
                 }
@@ -380,9 +376,7 @@ impl Grounder {
                 continue;
             }
             let query = rule.body_query();
-            let delta = query
-                .delta_evaluate(&self.db, &accumulated)
-                .map_err(|e| e.to_string())?;
+            let delta = query.delta_evaluate(&self.db, &accumulated)?;
             for (binding, count) in delta.iter() {
                 if count > 0 {
                     builder.ground_binding(self, rule, binding);
@@ -407,11 +401,11 @@ impl Grounder {
                     // Full evaluation of the new candidate rule; the inserted
                     // tuples immediately become visible to subsequently added
                     // rules and to later incremental updates.
-                    self.evaluate_candidate_rule(rule).map_err(|e| e.to_string())?;
+                    self.evaluate_candidate_rule(rule)?;
                 }
                 RuleKind::FeatureExtraction | RuleKind::Inference | RuleKind::Supervision => {
                     let query = rule.body_query();
-                    let bindings = query.evaluate(&self.db).map_err(|e| e.to_string())?;
+                    let bindings = query.evaluate(&self.db)?;
                     for binding in bindings.iter() {
                         builder.ground_binding(self, rule, binding);
                     }

@@ -23,6 +23,7 @@
 //!   [`dd_factorgraph::GraphDelta`].
 
 pub mod ast;
+pub mod error;
 pub mod grounder;
 pub mod incremental;
 pub mod parser;
@@ -30,6 +31,7 @@ pub mod program;
 pub mod udf;
 
 pub use ast::{Rule, RuleAtom, RuleKind, WeightSpec};
+pub use error::{GroundingError, ProgramError};
 pub use grounder::{GroundingResult, Grounder};
 pub use incremental::{IncrementalGrounding, KbcUpdate};
 pub use parser::{parse_program, parse_rule, ParseError};

@@ -1,6 +1,7 @@
 //! Programs: relation declarations plus rules, with stratification helpers.
 
 use crate::ast::{Rule, RuleKind};
+use crate::error::ProgramError;
 use dd_relstore::{Database, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -159,47 +160,50 @@ impl Program {
             .collect()
     }
 
-    /// Basic validation: every relation referenced by a rule is declared, and
-    /// weighted rules head into variable relations.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Structural validation: every relation referenced by a rule is declared,
+    /// weighted rules head into variable relations, and the candidate-mapping
+    /// rules can be stratified.
+    pub fn validate(&self) -> Result<(), ProgramError> {
         let declared: HashSet<&str> = self.relations.iter().map(|r| r.name.as_str()).collect();
         for rule in &self.rules {
             if rule.kind != RuleKind::ErrorAnalysis && !declared.contains(rule.head.relation.as_str()) {
-                return Err(format!(
-                    "rule `{}` heads into undeclared relation `{}`",
-                    rule.name, rule.head.relation
-                ));
+                return Err(ProgramError::UndeclaredHead {
+                    rule: rule.name.clone(),
+                    relation: rule.head.relation.clone(),
+                });
             }
             for rel in rule.body_relations() {
                 if !declared.contains(rel) {
-                    return Err(format!(
-                        "rule `{}` reads undeclared relation `{rel}`",
-                        rule.name
-                    ));
+                    return Err(ProgramError::UndeclaredBody {
+                        rule: rule.name.clone(),
+                        relation: rel.to_string(),
+                    });
                 }
             }
             match rule.kind {
                 RuleKind::FeatureExtraction | RuleKind::Supervision | RuleKind::Inference => {
                     if self.role_of(&rule.head.relation) != RelationRole::Variable {
-                        return Err(format!(
-                            "rule `{}` ({:?}) must head into a variable relation, but `{}` is {:?}",
-                            rule.name,
-                            rule.kind,
-                            rule.head.relation,
-                            self.role_of(&rule.head.relation)
-                        ));
+                        return Err(ProgramError::NonVariableHead {
+                            rule: rule.name.clone(),
+                            kind: rule.kind,
+                            relation: rule.head.relation.clone(),
+                            role: self.role_of(&rule.head.relation),
+                        });
                     }
                 }
                 RuleKind::CandidateMapping => {
                     if self.role_of(&rule.head.relation) == RelationRole::Base {
-                        return Err(format!(
-                            "candidate rule `{}` cannot write into base relation `{}`",
-                            rule.name, rule.head.relation
-                        ));
+                        return Err(ProgramError::CandidateHeadIsBase {
+                            rule: rule.name.clone(),
+                            relation: rule.head.relation.clone(),
+                        });
                     }
                 }
                 RuleKind::ErrorAnalysis => {}
             }
+        }
+        if self.stratified_candidate_rules().is_none() {
+            return Err(ProgramError::CyclicCandidateRules);
         }
         Ok(())
     }
@@ -372,5 +376,24 @@ mod tests {
             ));
         assert!(p.stratified_candidate_rules().is_none());
         assert!(!p.is_hierarchical());
+        assert_eq!(p.validate(), Err(ProgramError::CyclicCandidateRules));
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let bad = spouse_program().rule(Rule::new(
+            "BAD2",
+            RuleKind::CandidateMapping,
+            atom("MarriedCandidate", &["m1", "m2"]),
+            vec![atom("Nowhere", &["m1", "m2"])],
+            WeightSpec::None,
+        ));
+        assert_eq!(
+            bad.validate(),
+            Err(ProgramError::UndeclaredBody {
+                rule: "BAD2".into(),
+                relation: "Nowhere".into(),
+            })
+        );
     }
 }

@@ -9,17 +9,17 @@
 
 use deepdive_repro::prelude::*;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), EngineError> {
     let system = KbcSystem::generate(SystemKind::News, 0.25, 7);
 
     for mode in [ExecutionMode::Rerun, ExecutionMode::Incremental] {
         println!("== {} ==", mode.label());
-        let mut engine = DeepDive::new(
-            system.program.clone(),
-            system.corpus.database.clone(),
-            standard_udfs(),
-            EngineConfig::fast(),
-        )?;
+        let mut engine = DeepDive::builder()
+            .program(system.program.clone())
+            .database(system.corpus.database.clone())
+            .udfs(standard_udfs())
+            .config(EngineConfig::fast())
+            .build()?;
         engine.initial_run()?;
         if mode == ExecutionMode::Incremental {
             engine.materialize();

@@ -36,14 +36,13 @@ const PROGRAM: &str = r#"
         MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
 "#;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Load the input data.
     let mut db = Database::new();
     db.create_table(
         "Sentence",
         Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     db.create_table(
         "PersonCandidate",
         Schema::of(&[
@@ -51,18 +50,15 @@ fn main() -> Result<(), String> {
             ("m", DataType::Int),
             ("t", DataType::Text),
         ]),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     db.create_table(
         "EL",
         Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     db.create_table(
         "Married",
         Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
 
     let documents = [
         (1i64, "Barack", "Michelle", "Barack and his wife Michelle attended the dinner"),
@@ -71,33 +67,32 @@ fn main() -> Result<(), String> {
         (4, "Franklin", "Eleanor", "Franklin and his wife Eleanor hosted the gala"),
     ];
     for (s, p1, p2, content) in documents {
-        db.insert("Sentence", Tuple::from_iter([Value::Int(s), Value::text(content)]))
-            .map_err(|e| e.to_string())?;
+        db.insert("Sentence", Tuple::from_iter([Value::Int(s), Value::text(content)]))?;
         db.insert(
             "PersonCandidate",
             Tuple::from_iter([Value::Int(s), Value::Int(2 * s), Value::text(p1)]),
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
         db.insert(
             "PersonCandidate",
             Tuple::from_iter([Value::Int(s), Value::Int(2 * s + 1), Value::text(p2)]),
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
     }
     // The existing KB knows only about the Obamas; everything else must be learned.
-    db.insert("EL", Tuple::from_iter([Value::Int(2), Value::text("Barack_Obama")]))
-        .map_err(|e| e.to_string())?;
-    db.insert("EL", Tuple::from_iter([Value::Int(3), Value::text("Michelle_Obama")]))
-        .map_err(|e| e.to_string())?;
+    db.insert("EL", Tuple::from_iter([Value::Int(2), Value::text("Barack_Obama")]))?;
+    db.insert("EL", Tuple::from_iter([Value::Int(3), Value::text("Michelle_Obama")]))?;
     db.insert(
         "Married",
         Tuple::from_iter([Value::text("Barack_Obama"), Value::text("Michelle_Obama")]),
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
 
-    // 2. Build and run the engine.
-    let program = parse_program(PROGRAM).map_err(|e| e.to_string())?;
-    let mut engine = DeepDive::new(program, db, standard_udfs(), EngineConfig::default())?;
+    // 2. Build and run the engine.  Misconfiguration (bad program text, schema
+    // conflicts, unknown UDFs) is a typed `EngineError` at build time.
+    let mut engine = DeepDive::builder()
+        .program_text(PROGRAM)
+        .database(db)
+        .udfs(standard_udfs())
+        .config(EngineConfig::default())
+        .build()?;
     let report = engine.initial_run()?;
     println!(
         "grounded {} variables / {} factors in {:.2}s; learning {:.2}s; inference {:.2}s\n",
@@ -108,9 +103,10 @@ fn main() -> Result<(), String> {
         report.inference_secs
     );
 
-    // 3. Inspect the output KB.
-    println!("candidate pair           P(married)");
-    for (tuple, p) in engine.extract_facts("MarriedMentions", 0.0) {
+    // 3. Inspect the output KB through an immutable snapshot of this epoch.
+    let snapshot = engine.snapshot();
+    println!("epoch {} — candidate pair P(married)", snapshot.epoch());
+    for (tuple, p) in snapshot.facts("MarriedMentions").run() {
         println!("{tuple:<24} {p:.3}");
     }
     Ok(())

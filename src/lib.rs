@@ -11,7 +11,9 @@
 //!   materialization strategies;
 //! * [`grounding`] — the DeepDive rule language, grounding, and incremental
 //!   grounding;
-//! * [`engine`] — the end-to-end engine (Rerun vs Incremental execution);
+//! * [`engine`] — the end-to-end engine: builder construction, typed
+//!   [`engine::EngineError`]s, Rerun vs Incremental execution, and lock-free
+//!   [`engine::Snapshot`] reads for multi-threaded serving;
 //! * [`workloads`] — synthetic corpora, the five KBC systems, the Voting program,
 //!   and the tradeoff-study graphs.
 //!
@@ -28,11 +30,16 @@ pub use deepdive as engine;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use dd_factorgraph::{Factor, FactorGraph, FactorGraphBuilder, GraphDelta, Semantics};
-    pub use dd_grounding::{parse_program, standard_udfs, Grounder, KbcUpdate, Program};
+    pub use dd_grounding::{
+        parse_program, standard_udfs, Grounder, GroundingError, KbcUpdate, Program, ProgramError,
+    };
     pub use dd_inference::{GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals};
-    pub use dd_relstore::{Database, DataType, Schema, Tuple, Value};
+    pub use dd_relstore::{Database, DataType, RelError, Schema, Tuple, Value};
     pub use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
-    pub use deepdive::{DeepDive, EngineConfig, ExecutionMode, StrategyChoice};
+    pub use deepdive::{
+        DeepDive, DeepDiveBuilder, EngineConfig, EngineError, ExecutionMode, FactQuery, Snapshot,
+        SnapshotReader, StrategyChoice,
+    };
 }
 
 #[cfg(test)]

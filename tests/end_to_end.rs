@@ -6,13 +6,13 @@ use std::collections::HashSet;
 
 fn news(scale: f64, seed: u64) -> (KbcSystem, DeepDive) {
     let system = KbcSystem::generate(SystemKind::News, scale, seed);
-    let engine = DeepDive::new(
-        system.program.clone(),
-        system.corpus.database.clone(),
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
-    .expect("engine builds");
+    let engine = DeepDive::builder()
+        .program(system.program.clone())
+        .database(system.corpus.database.clone())
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
+        .expect("engine builds");
     (system, engine)
 }
 
@@ -145,13 +145,13 @@ fn optimizer_choices_match_the_paper_rules_end_to_end() {
 fn new_documents_flow_through_incremental_grounding() {
     let system = KbcSystem::generate(SystemKind::Genomics, 0.3, 11);
     let (initial_db, later_docs) = system.corpus.split_for_incremental(0.8);
-    let mut engine = DeepDive::new(
-        system.program.clone(),
-        initial_db,
-        standard_udfs(),
-        EngineConfig::fast(),
-    )
-    .expect("engine builds");
+    let mut engine = DeepDive::builder()
+        .program(system.program.clone())
+        .database(initial_db)
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
+        .expect("engine builds");
     engine
         .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
         .expect("FE1");
@@ -189,13 +189,13 @@ fn semantics_change_quality_but_not_catastrophically() {
     for semantics in [Semantics::Linear, Semantics::Logical, Semantics::Ratio] {
         let system =
             KbcSystem::generate_with_semantics(SystemKind::Paleontology, 0.2, 13, semantics);
-        let mut engine = DeepDive::new(
-            system.program.clone(),
-            system.corpus.database.clone(),
-            standard_udfs(),
-            EngineConfig::fast(),
-        )
-        .expect("engine builds");
+        let mut engine = DeepDive::builder()
+            .program(system.program.clone())
+            .database(system.corpus.database.clone())
+            .udfs(standard_udfs())
+            .config(EngineConfig::fast())
+            .build()
+            .expect("engine builds");
         for (_, update) in system.development_updates() {
             engine
                 .run_update(&update, ExecutionMode::Rerun)

@@ -1,0 +1,254 @@
+//! Concurrent serving: N reader threads hammer `Snapshot::probability_of` and
+//! `FactQuery` while the main thread executes incremental updates.  Every
+//! reader must observe a sequence of fully consistent epochs — monotonically
+//! increasing, internally coherent (no torn reads), with the supervised fact
+//! pinned at probability 1.0 in every epoch that contains it.
+
+use deepdive_repro::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+const PROGRAM: &str = r#"
+    relation Sentence(s: int, content: text) base.
+    relation PersonCandidate(s: int, m: int, t: text) base.
+    relation EL(m: int, e: text) base.
+    relation Married(e1: text, e2: text) base.
+    relation MarriedCandidate(m1: int, m2: int) derived.
+    relation MarriedMentions(m1: int, m2: int) variable.
+
+    rule R1 candidate:
+      MarriedCandidate(m1, m2) :-
+        PersonCandidate(s, m1, t1), PersonCandidate(s, m2, t2), m1 < m2.
+
+    rule FE1 feature:
+      MarriedMentions(m1, m2) :-
+        MarriedCandidate(m1, m2),
+        PersonCandidate(s, m1, t1), PersonCandidate(s, m2, t2),
+        Sentence(s, content)
+      weight = phrase(t1, t2, content).
+
+    rule S1 supervision+:
+      MarriedMentions(m1, m2) :-
+        MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+"#;
+
+fn engine() -> DeepDive {
+    let mut db = Database::new();
+    db.create_table(
+        "Sentence",
+        Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
+    )
+    .unwrap();
+    db.create_table(
+        "PersonCandidate",
+        Schema::of(&[
+            ("s", DataType::Int),
+            ("m", DataType::Int),
+            ("t", DataType::Text),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "EL",
+        Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+    )
+    .unwrap();
+    db.create_table(
+        "Married",
+        Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
+    )
+    .unwrap();
+    db.insert_all(
+        "Sentence",
+        vec![
+            Tuple::from_iter([Value::Int(1), Value::text("Barack and his wife Michelle attended the dinner")]),
+            Tuple::from_iter([Value::Int(2), Value::text("George and his wife Laura were married")]),
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "PersonCandidate",
+        vec![
+            Tuple::from_iter([Value::Int(1), Value::Int(10), Value::text("Barack")]),
+            Tuple::from_iter([Value::Int(1), Value::Int(11), Value::text("Michelle")]),
+            Tuple::from_iter([Value::Int(2), Value::Int(20), Value::text("George")]),
+            Tuple::from_iter([Value::Int(2), Value::Int(21), Value::text("Laura")]),
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "EL",
+        vec![
+            Tuple::from_iter([Value::Int(10), Value::text("Barack_Obama_1")]),
+            Tuple::from_iter([Value::Int(11), Value::text("Michelle_Obama_1")]),
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "Married",
+        vec![Tuple::from_iter([
+            Value::text("Barack_Obama_1"),
+            Value::text("Michelle_Obama_1"),
+        ])],
+    )
+    .unwrap();
+
+    DeepDive::builder()
+        .program_text(PROGRAM)
+        .database(db)
+        .config(EngineConfig::fast())
+        .build()
+        .expect("engine builds")
+}
+
+fn supervised() -> Tuple {
+    Tuple::from_iter([Value::Int(10), Value::Int(11)])
+}
+
+/// One update per epoch: a fresh document introducing a new candidate pair.
+fn update_for(i: i64) -> KbcUpdate {
+    let (s, m1, m2) = (10 + i, 100 + 2 * i, 101 + 2 * i);
+    let mut update = KbcUpdate::new();
+    update
+        .insert(
+            "Sentence",
+            Tuple::from_iter([
+                Value::Int(s),
+                Value::text(format!("Person{m1} and his wife Person{m2} appeared")),
+            ]),
+        )
+        .insert(
+            "PersonCandidate",
+            Tuple::from_iter([Value::Int(s), Value::Int(m1), Value::text(format!("Person{m1}"))]),
+        )
+        .insert(
+            "PersonCandidate",
+            Tuple::from_iter([Value::Int(s), Value::Int(m2), Value::text(format!("Person{m2}"))]),
+        );
+    update
+}
+
+#[test]
+fn readers_observe_consistent_epochs_during_updates() {
+    const READERS: usize = 4;
+    const UPDATES: i64 = 3;
+
+    let mut engine = engine();
+    engine.initial_run().expect("initial run");
+    engine.materialize();
+    let reader = engine.reader();
+    let stop = AtomicBool::new(false);
+    let supervised = supervised();
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let reader = reader.clone();
+                let supervised = supervised.clone();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    let mut epochs_seen = 0u64;
+                    let mut reads = 0u64;
+                    loop {
+                        let done = stop.load(Ordering::Relaxed);
+                        let snap = reader.snapshot();
+
+                        // Epochs only move forward.
+                        assert!(
+                            snap.epoch() >= last_epoch,
+                            "epoch went backwards: {} -> {}",
+                            last_epoch,
+                            snap.epoch()
+                        );
+                        if snap.epoch() != last_epoch {
+                            last_epoch = snap.epoch();
+                            epochs_seen += 1;
+                        }
+
+                        // The supervised fact is pinned at 1.0 in every epoch.
+                        assert_eq!(
+                            snap.probability_of("MarriedMentions", &supervised),
+                            Some(1.0),
+                            "supervised fact not pinned in epoch {}",
+                            snap.epoch()
+                        );
+
+                        // No torn reads: every catalog entry resolves inside
+                        // this snapshot's own marginal vector, and the stats
+                        // agree with the catalog — the snapshot is one
+                        // consistent version, not a mix of two epochs.
+                        let all = snap.facts("MarriedMentions").run();
+                        assert_eq!(all.len(), snap.num_catalogued_variables());
+                        assert_eq!(snap.stats().num_variables, snap.marginals().len());
+                        assert!(all.iter().all(|(_, p)| (0.0..=1.0).contains(p)));
+
+                        // Paginated top-k agrees with the full scan of the
+                        // same snapshot (it could not if rows came from
+                        // different versions).
+                        let top = snap.facts("MarriedMentions").top_k(1).run();
+                        let best = all
+                            .iter()
+                            .map(|(_, p)| *p)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        assert_eq!(top[0].1, best);
+
+                        reads += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                    (epochs_seen, reads)
+                })
+            })
+            .collect();
+
+        // Writer: run incremental updates while the readers hammer away.
+        for i in 0..UPDATES {
+            engine
+                .run_update(&update_for(i), ExecutionMode::Incremental)
+                .expect("update applies");
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        for handle in handles {
+            let (epochs_seen, reads) = handle.join().expect("reader thread panicked");
+            assert!(reads > 0);
+            assert!(epochs_seen >= 1);
+        }
+    });
+
+    // All epochs published: initial run + one per update.
+    assert_eq!(engine.epoch(), 1 + UPDATES as u64);
+    // A handle taken now serves the final epoch, and the new pairs are there.
+    let final_snap = reader.snapshot();
+    assert_eq!(final_snap.epoch(), engine.epoch());
+    for i in 0..UPDATES {
+        let pair = Tuple::from_iter([Value::Int(100 + 2 * i), Value::Int(101 + 2 * i)]);
+        assert!(
+            final_snap.probability_of("MarriedMentions", &pair).is_some(),
+            "pair from update {i} missing in final epoch"
+        );
+    }
+}
+
+#[test]
+fn snapshots_taken_before_an_update_are_immutable() {
+    let mut engine = engine();
+    engine.initial_run().expect("initial run");
+    engine.materialize();
+    let before = engine.snapshot();
+    let facts_before = before.facts("MarriedMentions").run();
+
+    engine
+        .run_update(&update_for(0), ExecutionMode::Incremental)
+        .expect("update applies");
+
+    // The old snapshot is untouched by the update...
+    assert_eq!(before.epoch(), 1);
+    assert_eq!(before.facts("MarriedMentions").run(), facts_before);
+    // ...while the engine already serves the next epoch with more facts.
+    let after = engine.snapshot();
+    assert_eq!(after.epoch(), 2);
+    assert!(after.facts("MarriedMentions").run().len() > facts_before.len());
+}
