@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dd_factorgraph::GraphDelta;
 use dd_inference::{
-    DistributionChange, SampleMaterialization, StrawmanMaterialization,
-    VariationalMaterialization, VariationalOptions,
+    DistributionChange, SampleMaterialization, StrawmanMaterialization, VariationalMaterialization,
+    VariationalOptions,
 };
 use dd_workloads::{pairwise_graph, weight_perturbation, SyntheticConfig};
 

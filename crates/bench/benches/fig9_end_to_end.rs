@@ -5,9 +5,9 @@
 //! 5-systems × 6-rules table is produced by `reproduce_fig9`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use deepdive::{DeepDive, EngineConfig, ExecutionMode};
 use dd_grounding::standard_udfs;
 use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
+use deepdive::{DeepDive, EngineConfig, ExecutionMode};
 
 fn prepared_engine() -> (DeepDive, dd_grounding::KbcUpdate) {
     let system = KbcSystem::generate(SystemKind::News, 0.15, 11);
@@ -17,13 +17,19 @@ fn prepared_engine() -> (DeepDive, dd_grounding::KbcUpdate) {
         .udfs(standard_udfs())
         .config(EngineConfig::fast())
         .build()
-    .expect("engine builds");
+        .expect("engine builds");
     // Bring the system to the state just before the FE2 iteration.
     engine
-        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::FE1),
+            ExecutionMode::Rerun,
+        )
         .expect("FE1 applies");
     engine
-        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::S1),
+            ExecutionMode::Rerun,
+        )
         .expect("S1 applies");
     engine.materialize();
     (engine, system.template_update(RuleTemplate::FE2))

@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dd_relstore::view::{Filter, QueryAtom, Term};
-use dd_relstore::{ConjunctiveQuery, Database, DataType, DeltaRelation, MaterializedView, Schema, Tuple, Value};
+use dd_relstore::{
+    ConjunctiveQuery, DataType, Database, DeltaRelation, MaterializedView, Schema, Tuple, Value,
+};
 use std::collections::HashMap;
 
 /// Build a PersonCandidate table with `docs` documents of two mentions each and

@@ -1,0 +1,61 @@
+//! CI perf gate over a `BENCH_sweeps.json` produced by `bench_sweeps`.
+//!
+//! Exits non-zero when the file is unreadable, malformed, empty, holds a
+//! non-finite value, or any `*_speedup` metric sits below 1.0× — i.e. when an
+//! optimization this repo has already banked (compiled flat graph, persistent
+//! pool dispatch, sharded O(Δ) publish) has regressed behind its baseline.
+//!
+//! Usage: `cargo run --release -p dd-bench --bin check_sweeps [file.json]`
+//! (default `BENCH_sweeps.json`).  CI runs it against a fresh `--smoke` file:
+//!
+//! ```sh
+//! cargo run --release -p dd-bench --bin bench_sweeps -- --smoke ci-smoke.json
+//! cargo run --release -p dd-bench --bin check_sweeps -- ci-smoke.json
+//! ```
+
+use dd_bench::sweeps::{gate_violations, parse_bench_entries};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweeps.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("check_sweeps: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match parse_bench_entries(&text) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("check_sweeps: {path} is not a valid benchmark file: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let speedups: Vec<_> = entries
+        .iter()
+        .filter(|e| e.name.contains("speedup"))
+        .collect();
+    println!(
+        "check_sweeps: {path}: {} entries, {} speedup gates",
+        entries.len(),
+        speedups.len()
+    );
+    for entry in &speedups {
+        println!("  {:<55} {:>9.3}{}", entry.name, entry.value, entry.unit);
+    }
+
+    let violations = gate_violations(&entries, 1.0);
+    if violations.is_empty() {
+        println!("check_sweeps: all gates pass");
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("check_sweeps: FAIL {violation}");
+        }
+        ExitCode::FAILURE
+    }
+}

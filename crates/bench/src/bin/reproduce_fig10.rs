@@ -17,7 +17,7 @@ fn engine_for(system: &KbcSystem) -> DeepDive {
         .udfs(standard_udfs())
         .config(EngineConfig::fast())
         .build()
-    .expect("engine builds")
+        .expect("engine builds")
 }
 
 fn main() {
@@ -57,7 +57,14 @@ fn main() {
     }
     print_table(
         "F1 vs cumulative learning+inference time",
-        &["mode", "after rule", "cumulative time", "F1", "precision", "recall"],
+        &[
+            "mode",
+            "after rule",
+            "cumulative time",
+            "F1",
+            "precision",
+            "recall",
+        ],
         &rows,
     );
 
@@ -95,7 +102,5 @@ fn main() {
         &["system", "Linear", "Logical", "Ratio"],
         &rows,
     );
-    println!(
-        "Paper shape: Logical/Ratio match or beat Linear on every system (up to ~10% F1)."
-    );
+    println!("Paper shape: Logical/Ratio match or beat Linear on every system (up to ~10% F1).");
 }

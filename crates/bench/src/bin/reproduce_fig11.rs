@@ -22,12 +22,18 @@ fn main() {
             .udfs(standard_udfs())
             .config(EngineConfig::fast())
             .build()
-        .expect("engine builds");
+            .expect("engine builds");
         engine
-            .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+            .run_update(
+                &system.template_update(RuleTemplate::FE1),
+                ExecutionMode::Rerun,
+            )
             .expect("FE1 applies");
         engine
-            .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+            .run_update(
+                &system.template_update(RuleTemplate::S1),
+                ExecutionMode::Rerun,
+            )
             .expect("S1 applies");
         engine.materialize();
         let update = system.template_update(template);
@@ -58,17 +64,19 @@ fn main() {
                 }
             }
         }
-        let (_, t_full) = timed(|| match choose_strategy(&change, mat.sampling.num_samples()) {
-            StrategyChoice::Sampling => {
-                let out = mat.sampling.infer(&updated_graph, &change, 400, 3);
-                if out.exhausted {
+        let (_, t_full) = timed(
+            || match choose_strategy(&change, mat.sampling.num_samples()) {
+                StrategyChoice::Sampling => {
+                    let out = mat.sampling.infer(&updated_graph, &change, 400, 3);
+                    if out.exhausted {
+                        let _ = mat.variational.infer(&Default::default(), &gibbs);
+                    }
+                }
+                StrategyChoice::Variational => {
                     let _ = mat.variational.infer(&Default::default(), &gibbs);
                 }
-            }
-            StrategyChoice::Variational => {
-                let _ = mat.variational.infer(&Default::default(), &gibbs);
-            }
-        });
+            },
+        );
         let (_, t_no_sampling) = timed(|| mat.variational.infer(&Default::default(), &gibbs));
         let (out_sampling, t_no_relax) =
             timed(|| mat.sampling.infer(&updated_graph, &change, 400, 3));

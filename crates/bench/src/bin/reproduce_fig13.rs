@@ -18,7 +18,11 @@ fn main() {
         for semantics in [Semantics::Logical, Semantics::Ratio, Semantics::Linear] {
             let (graph, q) = voting_graph(n, n, 0.5, semantics);
             // Symmetric votes -> exact marginal 0.5; measure sweeps to 1%.
-            let max_sweeps = if semantics == Semantics::Linear { 60_000 } else { 30_000 };
+            let max_sweeps = if semantics == Semantics::Linear {
+                60_000
+            } else {
+                30_000
+            };
             let report = iterations_to_converge(&graph, q, 0.5, 0.01, max_sweeps, 200, 9);
             cells.push(if report.converged {
                 report.sweeps_to_converge.to_string()

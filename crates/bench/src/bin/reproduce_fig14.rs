@@ -39,7 +39,11 @@ fn main() {
         "Materialization sampling cost: whole graph vs per-group",
         &["configuration", "groups", "time"],
         &[
-            vec!["NoDecomposition (whole graph)".into(), "1".into(), secs(t_whole)],
+            vec![
+                "NoDecomposition (whole graph)".into(),
+                "1".into(),
+                secs(t_whole),
+            ],
             vec![
                 "Decomposition (Algorithm 2)".into(),
                 groups.len().to_string(),

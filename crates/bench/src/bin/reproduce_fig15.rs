@@ -19,14 +19,21 @@ fn main() {
             .udfs(standard_udfs())
             .config(EngineConfig::fast())
             .build()
-        .expect("engine builds");
+            .expect("engine builds");
         engine
-            .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+            .run_update(
+                &system.template_update(RuleTemplate::FE1),
+                ExecutionMode::Rerun,
+            )
             .expect("FE1 applies");
         engine
-            .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+            .run_update(
+                &system.template_update(RuleTemplate::S1),
+                ExecutionMode::Rerun,
+            )
             .expect("S1 applies");
-        let mat = Materialization::build_with_budget(engine.graph(), engine.config(), budget_seconds);
+        let mat =
+            Materialization::build_with_budget(engine.graph(), engine.config(), budget_seconds);
         rows.push(vec![
             kind.name().to_string(),
             engine.graph().num_variables().to_string(),

@@ -17,23 +17,35 @@ fn main() {
         .udfs(standard_udfs())
         .config(EngineConfig::fast())
         .build()
-    .expect("engine builds");
+        .expect("engine builds");
     // Learn the "previous" model on FE1 + S1.
     engine
-        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::FE1),
+            ExecutionMode::Rerun,
+        )
         .expect("FE1 applies");
     engine
-        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::S1),
+            ExecutionMode::Rerun,
+        )
         .expect("S1 applies");
     let warm = engine.learned_weights().to_vec();
 
     // Apply the update that introduces new features and new labels (FE2 + S2),
     // then compare restart strategies on the resulting graph.
     engine
-        .run_update(&system.template_update(RuleTemplate::FE2), ExecutionMode::Incremental)
+        .run_update(
+            &system.template_update(RuleTemplate::FE2),
+            ExecutionMode::Incremental,
+        )
         .expect("FE2 applies");
     engine
-        .run_update(&system.template_update(RuleTemplate::S2), ExecutionMode::Incremental)
+        .run_update(
+            &system.template_update(RuleTemplate::S2),
+            ExecutionMode::Incremental,
+        )
         .expect("S2 applies");
 
     let mut warm_padded = warm.clone();

@@ -43,12 +43,7 @@ fn main() {
         };
         let (_, t_samp) = timed(|| SampleMaterialization::materialize(&g, 500, 50, 1));
         let (_, t_var) = timed(|| VariationalMaterialization::materialize(&g, &variational_opts()));
-        rows.push(vec![
-            n.to_string(),
-            straw,
-            secs(t_samp),
-            secs(t_var),
-        ]);
+        rows.push(vec![n.to_string(), straw, secs(t_samp), secs(t_var)]);
     }
     print_table(
         "Figure 5(a): materialization time vs graph size",
@@ -77,12 +72,23 @@ fn main() {
             format!("{:.2}", outcome.acceptance_rate),
             secs(t_samp),
             secs(t_var),
-            if outcome.acceptance_rate > 0.2 { "sampling" } else { "variational" }.to_string(),
+            if outcome.acceptance_rate > 0.2 {
+                "sampling"
+            } else {
+                "variational"
+            }
+            .to_string(),
         ]);
     }
     print_table(
         "Figure 5(b): inference time vs amount of change (acceptance rate)",
-        &["perturbation", "acceptance rate", "sampling", "variational", "winner (expected)"],
+        &[
+            "perturbation",
+            "acceptance rate",
+            "sampling",
+            "variational",
+            "winner (expected)",
+        ],
         &rows,
     );
 
@@ -112,7 +118,12 @@ fn main() {
     }
     print_table(
         "Figure 5(c): inference time vs sparsity of correlations",
-        &["non-zero weight fraction", "approx-graph factors", "sampling", "variational"],
+        &[
+            "non-zero weight fraction",
+            "approx-graph factors",
+            "sampling",
+            "variational",
+        ],
         &rows,
     );
 }

@@ -4,9 +4,9 @@
 use dd_bench::print_table;
 use dd_grounding::standard_udfs;
 use dd_inference::{GibbsOptions, GibbsSampler, VariationalMaterialization, VariationalOptions};
+use dd_relstore::Tuple;
 use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
 use deepdive::{evaluate_quality, DeepDive, EngineConfig, ExecutionMode};
-use dd_relstore::Tuple;
 
 fn main() {
     println!("# Figure 6 — variational regularization parameter λ (News)");
@@ -19,8 +19,13 @@ fn main() {
         .udfs(standard_udfs())
         .config(EngineConfig::fast())
         .build()
-    .expect("engine builds");
-    for t in [RuleTemplate::FE1, RuleTemplate::FE2, RuleTemplate::S1, RuleTemplate::S2] {
+        .expect("engine builds");
+    for t in [
+        RuleTemplate::FE1,
+        RuleTemplate::FE2,
+        RuleTemplate::S1,
+        RuleTemplate::S2,
+    ] {
         engine
             .run_update(&system.template_update(t), ExecutionMode::Rerun)
             .expect("update applies");

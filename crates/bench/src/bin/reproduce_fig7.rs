@@ -18,7 +18,7 @@ fn main() {
             .udfs(standard_udfs())
             .config(EngineConfig::fast())
             .build()
-        .expect("engine builds");
+            .expect("engine builds");
         // Apply every rule template so the graph contains all rules (as Figure 7
         // counts "factor graphs that contain all rules").
         for (_, update) in system.development_updates() {

@@ -16,12 +16,18 @@ fn prepared(system: &KbcSystem) -> DeepDive {
         .udfs(standard_udfs())
         .config(EngineConfig::fast())
         .build()
-    .expect("engine builds");
+        .expect("engine builds");
     engine
-        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::FE1),
+            ExecutionMode::Rerun,
+        )
         .expect("FE1 applies");
     engine
-        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::S1),
+            ExecutionMode::Rerun,
+        )
         .expect("S1 applies");
     engine.materialize();
     engine

@@ -7,7 +7,7 @@
 use dd_bench::{print_table, secs, speedup, timed};
 use dd_relstore::view::{Filter, QueryAtom, Term};
 use dd_relstore::{
-    ConjunctiveQuery, Database, DataType, DeltaRelation, MaterializedView, Schema, Tuple, Value,
+    ConjunctiveQuery, DataType, Database, DeltaRelation, MaterializedView, Schema, Tuple, Value,
 };
 use std::collections::HashMap;
 
@@ -65,7 +65,12 @@ fn main() {
     }
     print_table(
         "Candidate-rule grounding after one new document",
-        &["#documents", "full recompute", "incremental (DRed)", "speedup"],
+        &[
+            "#documents",
+            "full recompute",
+            "incremental (DRed)",
+            "speedup",
+        ],
         &rows,
     );
     println!("Paper shape: the speedup grows with corpus size (up to 360× on News).");

@@ -10,6 +10,8 @@
 
 use std::time::Instant;
 
+pub mod sweeps;
+
 /// Time a closure, returning (result, seconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -25,7 +27,10 @@ pub fn row(cells: &[String]) -> String {
 /// Print a full markdown table with a header.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
-    println!("{}", row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     println!(
         "{}",
         row(&header.iter().map(|_| "---".to_string()).collect::<Vec<_>>())

@@ -1,0 +1,401 @@
+//! The `BENCH_sweeps.json` schema: emission, parsing, and the CI smoke gate.
+//!
+//! `bench_sweeps` writes a flat `[{name, unit, value}]` array
+//! (github-action-benchmark style).  The `check_sweeps` binary re-reads that
+//! file in CI and fails the build when the file is malformed or any
+//! `*_speedup` metric has regressed below 1.0× — the cheapest mechanical
+//! guard that the perf trajectory (compiled flat graph, persistent pool
+//! dispatch, sharded O(Δ) publish) never silently goes backwards.
+//!
+//! The workspace is fully offline (vendored stand-in deps only), so parsing
+//! uses a small self-contained JSON reader rather than `serde_json`.  It
+//! accepts arbitrary well-formed JSON and then shape-checks the result, so a
+//! truncated or hand-mangled file fails loudly instead of being half-read.
+
+/// One benchmark data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    pub name: String,
+    pub unit: String,
+    pub value: f64,
+}
+
+/// A parsed JSON value (just enough of the data model for the bench schema).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("invalid JSON at byte {}: {message}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(&format!("unexpected '{}'", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex_escape()?;
+                            // A high surrogate must be followed by an escaped
+                            // low surrogate; combine them into one scalar.
+                            let scalar = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos + 1..self.pos + 3)
+                                    != Some(b"\\u".as_slice())
+                                {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex_escape()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("bad low surrogate"));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.error("bad \\u codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences arrive as
+                    // raw bytes; re-decode from the remaining slice).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    /// Read the four hex digits of a `\uXXXX` escape (cursor on the `u`),
+    /// leaving the cursor on the last digit.
+    fn hex_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.error("non-ascii \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error(&format!("bad number '{text}'")))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a `BENCH_sweeps.json` document into its entries.  Rejects anything
+/// that is not a JSON array of `{name: string, unit: string, value: number}`
+/// objects.
+pub fn parse_bench_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content after the top-level value"));
+    }
+    let Json::Array(items) = value else {
+        return Err("top-level value must be an array".to_string());
+    };
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let Json::Object(fields) = item else {
+                return Err(format!("entry {i} is not an object"));
+            };
+            let field = |key: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("entry {i} is missing \"{key}\""))
+            };
+            let Json::String(name) = field("name")? else {
+                return Err(format!("entry {i}: \"name\" must be a string"));
+            };
+            let Json::String(unit) = field("unit")? else {
+                return Err(format!("entry {i}: \"unit\" must be a string"));
+            };
+            let Json::Number(value) = field("value")? else {
+                return Err(format!("entry {i}: \"value\" must be a number"));
+            };
+            Ok(BenchEntry {
+                name: name.clone(),
+                unit: unit.clone(),
+                value: *value,
+            })
+        })
+        .collect()
+}
+
+/// The smoke gate: every entry must hold a finite value, and every metric
+/// whose name contains `speedup` must be at least `min_speedup` (the CI gate
+/// uses 1.0 — "never slower than the baseline it replaced").  Returns the
+/// list of violation messages, empty when the file passes.
+pub fn gate_violations(entries: &[BenchEntry], min_speedup: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    if entries.is_empty() {
+        violations.push("no benchmark entries found".to_string());
+    }
+    for entry in entries {
+        if !entry.value.is_finite() {
+            violations.push(format!("{}: non-finite value {}", entry.name, entry.value));
+        } else if entry.name.contains("speedup") && entry.value < min_speedup {
+            violations.push(format!(
+                "{}: {:.3}x is below the {min_speedup:.1}x floor",
+                entry.name, entry.value
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_emitted_schema() {
+        let text = r#"[
+  {"name": "fig9/legacy_sequential", "unit": "sweeps/s", "value": 592750.659435},
+  {"name": "fig9/flat_vs_legacy_speedup", "unit": "x", "value": 4.939105}
+]
+"#;
+        let entries = parse_bench_entries(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "fig9/legacy_sequential");
+        assert_eq!(entries[1].unit, "x");
+        assert!((entries[1].value - 4.939105).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_bench_entries("").is_err());
+        assert!(parse_bench_entries("[{\"name\": \"x\"").is_err()); // truncated
+        assert!(parse_bench_entries("{\"name\": \"x\"}").is_err()); // not an array
+        assert!(parse_bench_entries("[1, 2]").is_err()); // not objects
+        assert!(parse_bench_entries("[{\"name\": \"x\", \"unit\": \"s\"}]").is_err()); // no value
+        assert!(parse_bench_entries("[{}] trailing").is_err());
+        assert!(parse_bench_entries("[{\"name\": 3, \"unit\": \"s\", \"value\": 1}]").is_err());
+    }
+
+    #[test]
+    fn parses_escapes_and_nested_values() {
+        let entries = parse_bench_entries(
+            "[{\"name\": \"a\\\"b\\u0041\", \"unit\": \"x\", \"value\": -1.5e2}]",
+        )
+        .unwrap();
+        assert_eq!(entries[0].name, "a\"bA");
+        assert_eq!(entries[0].value, -150.0);
+    }
+
+    #[test]
+    fn parses_surrogate_pairs_and_rejects_lone_surrogates() {
+        let entries =
+            parse_bench_entries("[{\"name\": \"\\ud83d\\ude80!\", \"unit\": \"x\", \"value\": 1}]")
+                .unwrap();
+        assert_eq!(entries[0].name, "🚀!");
+        assert!(
+            parse_bench_entries("[{\"name\": \"\\ud83dX\", \"unit\": \"x\", \"value\": 1}]")
+                .is_err()
+        );
+        assert!(
+            parse_bench_entries("[{\"name\": \"\\ude80\", \"unit\": \"x\", \"value\": 1}]")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn gate_flags_regressed_speedups_only() {
+        let entries = vec![
+            BenchEntry {
+                name: "w/flat_sequential".into(),
+                unit: "sweeps/s".into(),
+                value: 0.5, // raw rates below 1.0 are fine
+            },
+            BenchEntry {
+                name: "w/flat_vs_legacy_speedup".into(),
+                unit: "x".into(),
+                value: 2.0,
+            },
+            BenchEntry {
+                name: "w/pooled_vs_spawn_speedup_t2".into(),
+                unit: "x".into(),
+                value: 0.93,
+            },
+        ];
+        let violations = gate_violations(&entries, 1.0);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("pooled_vs_spawn_speedup_t2"));
+    }
+
+    #[test]
+    fn gate_flags_empty_and_non_finite() {
+        assert_eq!(gate_violations(&[], 1.0).len(), 1);
+        let nan = vec![BenchEntry {
+            name: "w/anything".into(),
+            unit: "s".into(),
+            value: f64::NAN,
+        }];
+        assert_eq!(gate_violations(&nan, 1.0).len(), 1);
+        // A NaN speedup cannot sneak past the comparison either.
+        let nan_speedup = vec![BenchEntry {
+            name: "w/x_speedup".into(),
+            unit: "x".into(),
+            value: f64::NAN,
+        }];
+        assert_eq!(gate_violations(&nan_speedup, 1.0).len(), 1);
+    }
+}

@@ -202,7 +202,10 @@ mod tests {
             .database(db)
             .build()
             .unwrap_err();
-        assert!(matches!(err, EngineError::Schema(RelError::SchemaMismatch { .. })));
+        assert!(matches!(
+            err,
+            EngineError::Schema(RelError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]
@@ -213,7 +216,11 @@ mod tests {
             .build()
             .unwrap_err();
         match err {
-            EngineError::Udf { rule, udf, available } => {
+            EngineError::Udf {
+                rule,
+                udf,
+                available,
+            } => {
                 assert_eq!(rule, "F");
                 assert_eq!(udf, "phrase");
                 assert!(available.is_empty());

@@ -29,8 +29,7 @@ use crate::snapshot::{self, Snapshot, SnapshotReader};
 use dd_factorgraph::FactorGraph;
 use dd_grounding::{Grounder, KbcUpdate, Program, UdfRegistry};
 use dd_inference::{
-    DistributionChange, GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals,
-    ParallelGibbs,
+    DistributionChange, GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals, ParallelGibbs,
 };
 use dd_relstore::{Database, Tuple};
 use rayon::ThreadPool;
@@ -70,6 +69,11 @@ pub struct IterationReport {
     pub new_factors: usize,
     /// True if the sampling strategy exhausted its samples and fell back.
     pub fell_back_to_variational: bool,
+    /// Variable relations whose catalog shard was re-indexed by this run's
+    /// snapshot publish (sorted).  Every relation *not* listed here kept its
+    /// serving index `Arc`-shared with the previous epoch — the observable
+    /// face of the O(Δ) sharded publish.
+    pub resharded_relations: Vec<String>,
 }
 
 impl IterationReport {
@@ -156,12 +160,13 @@ pub struct DeepDive {
     learned_weights: Vec<f64>,
     /// Number of completed runs; every publish bumps it by one.
     epoch: u64,
-    /// The per-relation variable catalog shared into every published
-    /// snapshot.  Publishing after an update that added no variables is one
-    /// `Arc` clone; when grounding grew the graph, the catalog is re-indexed
-    /// once (O(catalog)) and then shared by every subsequent epoch until the
-    /// next growth.
-    catalog_cache: Arc<HashMap<String, snapshot::RelationIndex>>,
+    /// The sharded per-relation variable catalog shared into every published
+    /// snapshot.  Publish cost is O(Δ): only shards whose relations gained
+    /// variables since the last publish (the grounder's dirty-set) are
+    /// re-indexed — a sorted merge of the Δ entries — while every other shard
+    /// is handed to the new snapshot as the same `Arc` the previous epoch
+    /// holds.
+    catalog_cache: snapshot::CatalogShards,
     /// The currently served snapshot.  Readers clone the inner `Arc` under a
     /// briefly-held read lock; the publish step swaps the pointer under the
     /// write lock — held only for the swap, never across inference.
@@ -200,8 +205,7 @@ fn merge_change(acc: &mut DistributionChange, next: &DistributionChange) {
             }
         }
     }
-    let mut seen_weights: HashSet<usize> =
-        acc.changed_weights.iter().map(|&(w, _)| w).collect();
+    let mut seen_weights: HashSet<usize> = acc.changed_weights.iter().map(|&(w, _)| w).collect();
     for &(w, old) in &next.changed_weights {
         if seen_weights.insert(w) {
             acc.changed_weights.push((w, old));
@@ -240,7 +244,7 @@ impl DeepDive {
             cumulative_change: DistributionChange::default(),
             learned_weights: Vec::new(),
             epoch: 0,
-            catalog_cache: Arc::new(HashMap::new()),
+            catalog_cache: snapshot::CatalogShards::new(),
             current: Arc::new(RwLock::new(empty)),
         })
     }
@@ -291,7 +295,13 @@ impl DeepDive {
     /// epoch's snapshot.  Validation happens first so a rejected result
     /// touches neither the database nor the served snapshot; the write lock is
     /// held only for the pointer swap.
-    fn commit_marginals(&mut self, marginals: Marginals) -> Result<(), EngineError> {
+    ///
+    /// The publish is O(Δ) in catalog work: the grounder's drained dirty-set
+    /// names exactly the relations that gained variables since the last
+    /// publish, and only those shards are re-indexed (sorted Δ-merge); all
+    /// other shards go into the new snapshot as `Arc` clones shared with the
+    /// previous epoch.  Returns the re-indexed relation names (sorted).
+    fn commit_marginals(&mut self, marginals: Marginals) -> Result<Vec<String>, EngineError> {
         let num_variables = self.grounder.graph().num_variables();
         if marginals.len() != num_variables {
             return Err(EngineError::Inference {
@@ -310,24 +320,36 @@ impl DeepDive {
         }
         self.grounder.write_back_marginals(marginals.values());
 
-        // Grounding only ever adds catalog entries, so an entry-count match
-        // means the cached index is still the current catalog.
-        let cached_entries: usize = self
-            .catalog_cache
-            .values()
-            .map(|index| index.len())
-            .sum();
-        if cached_entries != self.grounder.num_catalogued_variables() {
-            self.catalog_cache = Arc::new(snapshot::build_catalog(
-                self.grounder.variable_catalog(),
-            ));
-        }
+        // Drain the grounder's catalog dirty-set and re-index only those
+        // shards.  Entries from a rejected earlier commit stay pending until
+        // the next successful publish, so the cache never misses growth.
         self.epoch += 1;
+        let fresh = self.grounder.take_new_catalog_entries();
+        let mut resharded = Vec::with_capacity(fresh.len());
+        for (relation, entries) in fresh {
+            self.catalog_cache
+                .merge_delta(&relation, entries, self.epoch);
+            resharded.push(relation);
+        }
+        // Self-healing backstop: grounding only ever adds catalog entries, so
+        // an entry-count mismatch means some code path bypassed the dirty-set.
+        // Fall back to the O(n) full rebuild rather than serve a snapshot
+        // that silently lacks variables.  The count itself is O(#relations).
+        if self.catalog_cache.num_entries() != self.grounder.num_catalogued_variables() {
+            debug_assert!(false, "catalog dirty-set missed entries; full rebuild");
+            self.catalog_cache =
+                snapshot::CatalogShards::build(self.grounder.variable_catalog(), self.epoch);
+            resharded = self
+                .catalog_cache
+                .relation_names()
+                .map(String::from)
+                .collect();
+        }
         let snapshot = Snapshot::publish(
             self.epoch,
             marginals,
             self.learned_weights.clone(),
-            Arc::clone(&self.catalog_cache),
+            self.catalog_cache.clone(),
             self.grounder.graph().stats(),
             self.config.fact_threshold,
         );
@@ -336,7 +358,7 @@ impl DeepDive {
             Ok(mut guard) => *guard = next,
             Err(poisoned) => *poisoned.into_inner() = next,
         }
-        Ok(())
+        Ok(resharded)
     }
 
     // ------------------------------------------------------------ initial run
@@ -359,7 +381,7 @@ impl DeepDive {
         let t2 = Instant::now();
         let marginals = self.full_gibbs();
         let inference_secs = t2.elapsed().as_secs_f64();
-        self.commit_marginals(marginals)?;
+        let resharded_relations = self.commit_marginals(marginals)?;
 
         let stats = self.grounder.graph().stats();
         Ok(IterationReport {
@@ -372,6 +394,7 @@ impl DeepDive {
             new_variables: stats.num_variables,
             new_factors: stats.num_factors,
             fell_back_to_variational: false,
+            resharded_relations,
         })
     }
 
@@ -399,7 +422,7 @@ impl DeepDive {
         let t = Instant::now();
         let marginals = self.full_gibbs();
         let inference_secs = t.elapsed().as_secs_f64();
-        self.commit_marginals(marginals)?;
+        let resharded_relations = self.commit_marginals(marginals)?;
         Ok(IterationReport {
             mode: ExecutionMode::Rerun,
             strategy: None,
@@ -410,6 +433,7 @@ impl DeepDive {
             new_variables: 0,
             new_factors: 0,
             fell_back_to_variational: false,
+            resharded_relations,
         })
     }
 
@@ -441,7 +465,8 @@ impl DeepDive {
         // Describe the distribution change against a clone of the pre-update
         // graph (applying the same delta reproduces the grounder's ids).
         let mut change_graph = pre_update_graph;
-        let mut change = DistributionChange::apply_and_describe(&mut change_graph, &incremental.delta);
+        let mut change =
+            DistributionChange::apply_and_describe(&mut change_graph, &incremental.delta);
 
         let new_variables = incremental.delta.new_variables.len();
         let new_factors = incremental.delta.new_factors.len();
@@ -462,7 +487,7 @@ impl DeepDive {
                 let t2 = Instant::now();
                 let marginals = self.full_gibbs();
                 let inference_secs = t2.elapsed().as_secs_f64();
-                self.commit_marginals(marginals)?;
+                let resharded_relations = self.commit_marginals(marginals)?;
 
                 Ok(IterationReport {
                     mode,
@@ -474,6 +499,7 @@ impl DeepDive {
                     new_variables,
                     new_factors,
                     fell_back_to_variational: false,
+                    resharded_relations,
                 })
             }
             ExecutionMode::Incremental => {
@@ -531,7 +557,8 @@ impl DeepDive {
                         .zip(self.grounder.graph().weight_values().iter())
                         .enumerate()
                     {
-                        if (old - new).abs() > 1e-12 && !change.changed_weights.iter().any(|(id, _)| *id == w)
+                        if (old - new).abs() > 1e-12
+                            && !change.changed_weights.iter().any(|(id, _)| *id == w)
                         {
                             change.changed_weights.push((w, old));
                         }
@@ -570,51 +597,51 @@ impl DeepDive {
                 };
 
                 let t2 = Instant::now();
-                let (marginals, acceptance_rate, fell_back) = match (&self.materialization, strategy)
-                {
-                    (Some(mat), StrategyChoice::Sampling) => {
-                        let outcome = mat.sampling.infer(
-                            self.grounder.graph(),
-                            &change,
-                            self.config.inference_samples,
-                            self.config.seed,
-                        );
-                        if outcome.exhausted {
-                            // Rule 4: out of samples → variational.
-                            let m = if variational_ok {
-                                mat.variational.infer(
-                                    &incremental.delta,
-                                    &self.incremental_gibbs_options(),
-                                )
-                            } else if strict {
-                                return Err(stale(unknown_entities(self), self));
+                let (marginals, acceptance_rate, fell_back) =
+                    match (&self.materialization, strategy) {
+                        (Some(mat), StrategyChoice::Sampling) => {
+                            let outcome = mat.sampling.infer(
+                                self.grounder.graph(),
+                                &change,
+                                self.config.inference_samples,
+                                self.config.seed,
+                            );
+                            if outcome.exhausted {
+                                // Rule 4: out of samples → variational.
+                                let m = if variational_ok {
+                                    mat.variational.infer(
+                                        &incremental.delta,
+                                        &self.incremental_gibbs_options(),
+                                    )
+                                } else if strict {
+                                    return Err(stale(unknown_entities(self), self));
+                                } else {
+                                    self.full_gibbs()
+                                };
+                                (m, Some(outcome.acceptance_rate), true)
                             } else {
-                                self.full_gibbs()
-                            };
-                            (m, Some(outcome.acceptance_rate), true)
-                        } else {
-                            (outcome.marginals, Some(outcome.acceptance_rate), false)
+                                (outcome.marginals, Some(outcome.acceptance_rate), false)
+                            }
                         }
-                    }
-                    (Some(mat), StrategyChoice::Variational) if variational_ok => {
-                        let m = mat
-                            .variational
-                            .infer(&incremental.delta, &self.incremental_gibbs_options());
-                        (m, None, false)
-                    }
-                    (Some(_), _) if strict => {
-                        return Err(stale(unknown_entities(self), self));
-                    }
-                    (None, _) if strict => {
-                        return Err(stale(StaleKind::NotMaterialized, self));
-                    }
-                    _ => {
-                        // Not materialized (or stale): fall back to full Gibbs.
-                        (self.full_gibbs(), None, false)
-                    }
-                };
+                        (Some(mat), StrategyChoice::Variational) if variational_ok => {
+                            let m = mat
+                                .variational
+                                .infer(&incremental.delta, &self.incremental_gibbs_options());
+                            (m, None, false)
+                        }
+                        (Some(_), _) if strict => {
+                            return Err(stale(unknown_entities(self), self));
+                        }
+                        (None, _) if strict => {
+                            return Err(stale(StaleKind::NotMaterialized, self));
+                        }
+                        _ => {
+                            // Not materialized (or stale): fall back to full Gibbs.
+                            (self.full_gibbs(), None, false)
+                        }
+                    };
                 let inference_secs = t2.elapsed().as_secs_f64();
-                self.commit_marginals(marginals)?;
+                let resharded_relations = self.commit_marginals(marginals)?;
 
                 Ok(IterationReport {
                     mode,
@@ -626,6 +653,7 @@ impl DeepDive {
                     new_variables,
                     new_factors,
                     fell_back_to_variational: fell_back,
+                    resharded_relations,
                 })
             }
         }
@@ -708,7 +736,6 @@ impl DeepDive {
             ..self.config.gibbs.clone()
         }
     }
-
 }
 
 /// True if every existing-entity reference of `delta` resolves inside a graph
@@ -816,8 +843,11 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert_all("Married", vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]])
-            .unwrap();
+        db.insert_all(
+            "Married",
+            vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]],
+        )
+        .unwrap();
         db
     }
 
@@ -1064,7 +1094,10 @@ mod tests {
         dd.materialize();
         let mut update = KbcUpdate::new();
         update
-            .insert("Sentence", tuple![4i64, "Franklin and his wife Eleanor hosted the gala"])
+            .insert(
+                "Sentence",
+                tuple![4i64, "Franklin and his wife Eleanor hosted the gala"],
+            )
             .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
             .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
         let report = dd.run_update(&update, ExecutionMode::Incremental).unwrap();
@@ -1097,7 +1130,9 @@ mod tests {
                 args: vec![],
             },
         ));
-        let err = dd.run_update(&update, ExecutionMode::Incremental).unwrap_err();
+        let err = dd
+            .run_update(&update, ExecutionMode::Incremental)
+            .unwrap_err();
         match err {
             EngineError::Udf { rule, udf, .. } => {
                 assert_eq!(rule, "FE_typo");
@@ -1122,15 +1157,24 @@ mod tests {
 
         let mut update = KbcUpdate::new();
         update
-            .insert("Sentence", tuple![4i64, "Franklin and his wife Eleanor hosted the gala"])
+            .insert(
+                "Sentence",
+                tuple![4i64, "Franklin and his wife Eleanor hosted the gala"],
+            )
             .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
             .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
         dd.run_update(&update, ExecutionMode::Incremental).unwrap();
 
         // The old handle still serves its own epoch: the new pair is invisible.
         assert_eq!(epoch1.epoch(), 1);
-        assert_eq!(epoch1.probability_of("MarriedMentions", &tuple![40i64, 41i64]), None);
-        assert_eq!(epoch1.extract_facts("MarriedMentions", 0.0).len(), facts_before);
+        assert_eq!(
+            epoch1.probability_of("MarriedMentions", &tuple![40i64, 41i64]),
+            None
+        );
+        assert_eq!(
+            epoch1.extract_facts("MarriedMentions", 0.0).len(),
+            facts_before
+        );
         // The fresh snapshot sees it.
         let epoch2 = dd.snapshot();
         assert_eq!(epoch2.epoch(), 2);
@@ -1185,9 +1229,12 @@ mod tests {
         dd.materialize();
 
         let mut grow = KbcUpdate::new();
-        grow.insert("Sentence", tuple![4i64, "Franklin and his wife Eleanor hosted the gala"])
-            .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
-            .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
+        grow.insert(
+            "Sentence",
+            tuple![4i64, "Franklin and his wife Eleanor hosted the gala"],
+        )
+        .insert("PersonCandidate", tuple![4i64, 40i64, "Franklin"])
+        .insert("PersonCandidate", tuple![4i64, 41i64, "Eleanor"]);
         let report = dd.run_update(&grow, ExecutionMode::Incremental).unwrap();
         assert_eq!(report.strategy, Some(StrategyChoice::Sampling));
         assert_eq!(report.new_variables, 1);
@@ -1202,10 +1249,14 @@ mod tests {
         let snap = dd.snapshot();
         assert_eq!(snap.stats().num_variables, snap.marginals().len());
         assert!(
-            snap.probability_of("MarriedMentions", &tuple![40i64, 41i64]).is_some(),
+            snap.probability_of("MarriedMentions", &tuple![40i64, 41i64])
+                .is_some(),
             "fact from the sampling-served growth update must survive the later epoch"
         );
-        assert_eq!(snap.probability_of("MarriedMentions", &tuple![20i64, 21i64]), Some(1.0));
+        assert_eq!(
+            snap.probability_of("MarriedMentions", &tuple![20i64, 21i64]),
+            Some(1.0)
+        );
     }
 
     #[test]

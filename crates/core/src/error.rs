@@ -80,7 +80,11 @@ impl fmt::Display for EngineError {
             EngineError::Parse(e) => write!(f, "program parse failed: {e}"),
             EngineError::Schema(e) => write!(f, "schema conflict: {e}"),
             EngineError::Grounding(e) => write!(f, "grounding failed: {e}"),
-            EngineError::Udf { rule, udf, available } => write!(
+            EngineError::Udf {
+                rule,
+                udf,
+                available,
+            } => write!(
                 f,
                 "rule `{rule}` ties its weight through unregistered UDF `{udf}` (registered: {})",
                 if available.is_empty() {
@@ -181,6 +185,8 @@ mod tests {
             current_epoch: 5,
         };
         let msg = e.to_string();
-        assert!(msg.contains("epoch 3") && msg.contains("epoch 5") && msg.contains("materialize()"));
+        assert!(
+            msg.contains("epoch 3") && msg.contains("epoch 5") && msg.contains("materialize()")
+        );
     }
 }

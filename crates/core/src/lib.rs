@@ -20,7 +20,10 @@
 //!   [`DeepDive::run_update`] atomically publish an immutable
 //!   [`snapshot::Snapshot`] per epoch; any number of serving threads query
 //!   `Arc<Snapshot>` handles (see [`DeepDive::reader`]) while the next update
-//!   grounds, learns, and infers.
+//!   grounds, learns, and infers.  The variable catalog inside each snapshot
+//!   is sharded per relation ([`snapshot::CatalogShards`]): publishing after
+//!   an update re-indexes only the relations that grew (O(Δ)), and every
+//!   untouched shard is `Arc`-shared with the previous epoch's snapshot.
 //!
 //! Modules:
 //!
@@ -66,4 +69,6 @@ pub use incremental_learning::{compare_learning_strategies, LearningComparison};
 pub use materialization::Materialization;
 pub use optimizer::{choose_strategy, StrategyChoice};
 pub use quality::{evaluate_quality, QualityReport};
-pub use snapshot::{FactQuery, Snapshot, SnapshotReader};
+pub use snapshot::{
+    CatalogShard, CatalogShards, FactQuery, RelationIndex, Snapshot, SnapshotReader,
+};

@@ -24,10 +24,7 @@ pub struct QualityReport {
 /// engine's threshold) against a ground-truth set.
 pub fn evaluate_quality(extracted: &[Tuple], truth: &HashSet<Tuple>) -> QualityReport {
     let extracted_set: HashSet<&Tuple> = extracted.iter().collect();
-    let correct = extracted_set
-        .iter()
-        .filter(|t| truth.contains(**t))
-        .count();
+    let correct = extracted_set.iter().filter(|t| truth.contains(**t)).count();
     let precision = if extracted_set.is_empty() {
         0.0
     } else {

@@ -266,7 +266,10 @@ mod tests {
             },
         );
         assert_eq!(f_log.feature_value(&world(&[true, true, true, false])), 1.0);
-        assert_eq!(f_log.feature_value(&world(&[true, false, false, false])), 0.0);
+        assert_eq!(
+            f_log.feature_value(&world(&[true, false, false, false])),
+            0.0
+        );
     }
 
     #[test]

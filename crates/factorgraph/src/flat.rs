@@ -202,9 +202,7 @@ impl FlatGraph {
         let mut g_table: Vec<f64> = Vec::new();
         for factor in graph.factors() {
             let kind = match &factor.kind {
-                FactorKind::Conjunction(body) => {
-                    FlatKind::Conjunction(push_lits(&mut lits, body))
-                }
+                FactorKind::Conjunction(body) => FlatKind::Conjunction(push_lits(&mut lits, body)),
                 FactorKind::Imply { body, head } => FlatKind::Imply {
                     body: push_lits(&mut lits, body),
                     head: PackedLit::new(*head),
@@ -411,11 +409,7 @@ impl FlatGraph {
 
     /// Add every factor's feature value to `totals[weight_id]` — one flat pass
     /// producing the sufficient statistic of the learning gradient.
-    pub fn accumulate_feature_counts<W: WorldView + ?Sized>(
-        &self,
-        world: &W,
-        totals: &mut [f64],
-    ) {
+    pub fn accumulate_feature_counts<W: WorldView + ?Sized>(&self, world: &W, totals: &mut [f64]) {
         for factor in &self.factors {
             let phi = self.feature_pair(factor, NO_VAR, world).0;
             if phi != 0.0 {
@@ -464,8 +458,8 @@ impl FlatGraph {
             } => {
                 let mut n_true = 0usize;
                 let mut n_false = 0usize;
-                let offsets =
-                    &self.grounding_offsets[offsets_start as usize..][..num_groundings as usize + 1];
+                let offsets = &self.grounding_offsets[offsets_start as usize..]
+                    [..num_groundings as usize + 1];
                 for j in 0..num_groundings as usize {
                     let range = LitRange {
                         start: offsets[j],
@@ -670,9 +664,7 @@ mod tests {
         assert!((flat.log_weight(&world) - g2.log_weight(&world)).abs() < 1e-12);
         for v in 0..g.num_variables() {
             let mut scratch = world.clone();
-            assert!(
-                (flat.energy_delta(v, &world) - g2.energy_delta(v, &mut scratch)).abs() < 1e-9
-            );
+            assert!((flat.energy_delta(v, &world) - g2.energy_delta(v, &mut scratch)).abs() < 1e-9);
         }
     }
 

@@ -218,9 +218,7 @@ impl FactorGraph {
     pub fn local_energy<W: WorldView + ?Sized>(&self, v: VarId, world: &W) -> f64 {
         self.adjacency[v]
             .iter()
-            .map(|&f| {
-                self.factors[f].energy(world, self.weights[self.factors[f].weight_id].value)
-            })
+            .map(|&f| self.factors[f].energy(world, self.weights[self.factors[f].weight_id].value))
             .sum()
     }
 

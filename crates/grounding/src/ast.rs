@@ -225,7 +225,10 @@ mod tests {
         let r = r1();
         assert_eq!(r.head_vars(), vec!["m1", "m2"]);
         assert_eq!(r.body_vars(), vec!["s", "m1", "m2"]);
-        assert_eq!(r.body_relations(), vec!["PersonCandidate", "PersonCandidate"]);
+        assert_eq!(
+            r.body_relations(),
+            vec!["PersonCandidate", "PersonCandidate"]
+        );
     }
 
     #[test]

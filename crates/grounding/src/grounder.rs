@@ -12,12 +12,12 @@ use crate::error::{GroundingError, ProgramError};
 use crate::program::{Program, RelationRole};
 use crate::udf::UdfRegistry;
 use dd_factorgraph::{
-    Factor, FactorKind, FactorGraph, Lit, Semantics, VarId, Variable, VariableRole, Weight,
+    Factor, FactorGraph, FactorKind, Lit, Semantics, VarId, Variable, VariableRole, Weight,
     WeightId,
 };
 use dd_relstore::view::Term;
 use dd_relstore::{Database, MaterializedView, RelError, Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Summary of one grounding run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -38,6 +38,10 @@ pub struct Grounder {
     pub(crate) graph: FactorGraph,
     /// (relation, tuple) → variable id.
     pub(crate) var_catalog: HashMap<(String, Tuple), VarId>,
+    /// Catalog entries created since the last [`Grounder::take_new_catalog_entries`]
+    /// drain, grouped per relation — the dirty-set a sharded snapshot publish
+    /// consumes to re-index only the relations that actually grew.
+    pub(crate) fresh_catalog: BTreeMap<String, Vec<(Tuple, VarId)>>,
     /// weight description → weight id.
     pub(crate) weight_catalog: HashMap<String, WeightId>,
     /// rule name → set of body-query bindings already grounded (prevents
@@ -63,6 +67,7 @@ impl Grounder {
             udfs,
             graph: FactorGraph::new(),
             var_catalog: HashMap::new(),
+            fresh_catalog: BTreeMap::new(),
             weight_catalog: HashMap::new(),
             grounded_bindings: HashMap::new(),
             candidate_views: HashMap::new(),
@@ -118,6 +123,14 @@ impl Grounder {
         self.var_catalog.len()
     }
 
+    /// Drain the catalog entries created since the last drain, grouped by
+    /// relation in sorted order.  The keys are exactly the relations a
+    /// publisher must re-index — every other relation's index is unchanged —
+    /// which is what makes snapshot publication O(Δ) instead of O(catalog).
+    pub fn take_new_catalog_entries(&mut self) -> BTreeMap<String, Vec<(Tuple, VarId)>> {
+        std::mem::take(&mut self.fresh_catalog)
+    }
+
     /// Weight id for a tying key, if known.
     pub fn weight_for(&self, description: &str) -> Option<WeightId> {
         self.weight_catalog.get(description).copied()
@@ -125,7 +138,10 @@ impl Grounder {
 
     /// Number of distinct bindings grounded for a rule so far.
     pub fn groundings_of(&self, rule: &str) -> usize {
-        self.grounded_bindings.get(rule).map(|s| s.len()).unwrap_or(0)
+        self.grounded_bindings
+            .get(rule)
+            .map(|s| s.len())
+            .unwrap_or(0)
     }
 
     // ---------------------------------------------------------------- grounding
@@ -208,10 +224,7 @@ impl Grounder {
     /// Ground one body-query binding of a weighted/supervision rule.  Returns
     /// `false` if the binding was grounded before.
     pub fn ground_binding(&mut self, rule: &Rule, binding: &Tuple) -> Result<bool, RelError> {
-        let already = self
-            .grounded_bindings
-            .entry(rule.name.clone())
-            .or_default();
+        let already = self.grounded_bindings.entry(rule.name.clone()).or_default();
         if !already.insert(binding.clone()) {
             return Ok(false);
         }
@@ -321,10 +334,14 @@ impl Grounder {
         if let Some(&v) = self.var_catalog.get(&key) {
             return v;
         }
-        let id = self.graph.add_variable(
-            Variable::query(0).with_origin(relation, self.var_catalog.len() as u64),
-        );
+        let id = self
+            .graph
+            .add_variable(Variable::query(0).with_origin(relation, self.var_catalog.len() as u64));
         self.var_catalog.insert(key, id);
+        self.fresh_catalog
+            .entry(relation.to_string())
+            .or_default()
+            .push((tuple.clone(), id));
         id
     }
 
@@ -392,7 +409,9 @@ impl Grounder {
         let mut rows: HashMap<String, Vec<(Tuple, f64)>> = HashMap::new();
         for ((relation, tuple), &var) in &self.var_catalog {
             if let Some(&p) = marginals.get(var) {
-                rows.entry(relation.clone()).or_default().push((tuple.clone(), p));
+                rows.entry(relation.clone())
+                    .or_default()
+                    .push((tuple.clone(), p));
             }
         }
         for (relation, tuples) in rows {
@@ -582,8 +601,11 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert_all("Married", vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]])
-            .unwrap();
+        db.insert_all(
+            "Married",
+            vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]],
+        )
+        .unwrap();
         db
     }
 
@@ -672,7 +694,9 @@ mod tests {
         let mut g = Grounder::new(program, spouse_db(), standard_udfs()).unwrap();
         let result = g.ground().unwrap();
         // Symmetric counterparts (11,10) and (21,20) now exist as variables too.
-        assert!(g.variable_for("MarriedMentions", &tuple![11i64, 10i64]).is_some());
+        assert!(g
+            .variable_for("MarriedMentions", &tuple![11i64, 10i64])
+            .is_some());
         assert_eq!(result.num_variables, 4);
         // The I1 factors are Aggregate (default Ratio semantics) implications.
         let has_aggregate = g

@@ -30,7 +30,7 @@ use dd_factorgraph::{
     Semantics, Variable, VariableRole, Weight,
 };
 use dd_relstore::{DeltaRelation, MaterializedView, Tuple, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// One update to a KBC system: data changes and/or new rules.
 #[derive(Debug, Clone, Default)]
@@ -87,6 +87,10 @@ pub struct IncrementalGrounding {
     pub new_groundings: usize,
     /// Number of grounding deletions detected but not removed from the graph.
     pub skipped_deletions: usize,
+    /// Variable relations that gained catalog entries in this run — the
+    /// publish dirty-set: only these relations' snapshot shards need
+    /// re-indexing, every other shard can be shared with the previous epoch.
+    pub touched_relations: BTreeSet<String>,
 }
 
 /// Accumulates graph changes in delta form before they are applied.
@@ -153,8 +157,7 @@ impl DeltaBuilder {
     fn ground_binding(&mut self, grounder: &Grounder, rule: &Rule, binding: &Tuple) -> bool {
         let binding_key = (rule.name.clone(), binding.clone());
         if self.seen_bindings.contains(&binding_key)
-            || grounder
-                .grounded_binding_exists(&rule.name, binding)
+            || grounder.grounded_binding_exists(&rule.name, binding)
         {
             return false;
         }
@@ -418,14 +421,24 @@ impl Grounder {
         let delta = builder.delta.clone();
         let base_weight_count = self.graph.num_weights();
         let (new_var_ids, _new_factor_ids) = self.graph.apply_delta(&delta);
+        let mut touched_relations = BTreeSet::new();
         for (key, id) in builder.pending_var_keys.iter().zip(new_var_ids.iter()) {
             self.var_catalog.insert(key.clone(), *id);
+            touched_relations.insert(key.0.clone());
+            self.fresh_catalog
+                .entry(key.0.clone())
+                .or_default()
+                .push((key.1.clone(), *id));
         }
         for (i, key) in builder.pending_weight_keys.iter().enumerate() {
-            self.weight_catalog.insert(key.clone(), base_weight_count + i);
+            self.weight_catalog
+                .insert(key.clone(), base_weight_count + i);
         }
         for (rule, binding) in builder.new_bindings {
-            self.grounded_bindings.entry(rule).or_default().insert(binding);
+            self.grounded_bindings
+                .entry(rule)
+                .or_default()
+                .insert(binding);
         }
         for (relation, tuple) in builder.pending_head_tuples {
             if let Ok(table) = self.db.table_mut(&relation) {
@@ -440,6 +453,7 @@ impl Grounder {
             derived_deltas,
             new_groundings: builder.new_groundings,
             skipped_deletions,
+            touched_relations,
         })
     }
 }
@@ -564,21 +578,33 @@ mod tests {
         .unwrap();
         db.insert_all(
             "Sentence",
-            vec![tuple![1i64, "Barack and his wife Michelle attended the dinner"]],
+            vec![tuple![
+                1i64,
+                "Barack and his wife Michelle attended the dinner"
+            ]],
         )
         .unwrap();
         db.insert_all(
             "PersonCandidate",
-            vec![tuple![1i64, 10i64, "Barack"], tuple![1i64, 11i64, "Michelle"]],
+            vec![
+                tuple![1i64, 10i64, "Barack"],
+                tuple![1i64, 11i64, "Michelle"],
+            ],
         )
         .unwrap();
         db.insert_all(
             "EL",
-            vec![tuple![10i64, "Barack_Obama_1"], tuple![11i64, "Michelle_Obama_1"]],
+            vec![
+                tuple![10i64, "Barack_Obama_1"],
+                tuple![11i64, "Michelle_Obama_1"],
+            ],
         )
         .unwrap();
-        db.insert_all("Married", vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]])
-            .unwrap();
+        db.insert_all(
+            "Married",
+            vec![tuple!["Barack_Obama_1", "Michelle_Obama_1"]],
+        )
+        .unwrap();
         db
     }
 
@@ -622,6 +648,18 @@ mod tests {
             .is_some());
         // The "and his wife" weight is shared with the original grounding.
         assert!(inc.delta.new_weights.is_empty());
+
+        // The publish dirty-set reports exactly the grown relation, and the
+        // drainable catalog delta carries its new entry (on top of the
+        // entries still pending from the initial full grounding).
+        assert!(inc.touched_relations.contains("MarriedMentions"));
+        assert_eq!(inc.touched_relations.len(), 1);
+        let fresh = g.take_new_catalog_entries();
+        assert!(fresh["MarriedMentions"]
+            .iter()
+            .any(|(t, _)| *t == tuple![20i64, 21i64]));
+        // Drained: a second drain with no new grounding is empty.
+        assert!(g.take_new_catalog_entries().is_empty());
     }
 
     #[test]
@@ -656,8 +694,14 @@ mod tests {
             inc_grounder.graph().num_variables(),
             rerun.graph().num_variables()
         );
-        assert_eq!(inc_grounder.graph().num_factors(), rerun.graph().num_factors());
-        assert_eq!(inc_grounder.graph().num_weights(), rerun.graph().num_weights());
+        assert_eq!(
+            inc_grounder.graph().num_factors(),
+            rerun.graph().num_factors()
+        );
+        assert_eq!(
+            inc_grounder.graph().num_weights(),
+            rerun.graph().num_weights()
+        );
     }
 
     #[test]
@@ -745,7 +789,10 @@ mod tests {
         let mut g = grounded();
         let mut update = KbcUpdate::new();
         update
-            .insert("Sentence", tuple![2i64, "Carol and her husband Dave laughed"])
+            .insert(
+                "Sentence",
+                tuple![2i64, "Carol and her husband Dave laughed"],
+            )
             .insert("PersonCandidate", tuple![2i64, 20i64, "Carol"])
             .insert("PersonCandidate", tuple![2i64, 21i64, "Dave"]);
         let first = g.ground_incremental(&update).unwrap();

@@ -237,7 +237,10 @@ fn parse_weight_spec(spec: &str) -> Result<WeightSpec, ParseError> {
     if let Ok(v) = spec.parse::<f64>() {
         return Ok(WeightSpec::Fixed(v));
     }
-    if let Some(inner) = spec.strip_prefix("learn(").and_then(|s| s.strip_suffix(')')) {
+    if let Some(inner) = spec
+        .strip_prefix("learn(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
         let initial = inner.trim().parse::<f64>().unwrap_or(0.0);
         return Ok(WeightSpec::Learnable { initial });
     }
@@ -299,9 +302,7 @@ fn parse_term(t: &str) -> Result<Term, ParseError> {
     if t == "true" || t == "false" {
         return Ok(Term::Const(Value::Bool(t == "true")));
     }
-    if t.chars()
-        .all(|c| c.is_alphanumeric() || c == '_' )
-    {
+    if t.chars().all(|c| c.is_alphanumeric() || c == '_') {
         return Ok(Term::var(t));
     }
     err(format!("cannot parse term `{t}`"))
@@ -315,9 +316,8 @@ fn try_parse_filter(text: &str) -> Option<Filter> {
     ] {
         if let Some((a, b)) = text.split_once(op) {
             let (a, b) = (a.trim(), b.trim());
-            let is_var = |s: &str| {
-                !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
-            };
+            let is_var =
+                |s: &str| !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_');
             if is_var(a) && is_var(b) && !text.contains('(') {
                 return Some(build(a.to_string(), b.to_string()));
             }
@@ -433,10 +433,7 @@ mod tests {
         .unwrap();
         assert_eq!(rule.weight, WeightSpec::Label(false));
         assert_eq!(rule.body.len(), 3);
-        assert_eq!(
-            rule.body[0].terms[1],
-            Term::Const(Value::text("ham"))
-        );
+        assert_eq!(rule.body[0].terms[1], Term::Const(Value::text("ham")));
         assert!(rule.body[1].negated);
         assert_eq!(rule.body[2].terms[1], Term::Const(Value::Int(3)));
     }
@@ -472,8 +469,8 @@ mod tests {
 
     #[test]
     fn analysis_rules_have_no_weight() {
-        let r = parse_rule("rule A1 analysis: Marginals(m1, m2) :- MarriedMentions(m1, m2).")
-            .unwrap();
+        let r =
+            parse_rule("rule A1 analysis: Marginals(m1, m2) :- MarriedMentions(m1, m2).").unwrap();
         assert_eq!(r.kind, RuleKind::ErrorAnalysis);
         assert_eq!(r.weight, WeightSpec::None);
     }

@@ -67,7 +67,9 @@ impl Program {
 
     /// The role of a relation, defaulting to `Base` for undeclared names.
     pub fn role_of(&self, name: &str) -> RelationRole {
-        self.relation(name).map(|r| r.role).unwrap_or(RelationRole::Base)
+        self.relation(name)
+            .map(|r| r.role)
+            .unwrap_or(RelationRole::Base)
     }
 
     /// Rules of a given kind, in program order.
@@ -95,7 +97,10 @@ impl Program {
         // Map: derived relation -> indices of rules producing it.
         let mut producers: HashMap<&str, Vec<usize>> = HashMap::new();
         for (i, r) in candidates.iter().enumerate() {
-            producers.entry(r.head.relation.as_str()).or_default().push(i);
+            producers
+                .entry(r.head.relation.as_str())
+                .or_default()
+                .push(i);
         }
         // Edges: rule i -> rule j if j reads i's head relation.
         let n = candidates.len();
@@ -142,12 +147,7 @@ impl Program {
             && self
                 .rules
                 .iter()
-                .filter(|r| {
-                    matches!(
-                        r.kind,
-                        RuleKind::FeatureExtraction | RuleKind::Inference
-                    )
-                })
+                .filter(|r| matches!(r.kind, RuleKind::FeatureExtraction | RuleKind::Inference))
                 .all(|r| r.is_hierarchical())
     }
 
@@ -166,7 +166,9 @@ impl Program {
     pub fn validate(&self) -> Result<(), ProgramError> {
         let declared: HashSet<&str> = self.relations.iter().map(|r| r.name.as_str()).collect();
         for rule in &self.rules {
-            if rule.kind != RuleKind::ErrorAnalysis && !declared.contains(rule.head.relation.as_str()) {
+            if rule.kind != RuleKind::ErrorAnalysis
+                && !declared.contains(rule.head.relation.as_str())
+            {
                 return Err(ProgramError::UndeclaredHead {
                     rule: rule.name.clone(),
                     relation: rule.head.relation.clone(),

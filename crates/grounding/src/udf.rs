@@ -151,7 +151,11 @@ mod tests {
         let sent = Value::text("B. Obama and his wife M. Obama were married");
         let out = reg.call(
             "phrase",
-            &[Value::text("B. Obama"), Value::text("M. Obama"), sent.clone()],
+            &[
+                Value::text("B. Obama"),
+                Value::text("M. Obama"),
+                sent.clone(),
+            ],
         );
         assert_eq!(out, Value::text("and his wife"));
         // order of mentions does not matter

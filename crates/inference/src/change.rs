@@ -85,11 +85,7 @@ impl DistributionChange {
     /// `ΔW(I)`: the log-weight difference contributed by the changed part of the
     /// graph, evaluated in `world` against the *updated* graph.  Returns
     /// `f64::NEG_INFINITY` for worlds inconsistent with new evidence.
-    pub fn delta_log_weight<W: WorldView + ?Sized>(
-        &self,
-        updated: &FactorGraph,
-        world: &W,
-    ) -> f64 {
+    pub fn delta_log_weight<W: WorldView + ?Sized>(&self, updated: &FactorGraph, world: &W) -> f64 {
         for &(v, required) in &self.new_evidence {
             if world.value(v) != required {
                 return f64::NEG_INFINITY;
@@ -120,8 +116,8 @@ impl DistributionChange {
 mod tests {
     use super::*;
     use dd_factorgraph::{
-        DeltaFactor, EvidenceChange, Factor, FactorGraphBuilder, NewVarRef, NewWeightRef,
-        Variable, VariableRole, Weight, WeightChange, World,
+        DeltaFactor, EvidenceChange, Factor, FactorGraphBuilder, NewVarRef, NewWeightRef, Variable,
+        VariableRole, Weight, WeightChange, World,
     };
 
     fn base() -> FactorGraph {

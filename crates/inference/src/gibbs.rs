@@ -275,7 +275,8 @@ impl<'g> GibbsSampler<'g> {
         let sweeps = sweeps.max(1);
         for _ in 0..sweeps {
             self.sweep();
-            self.flat.accumulate_feature_counts(&self.world, &mut totals);
+            self.flat
+                .accumulate_feature_counts(&self.world, &mut totals);
         }
         for t in &mut totals {
             *t /= sweeps as f64;

@@ -200,8 +200,8 @@ impl<'g> Learner<'g> {
         });
         let mut hogwild = use_parallel.then(|| {
             let pool = self.pool.as_ref().expect("use_parallel implies pool");
-            let clamped = ParallelGibbs::from_flat(flat.clone(), options.seed)
-                .with_pool(Arc::clone(pool));
+            let clamped =
+                ParallelGibbs::from_flat(flat.clone(), options.seed).with_pool(Arc::clone(pool));
             let free = ParallelGibbs::from_flat(flat.clone(), mix_seed(options.seed, FREE_STREAM))
                 .with_pool(Arc::clone(pool))
                 .with_free_vars(all_vars.clone());
@@ -221,10 +221,8 @@ impl<'g> Learner<'g> {
                 ),
                 None => {
                     let clamped = {
-                        let mut s = GibbsSampler::from_flat(
-                            &flat,
-                            mix_seed(options.seed, epoch as u64),
-                        );
+                        let mut s =
+                            GibbsSampler::from_flat(&flat, mix_seed(options.seed, epoch as u64));
                         if let Some(w) = clamped_world.take() {
                             s.set_world(w);
                         }
@@ -316,12 +314,14 @@ mod tests {
         // the persistent hogwild chains (threshold 1 forces the parallel path).
         let mut g = classifier_graph(40);
         let pool = Arc::new(ThreadPool::new(2));
-        let trace = Learner::new(&mut g).with_pool(pool, 1).learn(&LearnOptions {
-            epochs: 40,
-            learning_rate: 0.3,
-            sweeps_per_epoch: 3,
-            ..Default::default()
-        });
+        let trace = Learner::new(&mut g)
+            .with_pool(pool, 1)
+            .learn(&LearnOptions {
+                epochs: 40,
+                learning_rate: 0.3,
+                sweeps_per_epoch: 3,
+                ..Default::default()
+            });
         assert!(g.weight(0).value > 0.5, "w(A) = {}", g.weight(0).value);
         assert!(g.weight(1).value < -0.5, "w(B) = {}", g.weight(1).value);
         assert_eq!(trace.losses.len(), 40);

@@ -225,7 +225,11 @@ mod tests {
     fn calibration_perfectly_calibrated_input() {
         // probabilities 0.05..0.95, truth assigned to match the probability
         let probs: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 100.0).collect();
-        let truth: Vec<bool> = probs.iter().enumerate().map(|(i, &p)| (i * 7 % 100) as f64 / 100.0 < p).collect();
+        let truth: Vec<bool> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i * 7 % 100) as f64 / 100.0 < p)
+            .collect();
         let m = Marginals::from_values(probs);
         let buckets = calibration_buckets(&m, &truth, 10);
         assert_eq!(buckets.len(), 10);

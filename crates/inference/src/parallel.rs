@@ -57,7 +57,11 @@ struct AtomicWorld {
 impl AtomicWorld {
     fn from_world(world: &World) -> Self {
         AtomicWorld {
-            words: world.as_words().iter().map(|&w| AtomicU64::new(w)).collect(),
+            words: world
+                .as_words()
+                .iter()
+                .map(|&w| AtomicU64::new(w))
+                .collect(),
             len: world.len(),
         }
     }

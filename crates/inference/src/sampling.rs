@@ -46,12 +46,7 @@ pub struct SampleMaterialization {
 
 impl SampleMaterialization {
     /// Materialize `num_samples` worlds from the original graph.
-    pub fn materialize(
-        graph: &FactorGraph,
-        num_samples: usize,
-        burn_in: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn materialize(graph: &FactorGraph, num_samples: usize, burn_in: usize, seed: u64) -> Self {
         let mut sampler = GibbsSampler::new(graph, seed);
         let samples = sampler.draw_samples(num_samples, burn_in);
         SampleMaterialization {
@@ -142,8 +137,7 @@ impl SampleMaterialization {
         let mut next_proposal = 0usize;
         let mut found: Option<(World, f64)> = None;
         while next_proposal < order.len() {
-            let cand =
-                self.extend_sample(flat.as_ref(), &init, change, order[next_proposal], seed);
+            let cand = self.extend_sample(flat.as_ref(), &init, change, order[next_proposal], seed);
             next_proposal += 1;
             let d = change.delta_log_weight(updated, &cand);
             if d > f64::NEG_INFINITY {
@@ -170,8 +164,13 @@ impl SampleMaterialization {
                 exhausted = true;
                 break;
             }
-            let proposal =
-                self.extend_sample(flat.as_ref(), &init, change, order[next_proposal], seed ^ 0x9e37);
+            let proposal = self.extend_sample(
+                flat.as_ref(),
+                &init,
+                change,
+                order[next_proposal],
+                seed ^ 0x9e37,
+            );
             next_proposal += 1;
             steps += 1;
 

@@ -110,8 +110,11 @@ mod tests {
             Schema::of(&[("id", DataType::Int), ("content", DataType::Text)]),
         )
         .unwrap();
-        db.insert("Sentence", tuple![1i64, "B. Obama and Michelle were married"])
-            .unwrap();
+        db.insert(
+            "Sentence",
+            tuple![1i64, "B. Obama and Michelle were married"],
+        )
+        .unwrap();
         assert_eq!(db.table("Sentence").unwrap().len(), 1);
         assert!(db.has_table("Sentence"));
         assert!(!db.has_table("Missing"));
@@ -149,8 +152,10 @@ mod tests {
             .unwrap();
         db.create_table("B", Schema::of(&[("x", DataType::Int)]))
             .unwrap();
-        db.insert_all("A", (0..3).map(|i| tuple![i as i64])).unwrap();
-        db.insert_all("B", (0..2).map(|i| tuple![i as i64])).unwrap();
+        db.insert_all("A", (0..3).map(|i| tuple![i as i64]))
+            .unwrap();
+        db.insert_all("B", (0..2).map(|i| tuple![i as i64]))
+            .unwrap();
         assert_eq!(db.total_tuples(), 5);
         assert_eq!(db.table_names(), vec!["A".to_string(), "B".to_string()]);
         db.drop_table("A").unwrap();

@@ -69,12 +69,11 @@ pub fn hash_join(
     let mut out = Table::new(name, schema);
 
     // Build on the smaller side.
-    let (build, probe, build_keys, probe_keys, build_is_left) =
-        if left.len() <= right.len() {
-            (left, right, left_keys, right_keys, true)
-        } else {
-            (right, left, right_keys, left_keys, false)
-        };
+    let (build, probe, build_keys, probe_keys, build_is_left) = if left.len() <= right.len() {
+        (left, right, left_keys, right_keys, true)
+    } else {
+        (right, left, right_keys, left_keys, false)
+    };
 
     let mut index: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
     for (t, c) in build.iter_counted() {
@@ -194,7 +193,11 @@ mod tests {
         table(
             "R",
             &[("x", DataType::Int), ("y", DataType::Int)],
-            vec![tuple![1i64, 10i64], tuple![1i64, 11i64], tuple![2i64, 12i64]],
+            vec![
+                tuple![1i64, 10i64],
+                tuple![1i64, 11i64],
+                tuple![2i64, 12i64],
+            ],
         )
     }
 
@@ -251,8 +254,16 @@ mod tests {
 
     #[test]
     fn union_and_difference() {
-        let a = table("A", &[("x", DataType::Int)], vec![tuple![1i64], tuple![2i64]]);
-        let b = table("B", &[("x", DataType::Int)], vec![tuple![2i64], tuple![3i64]]);
+        let a = table(
+            "A",
+            &[("x", DataType::Int)],
+            vec![tuple![1i64], tuple![2i64]],
+        );
+        let b = table(
+            "B",
+            &[("x", DataType::Int)],
+            vec![tuple![2i64], tuple![3i64]],
+        );
         let u = union(&a, &b, "u").unwrap();
         assert_eq!(u.len(), 3);
         assert_eq!(u.count(&tuple![2i64]), 2);
@@ -285,7 +296,11 @@ mod tests {
 
     #[test]
     fn cross_product_counts() {
-        let a = table("A", &[("x", DataType::Int)], vec![tuple![1i64], tuple![2i64]]);
+        let a = table(
+            "A",
+            &[("x", DataType::Int)],
+            vec![tuple![1i64], tuple![2i64]],
+        );
         let b = table("B", &[("y", DataType::Int)], vec![tuple![10i64]]);
         let out = cross(&a, &b, "c");
         assert_eq!(out.len(), 2);

@@ -39,10 +39,7 @@ impl Schema {
     /// Convenience constructor from slices of `(&str, DataType)`.
     pub fn of(cols: &[(&str, DataType)]) -> Self {
         Schema {
-            columns: cols
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
+            columns: cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
         }
     }
 
@@ -72,9 +69,10 @@ impl Schema {
     /// the declared column type exactly.
     pub fn check(&self, values: &[Value]) -> bool {
         values.len() == self.arity()
-            && values.iter().zip(self.columns.iter()).all(|(v, c)| {
-                v.is_null() || v.data_type() == c.data_type
-            })
+            && values
+                .iter()
+                .zip(self.columns.iter())
+                .all(|(v, c)| v.is_null() || v.data_type() == c.data_type)
     }
 
     /// A new schema that is the concatenation of `self` and `other`

@@ -132,10 +132,7 @@ impl Table {
 
     /// Iterate over present tuples (count > 0).
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows
-            .iter()
-            .filter(|(_, &c)| c > 0)
-            .map(|(t, _)| t)
+        self.rows.iter().filter(|(_, &c)| c > 0).map(|(t, _)| t)
     }
 
     /// Iterate over `(tuple, count)` pairs with positive count.
@@ -187,7 +184,10 @@ mod tests {
     fn people() -> Table {
         Table::new(
             "PersonCandidate",
-            Schema::of(&[("sentence_id", DataType::Int), ("mention_id", DataType::Int)]),
+            Schema::of(&[
+                ("sentence_id", DataType::Int),
+                ("mention_id", DataType::Int),
+            ]),
         )
     }
 

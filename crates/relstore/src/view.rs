@@ -102,11 +102,7 @@ pub struct ConjunctiveQuery {
 }
 
 impl ConjunctiveQuery {
-    pub fn new(
-        name: impl Into<String>,
-        head_vars: Vec<String>,
-        atoms: Vec<QueryAtom>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, head_vars: Vec<String>, atoms: Vec<QueryAtom>) -> Self {
         ConjunctiveQuery {
             name: name.into(),
             head_vars,
@@ -178,8 +174,7 @@ impl ConjunctiveQuery {
         F: Fn(&str) -> RelResult<&'a Table>,
     {
         // Bindings: variable assignment plus derivation count.
-        let mut bindings: Vec<(HashMap<String, Value>, i64)> =
-            vec![(HashMap::new(), 1)];
+        let mut bindings: Vec<(HashMap<String, Value>, i64)> = vec![(HashMap::new(), 1)];
 
         for atom in &self.atoms {
             let table = fetch(&atom.relation)?;
@@ -450,8 +445,7 @@ impl ConjunctiveQuery {
     where
         F: Fn(&str) -> RelResult<&'a Table>,
     {
-        let mut bindings: Vec<(HashMap<String, Value>, i64)> =
-            vec![(HashMap::new(), 1)];
+        let mut bindings: Vec<(HashMap<String, Value>, i64)> = vec![(HashMap::new(), 1)];
         for atom in &self.atoms {
             let table = fetch(&atom.relation)?;
             bindings = if atom.negated {
@@ -567,14 +561,21 @@ mod tests {
         .unwrap();
         db.insert_all(
             "PersonCandidate",
-            vec![tuple![1i64, 10i64], tuple![1i64, 11i64], tuple![2i64, 20i64]],
+            vec![
+                tuple![1i64, 10i64],
+                tuple![1i64, 11i64],
+                tuple![2i64, 20i64],
+            ],
         )
         .unwrap();
         db.insert_all("Sentence", vec![tuple![1i64], tuple![2i64]])
             .unwrap();
         db.insert_all(
             "EL",
-            vec![tuple![10i64, "Barack_Obama_1"], tuple![11i64, "Michelle_Obama_1"]],
+            vec![
+                tuple![10i64, "Barack_Obama_1"],
+                tuple![11i64, "Michelle_Obama_1"],
+            ],
         )
         .unwrap();
         db
@@ -623,8 +624,7 @@ mod tests {
             vec!["m".into()],
             vec![
                 QueryAtom::new("PersonCandidate", vec![Term::var("s"), Term::var("m")]),
-                QueryAtom::new("PersonCandidate", vec![Term::val(1i64), Term::var("m")])
-                    .negated(),
+                QueryAtom::new("PersonCandidate", vec![Term::val(1i64), Term::var("m")]).negated(),
             ],
         );
         let out = q_neg.evaluate(&db).unwrap();
@@ -638,10 +638,7 @@ mod tests {
         let q = ConjunctiveQuery::new(
             "Bad",
             vec!["zzz".into()],
-            vec![QueryAtom::new(
-                "Sentence",
-                vec![Term::var("s")],
-            )],
+            vec![QueryAtom::new("Sentence", vec![Term::var("s")])],
         );
         assert!(matches!(q.evaluate(&db), Err(RelError::InvalidQuery(_))));
     }
@@ -654,8 +651,7 @@ mod tests {
             vec!["s".into()],
             vec![
                 QueryAtom::new("Sentence", vec![Term::var("s")]),
-                QueryAtom::new("PersonCandidate", vec![Term::var("s2"), Term::var("m")])
-                    .negated(),
+                QueryAtom::new("PersonCandidate", vec![Term::var("s2"), Term::var("m")]).negated(),
             ],
         );
         assert!(matches!(q.evaluate(&db), Err(RelError::InvalidQuery(_))));
@@ -761,8 +757,7 @@ mod tests {
             vec!["m".into()],
             vec![
                 QueryAtom::new("PersonCandidate", vec![Term::var("s"), Term::var("m")]),
-                QueryAtom::new("EL", vec![Term::var("m"), Term::val("Barack_Obama_1")])
-                    .negated(),
+                QueryAtom::new("EL", vec![Term::var("m"), Term::val("Barack_Obama_1")]).negated(),
             ],
         );
         let _ = q.evaluate(&db).unwrap();

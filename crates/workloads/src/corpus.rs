@@ -10,7 +10,7 @@
 //! for distant supervision), and `Sibling` (a largely-disjoint relation used to
 //! generate negative examples, Example 2.4).
 
-use dd_relstore::{Database, DataType, Schema, Tuple, Value};
+use dd_relstore::{DataType, Database, Schema, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -142,7 +142,10 @@ impl Corpus {
             if rng.gen::<f64>() < config.kb_coverage {
                 db.insert(
                     "Married",
-                    Tuple::new(vec![Value::text(entity_name(a)), Value::text(entity_name(b))]),
+                    Tuple::new(vec![
+                        Value::text(entity_name(a)),
+                        Value::text(entity_name(b)),
+                    ]),
                 )
                 .expect("schema matches");
             }
@@ -150,7 +153,10 @@ impl Corpus {
         for &(a, b) in &sibling_pairs {
             db.insert(
                 "Sibling",
-                Tuple::new(vec![Value::text(entity_name(a)), Value::text(entity_name(b))]),
+                Tuple::new(vec![
+                    Value::text(entity_name(a)),
+                    Value::text(entity_name(b)),
+                ]),
             )
             .expect("schema matches");
         }

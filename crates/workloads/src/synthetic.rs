@@ -65,11 +65,7 @@ pub fn pairwise_graph(config: &SyntheticConfig) -> FactorGraph {
         } else {
             rng.gen_range(-config.weight_range..=config.weight_range)
         };
-        let wid = graph.add_weight(dd_factorgraph::Weight::learnable(
-            0,
-            w,
-            format!("pair:{i}"),
-        ));
+        let wid = graph.add_weight(dd_factorgraph::Weight::learnable(0, w, format!("pair:{i}")));
         graph.add_factor(Factor::equal(wid, a, c));
     }
     graph

@@ -220,9 +220,7 @@ impl RuleTemplate {
     /// The rule added by this template, under the given semantics.
     pub fn rule(self, semantics: Semantics) -> Rule {
         let text = match self {
-            RuleTemplate::A1 => {
-                "rule A1 analysis: Marginal(m1, m2) :- MarriedMentions(m1, m2)."
-            }
+            RuleTemplate::A1 => "rule A1 analysis: Marginal(m1, m2) :- MarriedMentions(m1, m2).",
             RuleTemplate::FE1 => {
                 "rule FE1 feature: MarriedMentions(m1, m2) :- \
                  MarriedCandidate(m1, m2), PersonCandidate(s, m1, t1), \

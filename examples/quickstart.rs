@@ -61,13 +61,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let documents = [
-        (1i64, "Barack", "Michelle", "Barack and his wife Michelle attended the dinner"),
-        (2, "George", "Laura", "George and his wife Laura were married"),
-        (3, "Malia", "Sasha", "Malia and Sasha attended the state dinner"),
-        (4, "Franklin", "Eleanor", "Franklin and his wife Eleanor hosted the gala"),
+        (
+            1i64,
+            "Barack",
+            "Michelle",
+            "Barack and his wife Michelle attended the dinner",
+        ),
+        (
+            2,
+            "George",
+            "Laura",
+            "George and his wife Laura were married",
+        ),
+        (
+            3,
+            "Malia",
+            "Sasha",
+            "Malia and Sasha attended the state dinner",
+        ),
+        (
+            4,
+            "Franklin",
+            "Eleanor",
+            "Franklin and his wife Eleanor hosted the gala",
+        ),
     ];
     for (s, p1, p2, content) in documents {
-        db.insert("Sentence", Tuple::from_iter([Value::Int(s), Value::text(content)]))?;
+        db.insert(
+            "Sentence",
+            Tuple::from_iter([Value::Int(s), Value::text(content)]),
+        )?;
         db.insert(
             "PersonCandidate",
             Tuple::from_iter([Value::Int(s), Value::Int(2 * s), Value::text(p1)]),
@@ -78,8 +101,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
     // The existing KB knows only about the Obamas; everything else must be learned.
-    db.insert("EL", Tuple::from_iter([Value::Int(2), Value::text("Barack_Obama")]))?;
-    db.insert("EL", Tuple::from_iter([Value::Int(3), Value::text("Michelle_Obama")]))?;
+    db.insert(
+        "EL",
+        Tuple::from_iter([Value::Int(2), Value::text("Barack_Obama")]),
+    )?;
+    db.insert(
+        "EL",
+        Tuple::from_iter([Value::Int(3), Value::text("Michelle_Obama")]),
+    )?;
     db.insert(
         "Married",
         Tuple::from_iter([Value::text("Barack_Obama"), Value::text("Michelle_Obama")]),

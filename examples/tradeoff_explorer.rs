@@ -7,12 +7,12 @@
 //!
 //! Run with `cargo run --release --example tradeoff_explorer`.
 
+use deepdive_repro::engine::choose_strategy;
 use deepdive_repro::inference::{
     DistributionChange, GibbsOptions, GibbsSampler, SampleMaterialization,
     VariationalMaterialization, VariationalOptions,
 };
 use deepdive_repro::workloads::{pairwise_graph, weight_perturbation, SyntheticConfig};
-use deepdive_repro::engine::choose_strategy;
 
 fn main() {
     let graph = pairwise_graph(&SyntheticConfig {

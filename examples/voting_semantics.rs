@@ -26,7 +26,10 @@ fn main() {
 
     // Convergence: how many sweeps until the estimate of P(q) is within 2%.
     println!("Gibbs sweeps to estimate P(q) within 2% (|U| = |D| = n):");
-    println!("{:>8} {:>10} {:>10} {:>10}", "n", "Logical", "Ratio", "Linear");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "n", "Logical", "Ratio", "Linear"
+    );
     for &n in &[10usize, 50, 200] {
         let mut cells = vec![format!("{n:>8}")];
         for semantics in [Semantics::Logical, Semantics::Ratio, Semantics::Linear] {

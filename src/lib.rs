@@ -34,11 +34,11 @@ pub mod prelude {
         parse_program, standard_udfs, Grounder, GroundingError, KbcUpdate, Program, ProgramError,
     };
     pub use dd_inference::{GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals};
-    pub use dd_relstore::{Database, DataType, RelError, Schema, Tuple, Value};
+    pub use dd_relstore::{DataType, Database, RelError, Schema, Tuple, Value};
     pub use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
     pub use deepdive::{
-        DeepDive, DeepDiveBuilder, EngineConfig, EngineError, ExecutionMode, FactQuery, Snapshot,
-        SnapshotReader, StrategyChoice,
+        CatalogShard, CatalogShards, DeepDive, DeepDiveBuilder, EngineConfig, EngineError,
+        ExecutionMode, FactQuery, RelationIndex, Snapshot, SnapshotReader, StrategyChoice,
     };
 }
 

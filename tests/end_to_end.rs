@@ -34,7 +34,11 @@ fn development_loop_improves_quality() {
         before.f1,
         after.f1
     );
-    assert!(after.f1 > 0.2, "final F1 should be non-trivial, got {}", after.f1);
+    assert!(
+        after.f1 > 0.2,
+        "final F1 should be non-trivial, got {}",
+        after.f1
+    );
 }
 
 #[test]
@@ -47,15 +51,26 @@ fn incremental_and_rerun_extract_similar_high_confidence_facts() {
     for engine in [&mut incremental, &mut rerun] {
         engine.initial_run().expect("initial run");
         engine
-            .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+            .run_update(
+                &system.template_update(RuleTemplate::FE1),
+                ExecutionMode::Rerun,
+            )
             .expect("FE1");
         engine
-            .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+            .run_update(
+                &system.template_update(RuleTemplate::S1),
+                ExecutionMode::Rerun,
+            )
             .expect("S1");
     }
     incremental.materialize();
 
-    for template in [RuleTemplate::FE2, RuleTemplate::S2, RuleTemplate::I1, RuleTemplate::A1] {
+    for template in [
+        RuleTemplate::FE2,
+        RuleTemplate::S2,
+        RuleTemplate::I1,
+        RuleTemplate::A1,
+    ] {
         let update = system.template_update(template);
         incremental
             .run_update(&update, ExecutionMode::Incremental)
@@ -90,13 +105,15 @@ fn incremental_and_rerun_extract_similar_high_confidence_facts() {
         );
         // Supervised facts are pinned by evidence and must agree exactly.
         for (tuple, _) in rerun.extract_facts("MarriedMentions", 0.999) {
-            if rerun.graph().variable(
-                rerun
-                    .grounder()
-                    .variable_for("MarriedMentions", &tuple)
-                    .unwrap(),
-            )
-            .is_evidence()
+            if rerun
+                .graph()
+                .variable(
+                    rerun
+                        .grounder()
+                        .variable_for("MarriedMentions", &tuple)
+                        .unwrap(),
+                )
+                .is_evidence()
             {
                 assert!(inc.contains(&tuple), "supervised fact {tuple} missing");
             }
@@ -108,13 +125,19 @@ fn incremental_and_rerun_extract_similar_high_confidence_facts() {
 fn optimizer_choices_match_the_paper_rules_end_to_end() {
     let (system, mut engine) = news(0.15, 9);
     engine
-        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::FE1),
+            ExecutionMode::Rerun,
+        )
         .expect("FE1");
     engine.materialize();
 
     // A1 (no change) -> sampling with 100% acceptance.
     let report = engine
-        .run_update(&system.template_update(RuleTemplate::A1), ExecutionMode::Incremental)
+        .run_update(
+            &system.template_update(RuleTemplate::A1),
+            ExecutionMode::Incremental,
+        )
         .expect("A1");
     assert_eq!(report.strategy, Some(StrategyChoice::Sampling));
     if let Some(rate) = report.acceptance_rate {
@@ -125,7 +148,10 @@ fn optimizer_choices_match_the_paper_rules_end_to_end() {
     // produced any labels on this scaled-down corpus.
     let evidence_before = engine.graph().stats().num_evidence_variables;
     let report = engine
-        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Incremental)
+        .run_update(
+            &system.template_update(RuleTemplate::S1),
+            ExecutionMode::Incremental,
+        )
         .expect("S1");
     let evidence_after = engine.graph().stats().num_evidence_variables;
     if evidence_after > evidence_before {
@@ -136,7 +162,10 @@ fn optimizer_choices_match_the_paper_rules_end_to_end() {
 
     // FE2 (new features) -> sampling.
     let report = engine
-        .run_update(&system.template_update(RuleTemplate::FE2), ExecutionMode::Incremental)
+        .run_update(
+            &system.template_update(RuleTemplate::FE2),
+            ExecutionMode::Incremental,
+        )
         .expect("FE2");
     assert_eq!(report.strategy, Some(StrategyChoice::Sampling));
 }
@@ -153,10 +182,16 @@ fn new_documents_flow_through_incremental_grounding() {
         .build()
         .expect("engine builds");
     engine
-        .run_update(&system.template_update(RuleTemplate::FE1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::FE1),
+            ExecutionMode::Rerun,
+        )
         .expect("FE1");
     engine
-        .run_update(&system.template_update(RuleTemplate::S1), ExecutionMode::Rerun)
+        .run_update(
+            &system.template_update(RuleTemplate::S1),
+            ExecutionMode::Rerun,
+        )
         .expect("S1");
     engine.materialize();
     let vars_before = engine.graph().num_variables();

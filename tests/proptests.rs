@@ -7,8 +7,7 @@
 
 use deepdive_repro::factorgraph::FlatGraph;
 use deepdive_repro::inference::{
-    DistributionChange, GibbsOptions, GibbsSampler, SampleMaterialization,
-    StrawmanMaterialization,
+    DistributionChange, GibbsOptions, GibbsSampler, SampleMaterialization, StrawmanMaterialization,
 };
 use deepdive_repro::prelude::*;
 use deepdive_repro::relstore::view::{Filter, QueryAtom, Term};
@@ -26,9 +25,8 @@ fn for_cases(name: &str, mut body: impl FnMut(&mut StdRng, u64)) {
     for case in 0..CASES {
         let seed = 0xdd00 + case;
         let mut rng = StdRng::seed_from_u64(seed);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            body(&mut rng, seed)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng, seed)));
         if let Err(panic) = result {
             eprintln!("property `{name}` failed for case seed {seed}");
             std::panic::resume_unwind(panic);

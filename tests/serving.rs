@@ -61,8 +61,14 @@ fn engine() -> DeepDive {
     db.insert_all(
         "Sentence",
         vec![
-            Tuple::from_iter([Value::Int(1), Value::text("Barack and his wife Michelle attended the dinner")]),
-            Tuple::from_iter([Value::Int(2), Value::text("George and his wife Laura were married")]),
+            Tuple::from_iter([
+                Value::Int(1),
+                Value::text("Barack and his wife Michelle attended the dinner"),
+            ]),
+            Tuple::from_iter([
+                Value::Int(2),
+                Value::text("George and his wife Laura were married"),
+            ]),
         ],
     )
     .unwrap();
@@ -119,11 +125,19 @@ fn update_for(i: i64) -> KbcUpdate {
         )
         .insert(
             "PersonCandidate",
-            Tuple::from_iter([Value::Int(s), Value::Int(m1), Value::text(format!("Person{m1}"))]),
+            Tuple::from_iter([
+                Value::Int(s),
+                Value::Int(m1),
+                Value::text(format!("Person{m1}")),
+            ]),
         )
         .insert(
             "PersonCandidate",
-            Tuple::from_iter([Value::Int(s), Value::Int(m2), Value::text(format!("Person{m2}"))]),
+            Tuple::from_iter([
+                Value::Int(s),
+                Value::Int(m2),
+                Value::text(format!("Person{m2}")),
+            ]),
         );
     update
 }
@@ -226,7 +240,9 @@ fn readers_observe_consistent_epochs_during_updates() {
     for i in 0..UPDATES {
         let pair = Tuple::from_iter([Value::Int(100 + 2 * i), Value::Int(101 + 2 * i)]);
         assert!(
-            final_snap.probability_of("MarriedMentions", &pair).is_some(),
+            final_snap
+                .probability_of("MarriedMentions", &pair)
+                .is_some(),
             "pair from update {i} missing in final epoch"
         );
     }

@@ -220,9 +220,7 @@ pub mod rngs {
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             // Decorrelate from StdRng streams built from the same seed.
-            SmallRng(Xoshiro256PlusPlus::from_seed_u64(
-                seed ^ 0x6a09e667f3bcc909,
-            ))
+            SmallRng(Xoshiro256PlusPlus::from_seed_u64(seed ^ 0x6a09e667f3bcc909))
         }
     }
 

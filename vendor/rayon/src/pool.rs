@@ -261,7 +261,10 @@ fn worker_loop(shared: &Shared, index: usize) {
                         None => continue,
                     }
                 }
-                st = shared.work_ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the dispatcher blocks until we decrement `outstanding`
