@@ -8,9 +8,13 @@
 //! dispatch, sharded O(Δ) publish) never silently goes backwards.
 //!
 //! The workspace is fully offline (vendored stand-in deps only), so parsing
-//! uses a small self-contained JSON reader rather than `serde_json`.  It
+//! uses the workspace's hand-rolled JSON reader — [`dd_wire::json`], the same
+//! implementation the network protocol speaks (it originally lived in this
+//! module and was promoted to `dd-wire` when the serving layer landed).  It
 //! accepts arbitrary well-formed JSON and then shape-checks the result, so a
 //! truncated or hand-mangled file fails loudly instead of being half-read.
+
+use dd_wire::json::{self, Json};
 
 /// One benchmark data point.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,232 +24,11 @@ pub struct BenchEntry {
     pub value: f64,
 }
 
-/// A parsed JSON value (just enough of the data model for the bench schema).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn error(&self, message: &str) -> String {
-        format!("invalid JSON at byte {}: {message}", self.pos)
-    }
-
-    fn skip_whitespace(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_whitespace() {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_whitespace();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(other) => Err(self.error(&format!("unexpected '{}'", other as char))),
-            None => Err(self.error("unexpected end of input")),
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            Err(self.error(&format!("expected '{text}'")))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let code = self.hex_escape()?;
-                            // A high surrogate must be followed by an escaped
-                            // low surrogate; combine them into one scalar.
-                            let scalar = if (0xD800..0xDC00).contains(&code) {
-                                if self.bytes.get(self.pos + 1..self.pos + 3)
-                                    != Some(b"\\u".as_slice())
-                                {
-                                    return Err(self.error("lone high surrogate"));
-                                }
-                                self.pos += 2;
-                                let low = self.hex_escape()?;
-                                if !(0xDC00..0xE000).contains(&low) {
-                                    return Err(self.error("bad low surrogate"));
-                                }
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
-                            } else {
-                                code
-                            };
-                            out.push(
-                                char::from_u32(scalar)
-                                    .ok_or_else(|| self.error("bad \\u codepoint"))?,
-                            );
-                        }
-                        _ => return Err(self.error("bad escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte sequences arrive as
-                    // raw bytes; re-decode from the remaining slice).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-                None => return Err(self.error("unterminated string")),
-            }
-        }
-    }
-
-    /// Read the four hex digits of a `\uXXXX` escape (cursor on the `u`),
-    /// leaving the cursor on the last digit.
-    fn hex_escape(&mut self) -> Result<u32, String> {
-        let hex = self
-            .bytes
-            .get(self.pos + 1..self.pos + 5)
-            .ok_or_else(|| self.error("truncated \\u escape"))?;
-        let hex = std::str::from_utf8(hex).map_err(|_| self.error("non-ascii \\u escape"))?;
-        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
-        self.pos += 4;
-        Ok(code)
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| self.error(&format!("bad number '{text}'")))
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_whitespace();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(self.error("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_whitespace();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_whitespace();
-            let key = self.string()?;
-            self.skip_whitespace();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(self.error("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
 /// Parse a `BENCH_sweeps.json` document into its entries.  Rejects anything
 /// that is not a JSON array of `{name: string, unit: string, value: number}`
 /// objects.
 pub fn parse_bench_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
-    let mut parser = Parser::new(text);
-    let value = parser.value()?;
-    parser.skip_whitespace();
-    if parser.pos != parser.bytes.len() {
-        return Err(parser.error("trailing content after the top-level value"));
-    }
-    let Json::Array(items) = value else {
+    let Json::Array(items) = json::parse(text)? else {
         return Err("top-level value must be an array".to_string());
     };
     items

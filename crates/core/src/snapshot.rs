@@ -309,6 +309,25 @@ impl Snapshot {
         }
     }
 
+    /// A free-standing snapshot from raw marginals and a pre-built catalog —
+    /// for serving-layer tests and tooling that need a `Snapshot` without
+    /// running an engine.  Graph stats are synthesized to agree with the
+    /// marginal vector (`num_variables == marginals.len()`), the epoch and
+    /// catalog are taken as given, and the fact threshold defaults to 0.9.
+    pub fn synthetic(epoch: u64, marginals: Vec<f64>, catalog: CatalogShards) -> Self {
+        let num_variables = marginals.len();
+        let mut stats = Snapshot::empty(0.9).stats;
+        stats.num_variables = num_variables;
+        Snapshot {
+            epoch,
+            marginals: Marginals::from_values(marginals),
+            weights: Vec::new(),
+            catalog,
+            stats,
+            fact_threshold: 0.9,
+        }
+    }
+
     pub(crate) fn publish(
         epoch: u64,
         marginals: Marginals,
@@ -459,6 +478,15 @@ pub struct SnapshotReader {
 impl SnapshotReader {
     pub(crate) fn new(current: Arc<RwLock<Arc<Snapshot>>>) -> Self {
         SnapshotReader { current }
+    }
+
+    /// A reader pinned to one free-standing snapshot, never advancing — for
+    /// serving infrastructure tests and tooling that need a reader without
+    /// an engine publishing behind it (pairs with [`Snapshot::synthetic`]).
+    pub fn fixed(snapshot: Snapshot) -> SnapshotReader {
+        SnapshotReader {
+            current: Arc::new(RwLock::new(Arc::new(snapshot))),
+        }
     }
 
     /// The most recently published snapshot (cheap: one `Arc` clone under a

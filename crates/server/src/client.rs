@@ -1,0 +1,203 @@
+//! A blocking client for the [`crate::Server`] wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and sends one batch at a time
+//! (request, then response — the protocol keeps a single request in flight
+//! per connection).  Typed server refusals — `overloaded` above all — arrive
+//! as [`ClientError::Server`], distinct from transport failures, so callers
+//! can implement retry-with-backoff against backpressure without string
+//! matching.
+//!
+//! ```no_run
+//! use dd_server::{Client, FactQuerySpec};
+//!
+//! let mut client = Client::connect("127.0.0.1:7171")?;
+//! let epoch = client.epoch()?;
+//! let facts = client.query(
+//!     "MarriedMentions",
+//!     FactQuerySpec { min_probability: 0.9, top_k: Some(10), ..Default::default() },
+//! )?;
+//! println!("epoch {epoch}: {} facts", facts.len());
+//! # Ok::<(), dd_server::ClientError>(())
+//! ```
+
+use crate::protocol::{Batch, ErrorKind, FactQuerySpec, Op, OpResult, Request, Response};
+use dd_relstore::Tuple;
+use dd_wire::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, send, socket death).
+    Io(io::Error),
+    /// The response stream violated framing (truncated, oversized, closed
+    /// mid-exchange).
+    Frame(FrameError),
+    /// The server answered, but not with a document this client understands.
+    Protocol(String),
+    /// A typed refusal from the server — `overloaded`, `bad_request`, ...
+    Server { kind: ErrorKind, message: String },
+}
+
+impl ClientError {
+    /// True when the server refused with backpressure; retry after backoff.
+    ///
+    /// A queue-full refusal leaves the connection open, so retrying on the
+    /// same [`Client`] works.  A *connection-cap* refusal (the message names
+    /// the cap) also closes the socket — treat a transport error on the next
+    /// call as the signal to reconnect before retrying.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                kind: ErrorKind::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "transport error: {err}"),
+            ClientError::Frame(err) => write!(f, "framing error: {err}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server refused ({kind}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(err) => Some(err),
+            ClientError::Frame(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(err: FrameError) -> Self {
+        ClientError::Frame(err)
+    }
+}
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Raise (or lower) the cap on response frames this client will accept.
+    ///
+    /// The default is [`MAX_FRAME_BYTES`] (16 MiB).  Response size is driven
+    /// by what the client asks for — an `all_facts` sweep of a huge catalog
+    /// with no `limit` can legitimately exceed the default, and an oversized
+    /// response frame is unrecoverable on this connection (the payload is
+    /// never consumed), so size the cap to the largest page you request.
+    pub fn set_max_frame_bytes(&mut self, cap: usize) {
+        self.max_frame_bytes = cap;
+    }
+
+    /// Send one batch and wait for its response.  Returns the batch (epoch +
+    /// per-op results) on success, or the typed refusal as
+    /// [`ClientError::Server`].
+    pub fn batch(&mut self, ops: Vec<Op>) -> Result<Batch, ClientError> {
+        let request = Request { ops };
+        write_frame(&mut self.stream, &request.encode())?;
+        self.stream.flush()?;
+        let payload = read_frame(&mut self.stream, self.max_frame_bytes)?;
+        match Response::decode(&payload).map_err(ClientError::Protocol)? {
+            Response::Batch(batch) => Ok(batch),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+        }
+    }
+
+    /// The server's current epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        Ok(self.batch(vec![Op::Epoch])?.epoch)
+    }
+
+    /// Sorted names of the catalogued variable relations.
+    pub fn relations(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.batch(vec![Op::Relations])?.results.pop() {
+            Some(OpResult::Relations(names)) => Ok(names),
+            other => Err(Self::unexpected("relations", &other)),
+        }
+    }
+
+    /// Marginal probability of one tuple, with the epoch it was read at.
+    pub fn probability_of(
+        &mut self,
+        relation: impl Into<String>,
+        tuple: Tuple,
+    ) -> Result<(u64, Option<f64>), ClientError> {
+        let mut batch = self.batch(vec![Op::probability_of(relation, tuple)])?;
+        match batch.results.pop() {
+            Some(OpResult::Probability(p)) => Ok((batch.epoch, p)),
+            other => Err(Self::unexpected("probability", &other)),
+        }
+    }
+
+    /// Run one paginated/top-k fact query.
+    pub fn query(
+        &mut self,
+        relation: impl Into<String>,
+        spec: FactQuerySpec,
+    ) -> Result<Vec<(Tuple, f64)>, ClientError> {
+        match self.batch(vec![Op::query(relation, spec)])?.results.pop() {
+            Some(OpResult::Facts(facts)) => Ok(facts),
+            other => Err(Self::unexpected("facts", &other)),
+        }
+    }
+
+    fn unexpected(wanted: &str, got: &Option<OpResult>) -> ClientError {
+        ClientError::Protocol(format!("expected a {wanted} result, got {got:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_refusals_are_recognizable() {
+        let err = ClientError::Server {
+            kind: ErrorKind::Overloaded,
+            message: "queue full".to_string(),
+        };
+        assert!(err.is_overloaded());
+        assert!(err.to_string().contains("overloaded"));
+        assert!(!ClientError::Protocol("x".to_string()).is_overloaded());
+    }
+
+    #[test]
+    fn errors_chain_their_sources() {
+        let err = ClientError::from(io::Error::new(io::ErrorKind::ConnectionRefused, "nope"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = ClientError::from(FrameError::Closed);
+        assert!(err.to_string().contains("closed"));
+    }
+}

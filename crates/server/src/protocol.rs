@@ -1,0 +1,771 @@
+//! The request/response protocol spoken over [`dd_wire::frame`] frames.
+//!
+//! One frame carries one JSON document.  A client sends a **batch** — an
+//! object `{"ops": [...]}` with up to [`MAX_OPS_PER_BATCH`] operations — and
+//! receives exactly one response frame for it.  Batching is the unit of
+//! consistency: the server pins **one** snapshot per batch, so every
+//! operation in a batch answers from the same epoch (the analytical-reads
+//! isolation the snapshot layer provides in-process, carried over the wire).
+//!
+//! A success response is `{"ok": true, "epoch": E, "results": [...]}` with
+//! one result per operation, in order.  A failure is
+//! `{"ok": false, "error": {"kind": "...", "message": "..."}}` — always a
+//! frame, never a dropped connection, so clients can distinguish *typed*
+//! overload/malformed-input conditions from transport failures.
+//!
+//! # Operations
+//!
+//! | `op`             | arguments                                              | result |
+//! |------------------|--------------------------------------------------------|--------|
+//! | `epoch`          | —                                                      | `{}` (epoch is in the envelope) |
+//! | `relations`      | —                                                      | `{"relations": [..]}` |
+//! | `stats`          | —                                                      | `{"num_variables", "num_factors", "num_weights", "num_catalogued"}` |
+//! | `probability_of` | `relation`, `tuple`                                    | `{"probability": p \| null}` |
+//! | `query`          | `relation`, `min_probability?`, `top_k?`, `offset?`, `limit?` | `{"facts": [{"tuple", "probability"}, ..]}` |
+//! | `all_facts`      | `min_probability?`, `offset?`, `limit?`                | `{"cross_relation": true, "facts": [{"relation", "tuple", "probability"}, ..]}` |
+//! | `sleep`          | `millis`                                               | `{}` (fault-injection; rejected unless the server enables it) |
+//!
+//! # Value encoding
+//!
+//! Tuples are JSON arrays.  `Int` is a plain integral number, `Text` a
+//! string, `Bool` a boolean, `Null` is `null`, and `Float` is tagged as
+//! `{"float": x}` so `Value::Float(2.0)` and `Value::Int(2)` — distinct
+//! tuple keys in the store — stay distinct on the wire.  Integers round-trip
+//! exactly up to ±2⁵³ (the JSON number mantissa); KBC ids are far below that.
+
+use dd_relstore::{Tuple, Value};
+use dd_wire::json::{self, Json};
+
+/// Hard cap on operations per batch; a request above it is a `bad_request`.
+pub const MAX_OPS_PER_BATCH: usize = 1024;
+
+/// Pagination and ranking parameters of a [`Op::Query`], mirroring
+/// `deepdive::FactQuery`'s builder surface.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FactQuerySpec {
+    /// Keep only facts with probability at least this.
+    pub min_probability: f64,
+    /// Keep only the `k` most probable facts (switches result order to
+    /// descending probability).
+    pub top_k: Option<usize>,
+    /// Skip the first `n` facts of the ordered result.
+    pub offset: usize,
+    /// Return at most `n` facts after the offset.
+    pub limit: Option<usize>,
+}
+
+/// One operation inside a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// The current epoch (carried by the response envelope; the result slot
+    /// is empty).
+    Epoch,
+    /// Sorted names of the catalogued variable relations.
+    Relations,
+    /// Graph-level statistics of the pinned snapshot.
+    Stats,
+    /// Marginal probability of one tuple of a variable relation.
+    ProbabilityOf { relation: String, tuple: Tuple },
+    /// A paginated/top-k fact query against one relation — the primary read
+    /// primitive of the wire protocol.
+    Query {
+        relation: String,
+        spec: FactQuerySpec,
+    },
+    /// Paginated facts across every relation, in (relation, tuple) order.
+    AllFacts {
+        min_probability: f64,
+        offset: usize,
+        limit: usize,
+    },
+    /// Fault-injection: hold the worker for `millis` before answering.  The
+    /// server rejects it unless explicitly enabled (tests use it to make
+    /// backpressure deterministic).
+    Sleep { millis: u64 },
+}
+
+impl Op {
+    /// Convenience constructor for [`Op::ProbabilityOf`].
+    pub fn probability_of(relation: impl Into<String>, tuple: Tuple) -> Self {
+        Op::ProbabilityOf {
+            relation: relation.into(),
+            tuple,
+        }
+    }
+
+    /// Convenience constructor for [`Op::Query`].
+    pub fn query(relation: impl Into<String>, spec: FactQuerySpec) -> Self {
+        Op::Query {
+            relation: relation.into(),
+            spec,
+        }
+    }
+}
+
+/// A decoded request: the operations of one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub ops: Vec<Op>,
+}
+
+/// Why a request payload could not be decoded, already classified into the
+/// wire taxonomy: byte/JSON-level breakage is [`ErrorKind::MalformedFrame`],
+/// well-formed JSON that is not a valid request is [`ErrorKind::BadRequest`].
+/// The server copies both fields into its error response verbatim, so the
+/// wire-visible kind never depends on message wording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    pub kind: ErrorKind,
+    pub message: String,
+}
+
+/// One operation's result, in batch order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpResult {
+    /// [`Op::Epoch`] and [`Op::Sleep`] carry no payload.
+    Empty,
+    Relations(Vec<String>),
+    Stats {
+        num_variables: usize,
+        num_factors: usize,
+        num_weights: usize,
+        num_catalogued: usize,
+    },
+    Probability(Option<f64>),
+    Facts(Vec<(Tuple, f64)>),
+    AllFacts(Vec<(String, Tuple, f64)>),
+}
+
+/// A successful batch response: one epoch, one result per operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    pub epoch: u64,
+    pub results: Vec<OpResult>,
+}
+
+/// The typed failure taxonomy of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame's payload was not a well-formed protocol document.
+    MalformedFrame,
+    /// Well-formed JSON, but not a valid request (unknown op, bad argument
+    /// types, too many ops, disabled fault-injection op, ...).
+    BadRequest,
+    /// The bounded request queue was full — explicit backpressure.  Retry
+    /// after a drain; the server never queues unboundedly.
+    Overloaded,
+    /// The frame declared a payload above the server's cap.
+    Oversized,
+    /// The server is shutting down and will not serve this request.
+    ShuttingDown,
+    /// A server-side invariant failure (should not happen).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire-level name of this kind.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorKind::MalformedFrame => "malformed_frame",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire-level name.
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "malformed_frame" => ErrorKind::MalformedFrame,
+            "bad_request" => ErrorKind::BadRequest,
+            "overloaded" => ErrorKind::Overloaded,
+            "oversized" => ErrorKind::Oversized,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// One response frame: a batch or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Batch(Batch),
+    Error { kind: ErrorKind, message: String },
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value / tuple codec
+// ---------------------------------------------------------------------------
+
+/// Encode one store value (see the module docs for the mapping).
+pub fn value_to_json(value: &Value) -> Json {
+    match value {
+        Value::Int(i) => Json::Number(*i as f64),
+        Value::Text(s) => Json::String(s.to_string()),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Float(f) => Json::Object(vec![("float".to_string(), Json::Number(*f))]),
+        Value::Null => Json::Null,
+    }
+}
+
+/// Decode one store value.
+pub fn value_from_json(json: &Json) -> Result<Value, String> {
+    match json {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::String(s) => Ok(Value::text(s)),
+        Json::Number(n) => {
+            if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
+                Ok(Value::Int(*n as i64))
+            } else {
+                Ok(Value::Float(*n))
+            }
+        }
+        Json::Object(fields) => match fields.as_slice() {
+            [(key, Json::Number(f))] if key == "float" => Ok(Value::Float(*f)),
+            _ => Err("object values must be {\"float\": x}".to_string()),
+        },
+        Json::Array(_) => Err("arrays are tuples, not values".to_string()),
+    }
+}
+
+/// Encode a tuple as a JSON array of values.
+pub fn tuple_to_json(tuple: &Tuple) -> Json {
+    Json::Array(tuple.values().iter().map(value_to_json).collect())
+}
+
+/// Decode a tuple from a JSON array of values.
+pub fn tuple_from_json(json: &Json) -> Result<Tuple, String> {
+    let items = json.as_array().ok_or("tuple must be an array")?;
+    let values = items
+        .iter()
+        .map(value_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Tuple::new(values))
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+fn string_field(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string \"{key}\""))
+}
+
+/// An optional non-negative integral field (`default` when absent).
+fn usize_field(obj: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Number(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= u32::MAX as f64 => {
+            Ok(*n as usize)
+        }
+        Some(_) => Err(format!("\"{key}\" must be a small non-negative integer")),
+    }
+}
+
+fn optional_usize_field(obj: &Json, key: &str) -> Result<Option<usize>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => usize_field(obj, key, 0).map(Some),
+    }
+}
+
+fn f64_field(obj: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Number(n)) if n.is_finite() => Ok(*n),
+        Some(_) => Err(format!("\"{key}\" must be a finite number")),
+    }
+}
+
+fn op_to_json(op: &Op) -> Json {
+    let mut fields = Vec::new();
+    let name = match op {
+        Op::Epoch => "epoch",
+        Op::Relations => "relations",
+        Op::Stats => "stats",
+        Op::ProbabilityOf { relation, tuple } => {
+            fields.push(("relation".to_string(), Json::String(relation.clone())));
+            fields.push(("tuple".to_string(), tuple_to_json(tuple)));
+            "probability_of"
+        }
+        Op::Query { relation, spec } => {
+            fields.push(("relation".to_string(), Json::String(relation.clone())));
+            fields.push((
+                "min_probability".to_string(),
+                Json::Number(spec.min_probability),
+            ));
+            if let Some(k) = spec.top_k {
+                fields.push(("top_k".to_string(), Json::Number(k as f64)));
+            }
+            fields.push(("offset".to_string(), Json::Number(spec.offset as f64)));
+            if let Some(l) = spec.limit {
+                fields.push(("limit".to_string(), Json::Number(l as f64)));
+            }
+            "query"
+        }
+        Op::AllFacts {
+            min_probability,
+            offset,
+            limit,
+        } => {
+            fields.push((
+                "min_probability".to_string(),
+                Json::Number(*min_probability),
+            ));
+            fields.push(("offset".to_string(), Json::Number(*offset as f64)));
+            fields.push(("limit".to_string(), Json::Number(*limit as f64)));
+            "all_facts"
+        }
+        Op::Sleep { millis } => {
+            fields.push(("millis".to_string(), Json::Number(*millis as f64)));
+            "sleep"
+        }
+    };
+    fields.insert(0, ("op".to_string(), Json::String(name.to_string())));
+    Json::Object(fields)
+}
+
+fn op_from_json(json: &Json) -> Result<Op, String> {
+    let name = json
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("operation is missing a string \"op\" field")?;
+    match name {
+        "epoch" => Ok(Op::Epoch),
+        "relations" => Ok(Op::Relations),
+        "stats" => Ok(Op::Stats),
+        "probability_of" => Ok(Op::ProbabilityOf {
+            relation: string_field(json, "relation")?,
+            tuple: tuple_from_json(json.get("tuple").ok_or("missing \"tuple\"")?)?,
+        }),
+        "query" => Ok(Op::Query {
+            relation: string_field(json, "relation")?,
+            spec: FactQuerySpec {
+                min_probability: f64_field(json, "min_probability", 0.0)?,
+                top_k: optional_usize_field(json, "top_k")?,
+                offset: usize_field(json, "offset", 0)?,
+                limit: optional_usize_field(json, "limit")?,
+            },
+        }),
+        "all_facts" => Ok(Op::AllFacts {
+            min_probability: f64_field(json, "min_probability", 0.0)?,
+            offset: usize_field(json, "offset", 0)?,
+            limit: usize_field(json, "limit", u32::MAX as usize)?,
+        }),
+        "sleep" => Ok(Op::Sleep {
+            millis: usize_field(json, "millis", 0)? as u64,
+        }),
+        other => Err(format!("unknown op \"{other}\"")),
+    }
+}
+
+impl Request {
+    /// Encode to the frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        Json::Object(vec![(
+            "ops".to_string(),
+            Json::Array(self.ops.iter().map(op_to_json).collect()),
+        )])
+        .encode()
+        .into_bytes()
+    }
+
+    /// Decode a frame payload, classifying failures into the wire taxonomy
+    /// (see [`DecodeError`]).
+    pub fn decode(payload: &[u8]) -> Result<Request, DecodeError> {
+        let malformed = |message: String| DecodeError {
+            kind: ErrorKind::MalformedFrame,
+            message,
+        };
+        let bad_request = |message: String| DecodeError {
+            kind: ErrorKind::BadRequest,
+            message,
+        };
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| malformed("payload is not UTF-8".to_string()))?;
+        let doc = json::parse(text).map_err(malformed)?;
+        let ops_json = doc
+            .get("ops")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad_request("request must be an object with an \"ops\" array".into()))?;
+        if ops_json.len() > MAX_OPS_PER_BATCH {
+            return Err(bad_request(format!(
+                "batch of {} ops exceeds the {MAX_OPS_PER_BATCH}-op cap",
+                ops_json.len()
+            )));
+        }
+        let ops = ops_json
+            .iter()
+            .map(op_from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(bad_request)?;
+        Ok(Request { ops })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+fn fact_to_json(relation: Option<&str>, tuple: &Tuple, probability: f64) -> Json {
+    let mut fields = Vec::new();
+    if let Some(relation) = relation {
+        fields.push(("relation".to_string(), Json::String(relation.to_string())));
+    }
+    fields.push(("tuple".to_string(), tuple_to_json(tuple)));
+    fields.push(("probability".to_string(), Json::Number(probability)));
+    Json::Object(fields)
+}
+
+fn result_to_json(result: &OpResult) -> Json {
+    match result {
+        OpResult::Empty => Json::Object(Vec::new()),
+        OpResult::Relations(names) => Json::Object(vec![(
+            "relations".to_string(),
+            Json::Array(names.iter().map(|n| Json::String(n.clone())).collect()),
+        )]),
+        OpResult::Stats {
+            num_variables,
+            num_factors,
+            num_weights,
+            num_catalogued,
+        } => Json::Object(vec![
+            (
+                "num_variables".to_string(),
+                Json::Number(*num_variables as f64),
+            ),
+            ("num_factors".to_string(), Json::Number(*num_factors as f64)),
+            ("num_weights".to_string(), Json::Number(*num_weights as f64)),
+            (
+                "num_catalogued".to_string(),
+                Json::Number(*num_catalogued as f64),
+            ),
+        ]),
+        OpResult::Probability(p) => Json::Object(vec![(
+            "probability".to_string(),
+            p.map_or(Json::Null, Json::Number),
+        )]),
+        OpResult::Facts(facts) => Json::Object(vec![(
+            "facts".to_string(),
+            Json::Array(
+                facts
+                    .iter()
+                    .map(|(tuple, p)| fact_to_json(None, tuple, *p))
+                    .collect(),
+            ),
+        )]),
+        // The `cross_relation` marker keeps the variant decodable even when
+        // the fact list is empty (per-fact `relation` keys can't tell then).
+        OpResult::AllFacts(facts) => Json::Object(vec![
+            ("cross_relation".to_string(), Json::Bool(true)),
+            (
+                "facts".to_string(),
+                Json::Array(
+                    facts
+                        .iter()
+                        .map(|(relation, tuple, p)| fact_to_json(Some(relation), tuple, *p))
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// Decode one result slot.  The shape keys the variant: results are
+/// self-describing, so a client does not need the request to interpret them
+/// (though slots do arrive in request order).
+fn result_from_json(json: &Json) -> Result<OpResult, String> {
+    let fields = json.as_object().ok_or("result must be an object")?;
+    if fields.is_empty() {
+        return Ok(OpResult::Empty);
+    }
+    if let Some(names) = json.get("relations") {
+        let names = names.as_array().ok_or("\"relations\" must be an array")?;
+        return Ok(OpResult::Relations(
+            names
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_string)
+                        .ok_or("relation names must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ));
+    }
+    if json.get("num_variables").is_some() {
+        return Ok(OpResult::Stats {
+            num_variables: usize_field(json, "num_variables", 0)?,
+            num_factors: usize_field(json, "num_factors", 0)?,
+            num_weights: usize_field(json, "num_weights", 0)?,
+            num_catalogued: usize_field(json, "num_catalogued", 0)?,
+        });
+    }
+    if let Some(p) = json.get("probability") {
+        return Ok(OpResult::Probability(match p {
+            Json::Null => None,
+            Json::Number(p) => Some(*p),
+            _ => return Err("\"probability\" must be a number or null".to_string()),
+        }));
+    }
+    if let Some(facts) = json.get("facts") {
+        let facts = facts.as_array().ok_or("\"facts\" must be an array")?;
+        let cross_relation = json.get("cross_relation").and_then(Json::as_bool) == Some(true);
+        if cross_relation {
+            let mut out = Vec::new();
+            for fact in facts {
+                let relation = fact
+                    .get("relation")
+                    .and_then(Json::as_str)
+                    .ok_or("cross-relation fact missing \"relation\"")?;
+                let tuple = tuple_from_json(fact.get("tuple").ok_or("fact missing \"tuple\"")?)?;
+                let p = fact
+                    .get("probability")
+                    .and_then(Json::as_f64)
+                    .ok_or("fact missing numeric \"probability\"")?;
+                out.push((relation.to_string(), tuple, p));
+            }
+            return Ok(OpResult::AllFacts(out));
+        }
+        let mut out = Vec::new();
+        for fact in facts {
+            let tuple = tuple_from_json(fact.get("tuple").ok_or("fact missing \"tuple\"")?)?;
+            let p = fact
+                .get("probability")
+                .and_then(Json::as_f64)
+                .ok_or("fact missing numeric \"probability\"")?;
+            out.push((tuple, p));
+        }
+        return Ok(OpResult::Facts(out));
+    }
+    Err("unrecognized result shape".to_string())
+}
+
+impl Response {
+    /// Encode to the frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let doc = match self {
+            Response::Batch(batch) => Json::Object(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("epoch".to_string(), Json::Number(batch.epoch as f64)),
+                (
+                    "results".to_string(),
+                    Json::Array(batch.results.iter().map(result_to_json).collect()),
+                ),
+            ]),
+            Response::Error { kind, message } => Json::Object(vec![
+                ("ok".to_string(), Json::Bool(false)),
+                (
+                    "error".to_string(),
+                    Json::Object(vec![
+                        (
+                            "kind".to_string(),
+                            Json::String(kind.wire_name().to_string()),
+                        ),
+                        ("message".to_string(), Json::String(message.clone())),
+                    ]),
+                ),
+            ]),
+        };
+        doc.encode().into_bytes()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let doc = json::parse(text)?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                let epoch = doc
+                    .get("epoch")
+                    .and_then(Json::as_f64)
+                    .filter(|e| e.fract() == 0.0 && *e >= 0.0)
+                    .ok_or("missing integral \"epoch\"")? as u64;
+                let results = doc
+                    .get("results")
+                    .and_then(Json::as_array)
+                    .ok_or("missing \"results\" array")?
+                    .iter()
+                    .map(result_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Batch(Batch { epoch, results }))
+            }
+            Some(false) => {
+                let error = doc.get("error").ok_or("missing \"error\" object")?;
+                let kind = error
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorKind::from_wire_name)
+                    .ok_or("missing or unknown error \"kind\"")?;
+                let message = string_field(error, "message").unwrap_or_default();
+                Ok(Response::Error { kind, message })
+            }
+            None => Err("response must carry a boolean \"ok\"".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_relstore::tuple;
+
+    #[test]
+    fn values_round_trip_with_types_intact() {
+        let originals = vec![
+            Value::Int(42),
+            Value::Int(-7),
+            Value::text("hello \"world\" 🚀"),
+            Value::Bool(true),
+            Value::Float(0.25),
+            Value::Float(2.0), // must NOT collapse into Int(2)
+            Value::Null,
+        ];
+        for value in &originals {
+            let json = value_to_json(value);
+            let back = value_from_json(&json::parse(&json.encode()).unwrap()).unwrap();
+            assert_eq!(&back, value, "round-trip of {value:?}");
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let request = Request {
+            ops: vec![
+                Op::Epoch,
+                Op::Relations,
+                Op::Stats,
+                Op::probability_of("Fact", tuple![1i64, "a"]),
+                Op::query(
+                    "Fact",
+                    FactQuerySpec {
+                        min_probability: 0.5,
+                        top_k: Some(10),
+                        offset: 2,
+                        limit: Some(3),
+                    },
+                ),
+                Op::AllFacts {
+                    min_probability: 0.9,
+                    offset: 0,
+                    limit: 100,
+                },
+                Op::Sleep { millis: 5 },
+            ],
+        };
+        let decoded = Request::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn request_defaults_fill_in_for_sparse_queries() {
+        let decoded =
+            Request::decode(br#"{"ops": [{"op": "query", "relation": "Fact"}]}"#).unwrap();
+        assert_eq!(decoded.ops[0], Op::query("Fact", FactQuerySpec::default()));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_typed_kinds() {
+        let kind = |payload: &[u8]| Request::decode(payload).unwrap_err().kind;
+        // Byte/JSON-level breakage is a malformed frame...
+        assert_eq!(kind(b"not json"), ErrorKind::MalformedFrame);
+        assert_eq!(kind(&[0xff, 0xfe]), ErrorKind::MalformedFrame); // not UTF-8
+                                                                    // ...while well-formed JSON that is not a valid request is a bad
+                                                                    // request — even when its content echoes parser wording.
+        assert_eq!(kind(b"{}"), ErrorKind::BadRequest); // no ops
+        assert_eq!(kind(b"[1]"), ErrorKind::BadRequest); // not an object
+        assert_eq!(kind(br#"{"ops": [{"op": "warp"}]}"#), ErrorKind::BadRequest);
+        assert_eq!(
+            kind(br#"{"ops": [{"op": "invalid JSON"}]}"#),
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            kind(br#"{"ops": [{"op": "query"}]}"#),
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            kind(br#"{"ops": [{"op": "query", "relation": "F", "top_k": -1}]}"#),
+            ErrorKind::BadRequest
+        );
+        let too_many = Request {
+            ops: vec![Op::Epoch; MAX_OPS_PER_BATCH + 1],
+        };
+        let err = Request::decode(&too_many.encode()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("cap"));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let response = Response::Batch(Batch {
+            epoch: 7,
+            results: vec![
+                OpResult::Empty,
+                OpResult::Relations(vec!["Fact".to_string(), "Other".to_string()]),
+                OpResult::Stats {
+                    num_variables: 10,
+                    num_factors: 20,
+                    num_weights: 3,
+                    num_catalogued: 10,
+                },
+                OpResult::Probability(Some(0.75)),
+                OpResult::Probability(None),
+                OpResult::Facts(vec![(tuple![1i64], 1.0), (tuple![2i64, "b"], 0.5)]),
+                OpResult::AllFacts(vec![("Fact".to_string(), tuple![1i64], 1.0)]),
+                // Empty lists must keep their variant (the cross_relation
+                // marker disambiguates where per-fact keys cannot).
+                OpResult::Facts(Vec::new()),
+                OpResult::AllFacts(Vec::new()),
+            ],
+        });
+        assert_eq!(Response::decode(&response.encode()).unwrap(), response);
+
+        let error = Response::error(ErrorKind::Overloaded, "queue full (capacity 64)");
+        assert_eq!(Response::decode(&error.encode()).unwrap(), error);
+    }
+
+    #[test]
+    fn every_error_kind_round_trips_its_wire_name() {
+        for kind in [
+            ErrorKind::MalformedFrame,
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::Oversized,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_wire_name(kind.wire_name()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_wire_name("nope"), None);
+    }
+
+    #[test]
+    fn malformed_responses_are_rejected() {
+        assert!(Response::decode(b"{}").is_err());
+        assert!(Response::decode(br#"{"ok": true}"#).is_err()); // no epoch
+        assert!(Response::decode(br#"{"ok": false}"#).is_err()); // no error
+        assert!(Response::decode(br#"{"ok": false, "error": {"kind": "weird"}}"#).is_err());
+    }
+}

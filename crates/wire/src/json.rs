@@ -1,0 +1,560 @@
+//! A small, strict JSON data model, parser, and encoder.
+//!
+//! Promoted out of `dd_bench::sweeps` (where it parsed `BENCH_sweeps.json`
+//! for the CI perf gate) so the network protocol shares the same
+//! implementation.  The parser accepts arbitrary well-formed JSON — including
+//! `\uXXXX` escapes with surrogate pairs — and rejects everything else with a
+//! byte-offset error message, so a truncated or hand-mangled document fails
+//! loudly instead of being half-read.  The encoder produces a canonical
+//! single-line form that the parser round-trips.
+//!
+//! ```
+//! use dd_wire::json::{parse, Json};
+//!
+//! let value = parse(r#"{"op": "query", "top_k": 3}"#).unwrap();
+//! assert_eq!(value.get("op").and_then(Json::as_str), Some("query"));
+//! assert_eq!(value.get("top_k").and_then(Json::as_f64), Some(3.0));
+//! assert_eq!(parse(&value.encode()).unwrap(), value);
+//! ```
+
+/// A parsed JSON value.
+///
+/// Objects preserve insertion order (they are a `Vec` of pairs, not a map):
+/// encoding is deterministic and duplicate keys are representable, with
+/// [`Json::get`] resolving to the first occurrence like most JSON readers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// First value of `key`, if this is an `Object` containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Encode to the canonical single-line JSON text.
+    ///
+    /// Non-finite numbers have no JSON representation and encode as `null`
+    /// (the usual lenient-writer convention); everything else round-trips
+    /// through [`parse`].
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => {
+                if n.is_finite() {
+                    // Integral values print without a fraction; `{:?}` keeps
+                    // full f64 round-trip precision for the rest.
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n:?}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// RFC 8259 number grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+/// `f64::parse` is more lenient (leading zeros, `1.`, `+1`, `inf`), so the
+/// syntax is checked separately to keep the parser strict.
+fn is_valid_number_syntax(text: &str) -> bool {
+    let mut rest = text.strip_prefix('-').unwrap_or(text).as_bytes();
+    // Integer part: one zero, or a nonzero digit followed by any digits.
+    match rest {
+        [b'0', tail @ ..] => rest = tail,
+        [b'1'..=b'9', tail @ ..] => {
+            rest = tail;
+            while let [b'0'..=b'9', tail @ ..] = rest {
+                rest = tail;
+            }
+        }
+        _ => return false,
+    }
+    // Optional fraction: '.' followed by at least one digit.
+    if let [b'.', tail @ ..] = rest {
+        rest = tail;
+        let [b'0'..=b'9', ..] = rest else {
+            return false;
+        };
+        while let [b'0'..=b'9', tail @ ..] = rest {
+            rest = tail;
+        }
+    }
+    // Optional exponent: e/E, optional sign, at least one digit.
+    if let [b'e' | b'E', tail @ ..] = rest {
+        rest = tail;
+        if let [b'+' | b'-', tail @ ..] = rest {
+            rest = tail;
+        }
+        let [b'0'..=b'9', ..] = rest else {
+            return false;
+        };
+        while let [b'0'..=b'9', tail @ ..] = rest {
+            rest = tail;
+        }
+    }
+    rest.is_empty()
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            // Raw UTF-8 is valid JSON; no need to escape non-ASCII.
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting [`parse`] accepts.  The parser is recursive
+/// descent, so without a bound a few kilobytes of `[` characters would
+/// overflow the thread stack — an abort no `catch_unwind` can stop.  128
+/// levels is far beyond any document this workspace produces.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
+/// Parse one JSON document.  Trailing non-whitespace content is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content after the top-level value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.error(&format!("nesting deeper than {MAX_NESTING_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("invalid JSON at byte {}: {message}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(&format!("unexpected '{}'", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex_escape()?;
+                            // A high surrogate must be followed by an escaped
+                            // low surrogate; combine them into one scalar.
+                            let scalar = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos + 1..self.pos + 3)
+                                    != Some(b"\\u".as_slice())
+                                {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex_escape()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("bad low surrogate"));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.error("bad \\u codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences arrive as
+                    // raw bytes; re-decode from the remaining slice).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    /// Read the four hex digits of a `\uXXXX` escape (cursor on the `u`),
+    /// leaving the cursor on the last digit.
+    fn hex_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.error("non-ascii \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_valid_number_syntax(text) {
+            return Err(self.error(&format!("bad number '{text}'")));
+        }
+        match text.parse::<f64>() {
+            // Overflowing literals (1e999) parse to infinity, which has no
+            // JSON representation — accepting it would break the
+            // parse/encode round-trip, so refuse it up front.
+            Ok(n) if n.is_finite() => Ok(Json::Number(n)),
+            _ => Err(self.error(&format!("number '{text}' is out of range"))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_value_kinds() {
+        let value = parse(r#"{"a": [1, -2.5, true, false, null, "s"], "b": {}}"#).unwrap();
+        let items = value.get("a").unwrap().as_array().unwrap();
+        assert_eq!(items[0], Json::Number(1.0));
+        assert_eq!(items[1], Json::Number(-2.5));
+        assert_eq!(items[2], Json::Bool(true));
+        assert_eq!(items[3], Json::Bool(false));
+        assert_eq!(items[4], Json::Null);
+        assert_eq!(items[5].as_str(), Some("s"));
+        assert_eq!(value.get("b"), Some(&Json::Object(Vec::new())));
+        assert_eq!(value.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("[{\"name\": \"x\"").is_err()); // truncated
+        assert!(parse("[1, 2,]").is_err()); // trailing comma
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("'single'").is_err());
+        assert!(parse("{\"a\" 1}").is_err()); // missing colon
+    }
+
+    #[test]
+    fn number_syntax_is_rfc_strict_and_finite() {
+        // Lenient forms f64::parse would accept are rejected.
+        assert!(parse("[01]").is_err()); // leading zero
+        assert!(parse("[1.]").is_err()); // trailing dot
+        assert!(parse("[.5]").is_err()); // missing integer part
+        assert!(parse("[+1]").is_err()); // leading plus
+        assert!(parse("[1e]").is_err()); // empty exponent
+        assert!(parse("[1e+]").is_err());
+        assert!(parse("[-]").is_err());
+        // Overflow-to-infinity is refused, not silently absorbed.
+        assert!(parse("[1e999]").unwrap_err().contains("out of range"));
+        assert!(parse("[-1e999]").is_err());
+        // The valid grammar still parses.
+        for ok in ["0", "-0", "10", "0.5", "-2.25", "1e3", "1E-3", "1.5e+2"] {
+            assert!(parse(ok).is_ok(), "rejected valid number {ok}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_negative_exponents() {
+        let value = parse("{\"name\": \"a\\\"b\\u0041\\n\", \"value\": -1.5e2}").unwrap();
+        assert_eq!(value.get("name").and_then(Json::as_str), Some("a\"bA\n"));
+        assert_eq!(value.get("value").and_then(Json::as_f64), Some(-150.0));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs_and_rejects_lone_surrogates() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude80!\"").unwrap(),
+            Json::String("🚀!".to_string())
+        );
+        assert!(parse("\"\\ud83dX\"").is_err()); // high surrogate, no low
+        assert!(parse("\"\\ude80\"").is_err()); // lone low surrogate
+        assert!(parse("\"\\ud83d\\u0041\"").is_err()); // bad low surrogate
+    }
+
+    #[test]
+    fn encode_round_trips_through_parse() {
+        let value = Json::Object(vec![
+            ("int".to_string(), Json::Number(42.0)),
+            ("float".to_string(), Json::Number(0.1 + 0.2)),
+            ("neg".to_string(), Json::Number(-1.5e-8)),
+            (
+                "text".to_string(),
+                Json::String("quote\" slash\\ nl\n tab\t nul\u{1} 🚀".to_string()),
+            ),
+            ("flag".to_string(), Json::Bool(true)),
+            ("nothing".to_string(), Json::Null),
+            (
+                "nested".to_string(),
+                Json::Array(vec![Json::Number(1.0), Json::Object(Vec::new())]),
+            ),
+        ]);
+        assert_eq!(parse(&value.encode()).unwrap(), value);
+    }
+
+    #[test]
+    fn encode_prints_integral_numbers_without_fraction() {
+        assert_eq!(Json::Number(3.0).encode(), "3");
+        assert_eq!(Json::Number(-7.0).encode(), "-7");
+        assert_eq!(Json::Number(2.5).encode(), "2.5");
+        // Non-finite numbers degrade to null rather than emitting invalid JSON.
+        assert_eq!(Json::Number(f64::NAN).encode(), "null");
+        assert_eq!(Json::Number(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
+    fn nesting_is_bounded_so_hostile_depth_cannot_blow_the_stack() {
+        // A few KB of '[' must be a parse error, not a stack overflow abort.
+        let hostile = "[".repeat(100_000);
+        let err = parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting"), "got: {err}");
+        // Mixed-container depth counts too.
+        let mixed = "{\"a\":".repeat(200) + "1" + &"}".repeat(200);
+        assert!(parse(&mixed).is_err());
+        // Reasonable depth (well under the cap) still round-trips.
+        let deep = "[".repeat(64) + "1" + &"]".repeat(64);
+        let value = parse(&deep).unwrap();
+        assert_eq!(parse(&value.encode()).unwrap(), value);
+    }
+
+    #[test]
+    fn get_resolves_first_duplicate_key() {
+        let value = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(value.get("k").and_then(Json::as_f64), Some(1.0));
+    }
+}

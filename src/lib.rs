@@ -15,7 +15,12 @@
 //!   [`engine::EngineError`]s, Rerun vs Incremental execution, and lock-free
 //!   [`engine::Snapshot`] reads for multi-threaded serving;
 //! * [`workloads`] — synthetic corpora, the five KBC systems, the Voting program,
-//!   and the tradeoff-study graphs.
+//!   and the tradeoff-study graphs;
+//! * [`wire`] — the offline wire format: hand-rolled JSON and length-prefixed
+//!   framing, shared by the server and the bench tooling;
+//! * [`server`] — the TCP front door: batched snapshot reads over a
+//!   length-prefixed JSON protocol with bounded-queue backpressure, plus the
+//!   blocking [`server::Client`].
 //!
 //! See `README.md` for a quickstart and `ARCHITECTURE.md` for the
 //! paper-to-module map.
@@ -24,6 +29,8 @@ pub use dd_factorgraph as factorgraph;
 pub use dd_grounding as grounding;
 pub use dd_inference as inference;
 pub use dd_relstore as relstore;
+pub use dd_server as server;
+pub use dd_wire as wire;
 pub use dd_workloads as workloads;
 pub use deepdive as engine;
 
@@ -35,6 +42,9 @@ pub mod prelude {
     };
     pub use dd_inference::{GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals};
     pub use dd_relstore::{DataType, Database, RelError, Schema, Tuple, Value};
+    pub use dd_server::{
+        Client, ClientError, FactQuerySpec, Op, OpResult, Server, ServerConfig, ServerStats,
+    };
     pub use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
     pub use deepdive::{
         CatalogShard, CatalogShards, DeepDive, DeepDiveBuilder, EngineConfig, EngineError,
