@@ -31,7 +31,7 @@ fn prepared_engine() -> (DeepDive, dd_grounding::KbcUpdate) {
             ExecutionMode::Rerun,
         )
         .expect("S1 applies");
-    engine.materialize();
+    engine.materialize().unwrap();
     (engine, system.template_update(RuleTemplate::FE2))
 }
 

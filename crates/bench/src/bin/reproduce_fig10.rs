@@ -30,7 +30,7 @@ fn main() {
         let mut engine = engine_for(&system);
         if mode == ExecutionMode::Incremental {
             engine.initial_run().expect("initial run");
-            engine.materialize();
+            engine.materialize().unwrap();
         }
         let mut cumulative = 0.0;
         for (template, update) in system.development_updates() {

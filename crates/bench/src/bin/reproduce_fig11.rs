@@ -35,7 +35,7 @@ fn main() {
                 ExecutionMode::Rerun,
             )
             .expect("S1 applies");
-        engine.materialize();
+        engine.materialize().unwrap();
         let update = system.template_update(template);
 
         let mat = engine.materialization().expect("materialized").clone();

@@ -29,7 +29,7 @@ fn prepared(system: &KbcSystem) -> DeepDive {
             ExecutionMode::Rerun,
         )
         .expect("S1 applies");
-    engine.materialize();
+    engine.materialize().unwrap();
     engine
 }
 

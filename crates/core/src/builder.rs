@@ -8,10 +8,12 @@
 //! serving deployment fails at construction, not mid-pipeline.
 
 use crate::config::EngineConfig;
+use crate::durability::{self, DurabilityHandle};
 use crate::engine::DeepDive;
 use crate::error::EngineError;
 use dd_grounding::{parse_program, standard_udfs, Program, Rule, UdfRegistry, WeightSpec};
 use dd_relstore::{Database, RelError};
+use dd_storage::{CheckpointStore, DurabilityConfig, StorageError, Wal};
 
 /// Reject any rule whose tied weight references an unregistered UDF — an
 /// unregistered name would silently collapse the rule to one shared weight.
@@ -46,6 +48,7 @@ pub struct DeepDiveBuilder {
     database: Database,
     udfs: UdfRegistry,
     config: EngineConfig,
+    durability: Option<DurabilityConfig>,
 }
 
 impl Default for DeepDiveBuilder {
@@ -56,6 +59,7 @@ impl Default for DeepDiveBuilder {
             database: Database::new(),
             udfs: standard_udfs(),
             config: EngineConfig::default(),
+            durability: None,
         }
     }
 }
@@ -93,6 +97,31 @@ impl DeepDiveBuilder {
     /// The engine configuration (defaults to [`EngineConfig::default`]).
     pub fn config(mut self, config: EngineConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Persist the engine to `config.data_dir`: every state-changing call
+    /// (`initial_run`, `run_update`, `refresh`, `materialize`) is written to a
+    /// write-ahead log before executing, and [`DeepDive::checkpoint`] rolls
+    /// the log into a compact checkpoint file.
+    ///
+    /// [`DeepDiveBuilder::build`] then *opens or recovers* the directory:
+    ///
+    /// * **Pristine directory** — the engine is built from the supplied
+    ///   program/database and a baseline checkpoint of that initial state is
+    ///   written immediately, so the directory is recoverable from its first
+    ///   moment.
+    /// * **Existing directory** — the newest valid checkpoint is loaded and
+    ///   the WAL tail beyond it is replayed; the supplied program and
+    ///   database are **ignored** in favor of the recovered state (config and
+    ///   UDFs are taken from the builder — UDFs are function pointers and
+    ///   cannot be persisted, so re-supply the same registry).
+    ///
+    /// Torn or bit-flipped WAL tails are detected via per-record CRCs and
+    /// truncated away; damaged checkpoint files are skipped in favor of the
+    /// previous one.
+    pub fn durability(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
         self
     }
 
@@ -150,7 +179,83 @@ impl DeepDiveBuilder {
 
         check_tied_udfs(&program.rules, &self.udfs)?;
 
-        DeepDive::from_parts(program, self.database, self.udfs, self.config)
+        let Some(cfg) = self.durability else {
+            return DeepDive::from_parts(program, self.database, self.udfs, self.config);
+        };
+
+        // Open (or create) the stores.  `Wal::open` repairs any torn tail and
+        // hands back every surviving `(seq, payload)` record;
+        // `CheckpointStore::open` sweeps leftover `.tmp` debris from a crash
+        // mid-rotation.
+        let checkpoints = CheckpointStore::open(cfg.data_dir.join("checkpoints"))?;
+        let (wal, tail) = Wal::open(cfg.data_dir.join("wal"), cfg.fsync)?;
+        let latest = checkpoints.latest_valid()?;
+        let handle = DurabilityHandle {
+            wal,
+            checkpoints,
+            keep_checkpoints: cfg.keep_checkpoints.max(1),
+        };
+
+        match latest {
+            Some((covered, bytes)) => {
+                // Recovery: newest valid checkpoint + WAL tail beyond it.
+                let state = durability::decode_checkpoint(&bytes)?;
+                let mut engine = DeepDive::from_checkpoint(state, self.udfs, self.config)?;
+                // `Wal::open` guarantees the tail is contiguous; the one gap
+                // still possible is between the checkpoint and the tail's
+                // first record — replaying across it would silently skip
+                // operations, so refuse instead.
+                let mut expected = covered + 1;
+                for (seq, payload) in tail {
+                    if seq <= covered {
+                        continue;
+                    }
+                    if seq != expected {
+                        return Err(EngineError::Storage(StorageError::Corrupt {
+                            path: cfg.data_dir.clone(),
+                            detail: format!(
+                                "checkpoint covers sequence {covered} but the WAL resumes \
+                                 at {seq}; records in between have been lost"
+                            ),
+                        }));
+                    }
+                    expected += 1;
+                    let op = durability::decode_wal_op(&payload)?;
+                    engine.apply_wal_op(op);
+                }
+                engine.attach_durability(handle);
+                Ok(engine)
+            }
+            None => {
+                // No usable checkpoint.  A WAL that does not reach back to
+                // sequence 1 means history before it was pruned after a
+                // checkpoint that is now gone — nothing to rebuild from.
+                if let Some((first_seq, _)) = tail.first() {
+                    if *first_seq > 1 {
+                        return Err(EngineError::Storage(StorageError::Corrupt {
+                            path: cfg.data_dir.clone(),
+                            detail: format!(
+                                "no valid checkpoint, and the WAL starts at sequence \
+                                 {first_seq}; the operations a checkpoint covered have \
+                                 been pruned"
+                            ),
+                        }));
+                    }
+                }
+                // Pristine directory (or a complete WAL from sequence 1):
+                // build from the supplied inputs, replay whatever the log
+                // holds, then write the baseline checkpoint.
+                let mut engine =
+                    DeepDive::from_parts(program, self.database, self.udfs, self.config)?;
+                for (_seq, payload) in tail {
+                    let op = durability::decode_wal_op(&payload)?;
+                    engine.apply_wal_op(op);
+                }
+                engine.attach_durability(handle);
+                engine.checkpoint()?;
+                Ok(engine)
+            }
+        }
     }
 }
 

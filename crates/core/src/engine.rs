@@ -21,6 +21,7 @@
 
 use crate::builder::DeepDiveBuilder;
 use crate::config::EngineConfig;
+use crate::durability::{self, CheckpointState, DurabilityHandle, WalOp};
 use crate::error::{EngineError, StaleKind};
 use crate::materialization::Materialization;
 use crate::optimizer::{choose_strategy, StrategyChoice};
@@ -171,6 +172,11 @@ pub struct DeepDive {
     /// briefly-held read lock; the publish step swaps the pointer under the
     /// write lock — held only for the swap, never across inference.
     current: Arc<RwLock<Arc<Snapshot>>>,
+    /// Open WAL + checkpoint stores when the engine was built with
+    /// [`DeepDiveBuilder::durability`]; `None` for in-memory engines.  Every
+    /// state-changing public method appends its logical operation *before*
+    /// executing it, so recovery can roll the tail forward.
+    durability: Option<DurabilityHandle>,
 }
 
 impl std::fmt::Debug for DeepDive {
@@ -180,6 +186,7 @@ impl std::fmt::Debug for DeepDive {
             .field("config", &self.config)
             .field("materialized_epoch", &self.materialized_epoch)
             .field("graph", &self.grounder.graph().stats())
+            .field("durable", &self.durability.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -246,6 +253,42 @@ impl DeepDive {
             epoch: 0,
             catalog_cache: snapshot::CatalogShards::new(),
             current: Arc::new(RwLock::new(empty)),
+            durability: None,
+        })
+    }
+
+    /// Reconstruct an engine from a decoded checkpoint (recovery path of
+    /// [`DeepDiveBuilder::build`]).  The config and UDF registry are
+    /// re-supplied by the builder — UDFs are function pointers and cannot be
+    /// persisted.  The caller replays the WAL tail and then attaches the
+    /// durability handle, so replayed operations are not re-appended.
+    pub(crate) fn from_checkpoint(
+        state: CheckpointState,
+        udfs: UdfRegistry,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let pool = OnceLock::new();
+        if let Some(n) = config.num_threads {
+            let _ = pool.set(Arc::new(ThreadPool::new(n)));
+        }
+        let grounder = Grounder::from_state(state.grounder, udfs)?;
+        // The sharded publish cache is exactly the catalog the last published
+        // snapshot carries; entries grounded after that publish are still
+        // pending in the grounder's dirty-set and merge on the next commit.
+        let catalog_cache = state.snapshot.catalog().clone();
+        Ok(DeepDive {
+            grounder,
+            config,
+            pool,
+            materialization: state.materialization,
+            materialized_epoch: state.materialized_epoch,
+            materialized_coverage: state.materialized_coverage,
+            cumulative_change: state.cumulative_change,
+            learned_weights: state.learned_weights,
+            epoch: state.epoch,
+            catalog_cache,
+            current: Arc::new(RwLock::new(Arc::new(state.snapshot))),
+            durability: None,
         })
     }
 
@@ -365,7 +408,16 @@ impl DeepDive {
 
     /// Run the full pipeline once: grounding, learning, inference; publishes
     /// epoch 1's snapshot.
+    ///
+    /// Durable engines append the operation to the WAL *before* executing it
+    /// (redo logging): once the append returns, recovery will roll the
+    /// operation forward even if the process dies mid-inference.
     pub fn initial_run(&mut self) -> Result<IterationReport, EngineError> {
+        self.log_op(&WalOp::InitialRun)?;
+        self.initial_run_inner()
+    }
+
+    fn initial_run_inner(&mut self) -> Result<IterationReport, EngineError> {
         let t0 = Instant::now();
         self.grounder.ground()?;
         let grounding_secs = t0.elapsed().as_secs_f64();
@@ -399,7 +451,16 @@ impl DeepDive {
     }
 
     /// Build the combined materialization (sampling + variational + strawman).
-    pub fn materialize(&mut self) {
+    ///
+    /// Only fallible on durable engines (the WAL append); in-memory engines
+    /// cannot fail here.
+    pub fn materialize(&mut self) -> Result<(), EngineError> {
+        self.log_op(&WalOp::Materialize)?;
+        self.materialize_inner();
+        Ok(())
+    }
+
+    fn materialize_inner(&mut self) {
         self.materialization = Some(Materialization::build(self.grounder.graph(), &self.config));
         self.materialized_epoch = Some(self.epoch);
         self.materialized_coverage = Some((
@@ -419,6 +480,11 @@ impl DeepDive {
     /// re-send the rejected update: its base-relation deltas have already
     /// been applied, and applying them again inflates derivation counts.
     pub fn refresh(&mut self) -> Result<IterationReport, EngineError> {
+        self.log_op(&WalOp::Refresh)?;
+        self.refresh_inner()
+    }
+
+    fn refresh_inner(&mut self) -> Result<IterationReport, EngineError> {
         let t = Instant::now();
         let marginals = self.full_gibbs();
         let inference_secs = t.elapsed().as_secs_f64();
@@ -443,6 +509,21 @@ impl DeepDive {
     /// snapshot is published and previously handed-out snapshots keep serving
     /// their own epoch untouched.
     pub fn run_update(
+        &mut self,
+        update: &KbcUpdate,
+        mode: ExecutionMode,
+    ) -> Result<IterationReport, EngineError> {
+        if self.durability.is_some() {
+            let op = WalOp::Update {
+                mode,
+                update: update.clone(),
+            };
+            self.log_op(&op)?;
+        }
+        self.run_update_inner(update, mode)
+    }
+
+    fn run_update_inner(
         &mut self,
         update: &KbcUpdate,
         mode: ExecutionMode,
@@ -657,6 +738,124 @@ impl DeepDive {
                 })
             }
         }
+    }
+
+    // ------------------------------------------------------------- durability
+
+    /// Whether this engine persists to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Sequence number of the last WAL record (0 before the first append);
+    /// `None` on in-memory engines.
+    pub fn last_wal_seq(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal.last_seq())
+    }
+
+    /// Write a checkpoint covering everything logged so far, then prune the
+    /// WAL and older checkpoints it supersedes.  Returns the covered sequence
+    /// number.
+    ///
+    /// Ordering is what makes this crash-safe at every byte boundary:
+    ///
+    /// 1. fsync the WAL — nothing the checkpoint covers may be volatile;
+    /// 2. write the checkpoint file atomically (temp file, fsync, rename,
+    ///    fsync the directory);
+    /// 3. rotate the WAL onto a fresh segment;
+    /// 4. prune older checkpoints and fully-covered WAL segments.
+    ///
+    /// A crash between any two steps leaves either the old checkpoint or the
+    /// new one fully intact, and the WAL always reaches from the newest valid
+    /// checkpoint to the last logged operation.
+    ///
+    /// Errors with [`dd_storage::StorageError::NotConfigured`] when the engine
+    /// was built without [`DeepDiveBuilder::durability`].
+    pub fn checkpoint(&mut self) -> Result<u64, EngineError> {
+        if self.durability.is_none() {
+            return Err(dd_storage::StorageError::NotConfigured.into());
+        }
+        let state = self.export_checkpoint_state();
+        let bytes = durability::encode_checkpoint(&state);
+        let d = self.durability.as_mut().expect("checked above");
+        d.wal.sync()?;
+        let covered = d.wal.last_seq();
+        d.checkpoints.write(covered, &bytes)?;
+        d.wal.rotate()?;
+        d.checkpoints.prune(d.keep_checkpoints)?;
+        // Prune below the *oldest retained* checkpoint, not the one just
+        // written: if the newest file is later damaged, recovery falls back
+        // to an older checkpoint and must still find every WAL record from
+        // that point forward.
+        let oldest = d
+            .checkpoints
+            .covered_seqs()?
+            .first()
+            .copied()
+            .unwrap_or(covered);
+        d.wal.prune_below(oldest + 1)?;
+        Ok(covered)
+    }
+
+    /// Append one logical operation to the WAL (no-op on in-memory engines).
+    /// Called *before* the operation executes: recovery rolls every logged
+    /// operation forward, and re-executing an operation that failed with an
+    /// [`EngineError`] fails identically (the engine's side effects are
+    /// deterministic), so replayed state matches original state either way.
+    fn log_op(&mut self, op: &WalOp) -> Result<(), EngineError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.wal.append(&durability::encode_wal_op(op))?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the complete engine state for a checkpoint.  Everything a
+    /// restored engine needs except the config and the UDF registry (function
+    /// pointers — re-supplied by the builder at recovery).
+    pub(crate) fn export_checkpoint_state(&self) -> CheckpointState {
+        CheckpointState {
+            grounder: self.grounder.export_state(),
+            materialization: self.materialization.clone(),
+            materialized_epoch: self.materialized_epoch,
+            materialized_coverage: self.materialized_coverage,
+            cumulative_change: self.cumulative_change.clone(),
+            learned_weights: self.learned_weights.clone(),
+            epoch: self.epoch,
+            snapshot: (*self.snapshot()).clone(),
+        }
+    }
+
+    /// Re-execute one logged operation during recovery.  Must run *before*
+    /// the durability handle is attached so replay does not re-append.
+    ///
+    /// Engine errors are swallowed deliberately: an operation that failed
+    /// when first executed (e.g. a strict-mode [`EngineError::StaleMaterialization`])
+    /// fails the same way on replay and leaves the same partial state, so the
+    /// error is not new information — it was already reported to the caller
+    /// in the original run.
+    pub(crate) fn apply_wal_op(&mut self, op: WalOp) {
+        debug_assert!(
+            self.durability.is_none(),
+            "WAL replay must happen before the durability handle is attached"
+        );
+        match op {
+            WalOp::InitialRun => {
+                let _ = self.initial_run_inner();
+            }
+            WalOp::Update { mode, update } => {
+                let _ = self.run_update_inner(&update, mode);
+            }
+            WalOp::Refresh => {
+                let _ = self.refresh_inner();
+            }
+            WalOp::Materialize => self.materialize_inner(),
+        }
+    }
+
+    /// Hand the engine its open WAL + checkpoint stores.  Called by the
+    /// builder once construction (and any replay) is complete.
+    pub(crate) fn attach_durability(&mut self, handle: DurabilityHandle) {
+        self.durability = Some(handle);
     }
 
     // ---------------------------------------------------------------- outputs
@@ -891,7 +1090,7 @@ mod tests {
     fn incremental_update_with_new_document() {
         let mut dd = engine();
         dd.initial_run().unwrap();
-        dd.materialize();
+        dd.materialize().unwrap();
 
         let mut update = KbcUpdate::new();
         update
@@ -920,7 +1119,7 @@ mod tests {
     fn supervision_update_routes_to_variational() {
         let mut dd = engine();
         dd.initial_run().unwrap();
-        dd.materialize();
+        dd.materialize().unwrap();
 
         // New distant-supervision fact labels the George/Laura pair.
         let mut update = KbcUpdate::new();
@@ -950,7 +1149,7 @@ mod tests {
 
         let mut incremental = engine();
         incremental.initial_run().unwrap();
-        incremental.materialize();
+        incremental.materialize().unwrap();
         incremental
             .run_update(&update, ExecutionMode::Incremental)
             .unwrap();
@@ -1068,7 +1267,7 @@ mod tests {
         }
         // Recovery: materialize + refresh publishes a fresh epoch from the
         // already-applied grounding, and the next update is served.
-        dd.materialize();
+        dd.materialize().unwrap();
         dd.refresh().unwrap();
         assert_eq!(dd.epoch(), 2);
         let mut update = KbcUpdate::new();
@@ -1091,7 +1290,7 @@ mod tests {
             .build()
             .unwrap();
         dd.initial_run().unwrap();
-        dd.materialize();
+        dd.materialize().unwrap();
         let mut update = KbcUpdate::new();
         update
             .insert(
@@ -1150,7 +1349,7 @@ mod tests {
         let mut dd = engine();
         assert_eq!(dd.snapshot().epoch(), 0);
         dd.initial_run().unwrap();
-        dd.materialize();
+        dd.materialize().unwrap();
         let epoch1 = dd.snapshot();
         assert_eq!(epoch1.epoch(), 1);
         let facts_before = epoch1.extract_facts("MarriedMentions", 0.0).len();
@@ -1199,7 +1398,7 @@ mod tests {
             .build()
             .unwrap();
         dd.initial_run().unwrap();
-        dd.materialize();
+        dd.materialize().unwrap();
 
         let mut update = KbcUpdate::new();
         update
@@ -1226,7 +1425,7 @@ mod tests {
         // visible in every later epoch.
         let mut dd = engine();
         dd.initial_run().unwrap();
-        dd.materialize();
+        dd.materialize().unwrap();
 
         let mut grow = KbcUpdate::new();
         grow.insert(
@@ -1270,5 +1469,137 @@ mod tests {
         assert_eq!(top[0].0, tuple![10i64, 11i64]); // the supervised pair at 1.0
         let page = snap.facts("MarriedMentions").offset(2).limit(5).run();
         assert_eq!(page.len(), 1);
+    }
+
+    // ------------------------------------------------------------ durability
+
+    fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "deepdive-engine-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_engine(dir: &std::path::Path) -> DeepDive {
+        DeepDive::builder()
+            .program(parse_program(PROGRAM).unwrap())
+            .database(database())
+            .udfs(standard_udfs())
+            .config(EngineConfig::fast())
+            .durability(dd_storage::DurabilityConfig::new(dir))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn checkpoint_without_durability_is_a_typed_error() {
+        let mut dd = engine();
+        assert!(!dd.is_durable());
+        assert!(dd.last_wal_seq().is_none());
+        match dd.checkpoint() {
+            Err(EngineError::Storage(dd_storage::StorageError::NotConfigured)) => {}
+            other => panic!("expected NotConfigured, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durable_engine_recovers_exact_state_from_wal_replay() {
+        let dir = temp_data_dir("replay");
+        let reference = {
+            let mut dd = durable_engine(&dir);
+            assert!(dd.is_durable());
+            dd.initial_run().unwrap();
+            dd.materialize().unwrap();
+            let mut update = KbcUpdate::new();
+            update
+                .insert("EL", tuple![20i64, "George_Bush_1"])
+                .insert("EL", tuple![21i64, "Laura_Bush_1"])
+                .insert("Married", tuple!["George_Bush_1", "Laura_Bush_1"]);
+            dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+            // 3 logged ops on top of the baseline checkpoint; no checkpoint
+            // since, so recovery is pure WAL replay.
+            assert_eq!(dd.last_wal_seq(), Some(3));
+            (dd.epoch(), durability::encode_snapshot(&dd.snapshot()))
+        };
+
+        let recovered = durable_engine(&dir);
+        assert_eq!(recovered.epoch(), reference.0);
+        assert_eq!(
+            durability::encode_snapshot(&recovered.snapshot()),
+            reference.1,
+            "replayed snapshot must be byte-identical to the pre-shutdown one"
+        );
+        assert_eq!(
+            recovered.probability_of("MarriedMentions", &tuple![10i64, 11i64]),
+            Some(1.0)
+        );
+        assert_eq!(
+            recovered.probability_of("MarriedMentions", &tuple![20i64, 21i64]),
+            Some(1.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_supersedes_the_wal_and_recovery_matches() {
+        let dir = temp_data_dir("checkpoint");
+        let reference = {
+            let mut dd = durable_engine(&dir);
+            dd.initial_run().unwrap();
+            dd.materialize().unwrap();
+            let covered = dd.checkpoint().unwrap();
+            assert_eq!(covered, 2);
+            // Post-checkpoint update lives only in the WAL tail.
+            let mut update = KbcUpdate::new();
+            update
+                .insert("EL", tuple![20i64, "George_Bush_1"])
+                .insert("EL", tuple![21i64, "Laura_Bush_1"])
+                .insert("Married", tuple!["George_Bush_1", "Laura_Bush_1"]);
+            dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+            (dd.epoch(), durability::encode_snapshot(&dd.snapshot()))
+        };
+
+        let recovered = durable_engine(&dir);
+        assert_eq!(recovered.epoch(), reference.0);
+        assert_eq!(
+            durability::encode_snapshot(&recovered.snapshot()),
+            reference.1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_engine_keeps_serving_and_logging() {
+        // Recovery is not read-only: the recovered engine must accept further
+        // updates, checkpoint them, and recover *again*.
+        let dir = temp_data_dir("continue");
+        {
+            let mut dd = durable_engine(&dir);
+            dd.initial_run().unwrap();
+            dd.materialize().unwrap();
+        }
+        let reference = {
+            let mut dd = durable_engine(&dir);
+            let mut update = KbcUpdate::new();
+            update
+                .insert("EL", tuple![20i64, "George_Bush_1"])
+                .insert("EL", tuple![21i64, "Laura_Bush_1"])
+                .insert("Married", tuple!["George_Bush_1", "Laura_Bush_1"]);
+            dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+            dd.checkpoint().unwrap();
+            (dd.epoch(), durability::encode_snapshot(&dd.snapshot()))
+        };
+        let recovered = durable_engine(&dir);
+        assert_eq!(recovered.epoch(), reference.0);
+        assert_eq!(
+            durability::encode_snapshot(&recovered.snapshot()),
+            reference.1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

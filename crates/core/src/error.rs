@@ -9,6 +9,7 @@
 
 use dd_grounding::{GroundingError, ParseError};
 use dd_relstore::RelError;
+use dd_storage::StorageError;
 use std::fmt;
 
 /// Why an incremental update could not be served from the stored
@@ -72,6 +73,13 @@ pub enum EngineError {
         /// Engine epoch when the update was attempted.
         current_epoch: u64,
     },
+    /// The durability layer failed: WAL append, checkpoint write, recovery
+    /// scan, or state (de)serialization.  Carries the typed
+    /// [`dd_storage::StorageError`] source chain.  Raised also when a
+    /// durability-only operation ([`crate::DeepDive::checkpoint`]) is called
+    /// on an engine built without
+    /// [`crate::DeepDiveBuilder::durability`].
+    Storage(StorageError),
 }
 
 impl fmt::Display for EngineError {
@@ -117,6 +125,7 @@ impl fmt::Display for EngineError {
                 }
                 write!(f, "; call materialize() then refresh()")
             }
+            EngineError::Storage(e) => write!(f, "durability failed: {e}"),
         }
     }
 }
@@ -127,6 +136,7 @@ impl std::error::Error for EngineError {
             EngineError::Parse(e) => Some(e),
             EngineError::Schema(e) => Some(e),
             EngineError::Grounding(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -147,6 +157,12 @@ impl From<RelError> for EngineError {
 impl From<GroundingError> for EngineError {
     fn from(e: GroundingError) -> Self {
         EngineError::Grounding(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
     }
 }
 

@@ -52,6 +52,7 @@
 pub mod builder;
 pub mod config;
 pub mod decomposition;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod incremental_learning;
@@ -63,6 +64,7 @@ pub mod snapshot;
 pub use builder::DeepDiveBuilder;
 pub use config::EngineConfig;
 pub use decomposition::{decompose, DecompositionGroup};
+pub use durability::{decode_snapshot, encode_snapshot, CHECKPOINT_FORMAT_VERSION};
 pub use engine::{DeepDive, ExecutionMode, IterationReport};
 pub use error::{EngineError, StaleKind};
 pub use incremental_learning::{compare_learning_strategies, LearningComparison};
@@ -72,3 +74,7 @@ pub use quality::{evaluate_quality, QualityReport};
 pub use snapshot::{
     CatalogShard, CatalogShards, FactQuery, RelationIndex, Snapshot, SnapshotReader,
 };
+
+// Durability configuration lives in `dd-storage`; re-exported so callers can
+// write `deepdive::DurabilityConfig` without a second dependency.
+pub use dd_storage::{DurabilityConfig, FsyncPolicy, StorageError};

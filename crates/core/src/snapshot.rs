@@ -169,6 +169,19 @@ impl CatalogShard {
     pub fn index(&self) -> &Arc<RelationIndex> {
         &self.index
     }
+
+    /// Rebuild a shard from its persisted parts (checkpoint codec access).
+    pub(crate) fn from_parts(
+        relation: String,
+        generation: u64,
+        entries: Vec<(Tuple, usize)>,
+    ) -> Self {
+        CatalogShard {
+            relation,
+            generation,
+            index: Arc::new(RelationIndex::from_entries(entries)),
+        }
+    }
 }
 
 /// The epoch-versioned, per-relation sharded variable catalog.
@@ -267,6 +280,13 @@ impl CatalogShards {
     pub fn num_entries(&self) -> usize {
         self.shards.iter().map(|s| s.index.len()).sum()
     }
+
+    /// Rebuild a catalog from persisted shards (checkpoint codec access).
+    /// Shards are re-sorted by relation name to restore the lookup invariant.
+    pub(crate) fn from_shards(mut shards: Vec<CatalogShard>) -> Self {
+        shards.sort_by(|a, b| a.relation.cmp(&b.relation));
+        CatalogShards { shards }
+    }
 }
 
 /// An immutable, shareable view of the knowledge base at one epoch.
@@ -313,7 +333,13 @@ impl Snapshot {
     /// for serving-layer tests and tooling that need a `Snapshot` without
     /// running an engine.  Graph stats are synthesized to agree with the
     /// marginal vector (`num_variables == marginals.len()`), the epoch and
-    /// catalog are taken as given, and the fact threshold defaults to 0.9.
+    /// catalog are taken as given, and the fact threshold defaults to 0.9
+    /// (override with [`Snapshot::with_fact_threshold`]).  Weights default to
+    /// empty ([`Snapshot::with_weights`]); with both set, a synthetic snapshot
+    /// round-trips bit-exactly through the checkpoint codec
+    /// ([`crate::durability::encode_snapshot`] /
+    /// [`crate::durability::decode_snapshot`]), so storage tests can run
+    /// without a full engine.
     pub fn synthetic(epoch: u64, marginals: Vec<f64>, catalog: CatalogShards) -> Self {
         let num_variables = marginals.len();
         let mut stats = Snapshot::empty(0.9).stats;
@@ -326,6 +352,25 @@ impl Snapshot {
             stats,
             fact_threshold: 0.9,
         }
+    }
+
+    /// Replace the learned-weight vector (builder-style, for synthetic
+    /// snapshots that must round-trip through the checkpoint codec).
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Replace the fact-extraction threshold (builder-style, for synthetic
+    /// snapshots that must round-trip through the checkpoint codec).
+    pub fn with_fact_threshold(mut self, fact_threshold: f64) -> Self {
+        self.fact_threshold = fact_threshold;
+        self
+    }
+
+    /// The fact-extraction threshold this snapshot was published with.
+    pub fn fact_threshold(&self) -> f64 {
+        self.fact_threshold
     }
 
     pub(crate) fn publish(

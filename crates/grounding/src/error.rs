@@ -31,6 +31,9 @@ pub enum ProgramError {
     /// The candidate-mapping rules have a cyclic dependency and cannot be
     /// stratified.
     CyclicCandidateRules,
+    /// A rule was referenced by name (e.g. by persisted state) but does not
+    /// exist in the program.
+    UnknownRule { rule: String },
 }
 
 impl fmt::Display for ProgramError {
@@ -56,6 +59,9 @@ impl fmt::Display for ProgramError {
             }
             ProgramError::CyclicCandidateRules => {
                 write!(f, "candidate-mapping rules are cyclic and cannot be stratified")
+            }
+            ProgramError::UnknownRule { rule } => {
+                write!(f, "no rule named `{rule}` exists in the program")
             }
         }
     }

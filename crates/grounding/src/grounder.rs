@@ -440,6 +440,116 @@ impl Grounder {
             }
         }
     }
+
+    // ------------------------------------------------------------- persistence
+
+    /// Export every piece of grounder state a checkpoint must carry, in
+    /// deterministic (sorted) order.
+    ///
+    /// The UDF registry is deliberately absent: it holds function pointers
+    /// and cannot be serialized — [`Grounder::from_state`] takes it back as
+    /// an argument.  Candidate-mapping views are represented by rule *name*
+    /// only; restore re-materializes them from the restored database, which
+    /// reproduces the maintained view exactly (view maintenance is
+    /// deterministic in the database contents).
+    pub fn export_state(&self) -> GrounderState {
+        let mut var_catalog: Vec<(String, Tuple, VarId)> = self
+            .var_catalog
+            .iter()
+            .map(|((rel, tuple), &var)| (rel.clone(), tuple.clone(), var))
+            .collect();
+        var_catalog.sort();
+        let mut grounded_bindings: Vec<(String, Vec<Tuple>)> = self
+            .grounded_bindings
+            .iter()
+            .map(|(rule, set)| {
+                let mut tuples: Vec<Tuple> = set.iter().cloned().collect();
+                tuples.sort();
+                (rule.clone(), tuples)
+            })
+            .collect();
+        grounded_bindings.sort();
+        let mut view_rules: Vec<String> = self.candidate_views.keys().cloned().collect();
+        view_rules.sort();
+        GrounderState {
+            program: self.program.clone(),
+            db: self.db.clone(),
+            graph: self.graph.clone(),
+            var_catalog,
+            fresh_catalog: self
+                .fresh_catalog
+                .iter()
+                .map(|(rel, entries)| (rel.clone(), entries.clone()))
+                .collect(),
+            grounded_bindings,
+            view_rules,
+        }
+    }
+
+    /// Rebuild a grounder from exported state plus a (re-supplied) UDF
+    /// registry.  The weight catalog is reconstructed from the graph's weight
+    /// descriptions — `Grounder::weight_descriptor` guarantees description
+    /// and catalog key coincide — and candidate views are re-materialized
+    /// from the restored database.
+    pub fn from_state(state: GrounderState, udfs: UdfRegistry) -> Result<Self, GroundingError> {
+        let weight_catalog: HashMap<String, WeightId> = state
+            .graph
+            .weights()
+            .iter()
+            .map(|w| (w.description.clone(), w.id))
+            .collect();
+        let mut grounder = Grounder {
+            program: state.program,
+            db: state.db,
+            udfs,
+            graph: state.graph,
+            var_catalog: state
+                .var_catalog
+                .into_iter()
+                .map(|(rel, tuple, var)| ((rel, tuple), var))
+                .collect(),
+            fresh_catalog: state.fresh_catalog.into_iter().collect(),
+            weight_catalog,
+            grounded_bindings: state
+                .grounded_bindings
+                .into_iter()
+                .map(|(rule, tuples)| (rule, tuples.into_iter().collect()))
+                .collect(),
+            candidate_views: HashMap::new(),
+        };
+        for rule_name in state.view_rules {
+            let rule = grounder
+                .program
+                .rules
+                .iter()
+                .find(|r| r.name == rule_name)
+                .cloned()
+                .ok_or(GroundingError::Program(ProgramError::UnknownRule {
+                    rule: rule_name,
+                }))?;
+            grounder.evaluate_candidate_rule(&rule)?;
+        }
+        Ok(grounder)
+    }
+}
+
+/// Serializable snapshot of a [`Grounder`], produced by
+/// [`Grounder::export_state`] and consumed by [`Grounder::from_state`].
+/// All collections are sorted so that encoding the same state twice yields
+/// identical bytes.
+#[derive(Debug, Clone)]
+pub struct GrounderState {
+    pub program: Program,
+    pub db: Database,
+    pub graph: FactorGraph,
+    /// `(relation, tuple, variable id)`, sorted.
+    pub var_catalog: Vec<(String, Tuple, VarId)>,
+    /// Undrained dirty catalog entries, per relation (sorted by relation).
+    pub fresh_catalog: Vec<(String, Vec<(Tuple, VarId)>)>,
+    /// Rule name → sorted bindings already grounded.
+    pub grounded_bindings: Vec<(String, Vec<Tuple>)>,
+    /// Names of candidate-mapping rules with a materialized view.
+    pub view_rules: Vec<String>,
 }
 
 #[cfg(test)]

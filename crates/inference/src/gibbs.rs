@@ -93,6 +93,16 @@ impl SampleSet {
         World::from_bitvec(&self.bundles[i], self.num_vars)
     }
 
+    /// The raw bit-packed bundles (checkpoint codec access).
+    pub fn bundles(&self) -> &[Vec<u8>] {
+        &self.bundles
+    }
+
+    /// Rebuild a sample set from raw bundles, exactly as stored.
+    pub fn from_bundles(num_vars: usize, bundles: Vec<Vec<u8>>) -> Self {
+        SampleSet { num_vars, bundles }
+    }
+
     /// Approximate storage size in bytes.
     pub fn storage_bytes(&self) -> usize {
         self.bundles.iter().map(|b| b.len()).sum()

@@ -69,6 +69,16 @@ impl SampleMaterialization {
         self.samples.len()
     }
 
+    /// The stored tuple bundles (checkpoint codec access).
+    pub fn samples(&self) -> &SampleSet {
+        &self.samples
+    }
+
+    /// Number of variables of the original graph (checkpoint codec access).
+    pub fn num_original_vars(&self) -> usize {
+        self.num_original_vars
+    }
+
     /// Approximate storage size in bytes (1 bit per variable per sample).
     pub fn storage_bytes(&self) -> usize {
         self.samples.storage_bytes()

@@ -184,6 +184,22 @@ impl VariationalMaterialization {
     }
 
     /// The approximate graph (for inspection and tests).
+    /// Rebuild a materialization from its stored parts, exactly (checkpoint
+    /// codec access — pairs with the accessors below).
+    pub fn from_parts(
+        approx_graph: FactorGraph,
+        pairwise_factors: usize,
+        candidate_pairs: usize,
+        lambda: f64,
+    ) -> Self {
+        VariationalMaterialization {
+            approx_graph,
+            pairwise_factors,
+            candidate_pairs,
+            lambda,
+        }
+    }
+
     pub fn approx_graph(&self) -> &FactorGraph {
         &self.approx_graph
     }

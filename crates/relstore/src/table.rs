@@ -135,6 +135,13 @@ impl Table {
         self.rows.iter().filter(|(_, &c)| c > 0).map(|(t, _)| t)
     }
 
+    /// Iterate over every stored `(tuple, net count)` pair, *including*
+    /// negative (over-deleted) counts — exact-state access for persistence.
+    /// Zero counts are never stored, so every yielded count is non-zero.
+    pub fn iter_net_counted(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.rows.iter().map(|(t, &c)| (t, c))
+    }
+
     /// Iterate over `(tuple, count)` pairs with positive count.
     pub fn iter_counted(&self) -> impl Iterator<Item = (&Tuple, i64)> {
         self.rows

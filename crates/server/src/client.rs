@@ -25,6 +25,67 @@ use dd_relstore::Tuple;
 use dd_wire::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Bounded exponential backoff for retrying `overloaded` refusals
+/// (see [`Client::call_with_retry`]).
+///
+/// Attempt `n` (0-based) sleeps a jittered duration drawn from
+/// `[backoff/2, backoff]` where `backoff = initial_backoff * 2^n`, capped at
+/// `max_backoff`.  Jitter is deterministic per [`RetryPolicy::jitter_seed`]
+/// (SplitMix64), so tests and reproductions see identical schedules while
+/// distinct clients — distinct seeds — still decorrelate their retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Six attempts backing off 10ms → 320ms: rides out about a second of
+    /// sustained overload before giving up.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `attempt` (0-based).
+    fn backoff_for(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let base = self
+            .initial_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let half = base / 2;
+        let span = base.saturating_sub(half).as_nanos() as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix64(rng) % (span + 1)
+        };
+        half + Duration::from_nanos(jitter)
+    }
+}
+
+/// SplitMix64: tiny, seedable, and plenty for decorrelating retry sleeps.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -173,6 +234,40 @@ impl Client {
         }
     }
 
+    /// Run `call`, retrying with bounded exponential backoff while the server
+    /// refuses with backpressure ([`ClientError::is_overloaded`]).
+    ///
+    /// Only `overloaded` refusals are retried — a queue-full refusal leaves
+    /// the connection healthy, so the retry reuses it.  Transport errors,
+    /// framing errors, and every other server refusal return immediately:
+    /// they are not load, and retrying them blind would mask real failures.
+    /// The last attempt's error is returned when the budget runs out.
+    ///
+    /// ```no_run
+    /// use dd_server::{Client, RetryPolicy};
+    ///
+    /// let mut client = Client::connect("127.0.0.1:7171")?;
+    /// let epoch = client.call_with_retry(&RetryPolicy::default(), |c| c.epoch())?;
+    /// # Ok::<(), dd_server::ClientError>(())
+    /// ```
+    pub fn call_with_retry<T>(
+        &mut self,
+        policy: &RetryPolicy,
+        mut call: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut rng = policy.jitter_seed;
+        for attempt in 0..attempts {
+            match call(self) {
+                Err(err) if err.is_overloaded() && attempt + 1 < attempts => {
+                    std::thread::sleep(policy.backoff_for(attempt, &mut rng));
+                }
+                other => return other,
+            }
+        }
+        unreachable!("the final attempt always returns from the loop")
+    }
+
     fn unexpected(wanted: &str, got: &Option<OpResult>) -> ClientError {
         ClientError::Protocol(format!("expected a {wanted} result, got {got:?}"))
     }
@@ -199,5 +294,179 @@ mod tests {
         assert!(std::error::Error::source(&err).is_some());
         let err = ClientError::from(FrameError::Closed);
         assert!(err.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn backoff_schedule_is_bounded_exponential_and_deterministic() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 42,
+        };
+        let mut rng_a = policy.jitter_seed;
+        let mut rng_b = policy.jitter_seed;
+        for attempt in 0..8 {
+            let d = policy.backoff_for(attempt, &mut rng_a);
+            // Jitter stays within [base/2, base], and base is capped.
+            let base = Duration::from_millis(10)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(100));
+            assert!(d >= base / 2, "attempt {attempt}: {d:?} below half base");
+            assert!(d <= base, "attempt {attempt}: {d:?} above base");
+            // Same seed, same schedule.
+            assert_eq!(d, policy.backoff_for(attempt, &mut rng_b));
+        }
+        // Shift overflow on huge attempt numbers must not panic.
+        let mut rng = 1;
+        assert!(policy.backoff_for(u32::MAX, &mut rng) <= Duration::from_millis(100));
+    }
+
+    /// A client connected to a listener that never answers — good enough as
+    /// `self` for closure-driven retry tests that never touch the socket.
+    fn idle_client() -> (std::net::TcpListener, Client) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = Client::connect(listener.local_addr().unwrap()).unwrap();
+        (listener, client)
+    }
+
+    fn overloaded() -> ClientError {
+        ClientError::Server {
+            kind: ErrorKind::Overloaded,
+            message: "queue full".to_string(),
+        }
+    }
+
+    #[test]
+    fn retry_budget_is_spent_only_on_overload() {
+        let tiny = RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(20),
+            jitter_seed: 1,
+        };
+        let (_listener, mut client) = idle_client();
+
+        // Persistent overload: all four attempts spent, last error returned.
+        let mut attempts = 0;
+        let err = client
+            .call_with_retry(&tiny, |_| -> Result<(), ClientError> {
+                attempts += 1;
+                Err(overloaded())
+            })
+            .unwrap_err();
+        assert_eq!(attempts, 4);
+        assert!(err.is_overloaded());
+
+        // Non-overload errors return immediately: they are not backpressure.
+        let mut attempts = 0;
+        let err = client
+            .call_with_retry(&tiny, |_| -> Result<(), ClientError> {
+                attempts += 1;
+                Err(ClientError::Protocol("bad document".to_string()))
+            })
+            .unwrap_err();
+        assert_eq!(attempts, 1);
+        assert!(!err.is_overloaded());
+
+        // Success after transient overload.
+        let mut attempts = 0;
+        let value = client
+            .call_with_retry(&tiny, |_| {
+                attempts += 1;
+                if attempts < 3 {
+                    Err(overloaded())
+                } else {
+                    Ok(attempts)
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 3);
+    }
+
+    #[test]
+    fn call_with_retry_rides_out_a_flooded_server() {
+        use crate::server::{Server, ServerConfig};
+        use deepdive::{CatalogShards, Snapshot, SnapshotReader};
+        use std::collections::HashMap;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let mut catalog = HashMap::new();
+        catalog.insert(("Fact".to_string(), dd_relstore::tuple![1i64]), 0usize);
+        let reader = SnapshotReader::fixed(Snapshot::synthetic(
+            7,
+            vec![0.9],
+            CatalogShards::build(catalog.iter(), 7),
+        ));
+        // One worker, one queue slot: two concurrent sleeps saturate it.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            reader,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                allow_sleep_op: true,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Flooders hold the worker (and the queue slot) with sleep batches
+        // until told to stop; refusals they receive themselves are expected.
+        let stop = Arc::new(AtomicBool::new(false));
+        let flooders: Vec<_> = (0..3)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    while !stop.load(Ordering::Acquire) {
+                        let _ = c.batch(vec![Op::Sleep { millis: 40 }]);
+                    }
+                })
+            })
+            .collect();
+
+        // The flood must produce at least one typed overload refusal.
+        let mut client = Client::connect(addr).unwrap();
+        let mut saw_overload = false;
+        for _ in 0..200 {
+            match client.epoch() {
+                Err(err) if err.is_overloaded() => {
+                    saw_overload = true;
+                    break;
+                }
+                Ok(_) => continue, // slipped into a free slot; flood again
+                Err(err) => panic!("unexpected failure under flood: {err}"),
+            }
+        }
+        assert!(saw_overload, "three flooders never filled a 1-slot queue");
+
+        // Overload is transient: the flood lifts ~100ms from now.  A plain
+        // call right now is (very likely) refused, but the backoff budget
+        // spans well past the flood, so call_with_retry must ride it out on
+        // the same connection.
+        let lifter = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                stop.store(true, Ordering::Release);
+            })
+        };
+        let policy = RetryPolicy {
+            max_attempts: 50,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(40),
+            jitter_seed: 7,
+        };
+        let epoch = client.call_with_retry(&policy, |c| c.epoch()).unwrap();
+        assert_eq!(epoch, 7);
+
+        lifter.join().unwrap();
+        for f in flooders {
+            f.join().unwrap();
+        }
+        server.shutdown();
     }
 }

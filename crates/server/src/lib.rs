@@ -43,7 +43,7 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use protocol::{
     Batch, DecodeError, ErrorKind, FactQuerySpec, Op, OpResult, Request, Response,
     MAX_OPS_PER_BATCH,

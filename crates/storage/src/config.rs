@@ -1,0 +1,72 @@
+//! Durability configuration shared by the WAL and the engine builder.
+
+use std::path::PathBuf;
+
+/// When to issue `fsync` on the write-ahead log.
+///
+/// Checkpoint files are *always* synced before their atomic rename — the
+/// policy only governs the per-append cost on the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every appended record.  Survives power loss at the cost of
+    /// one disk flush per update.
+    Always,
+    /// Sync after every N appended records (and on rotation).  Bounded data
+    /// loss window of N−1 records on power failure; still crash-consistent
+    /// (the tail truncates to the last *synced* record or later).
+    EveryN(u64),
+    /// Never sync on append (rotation and checkpointing still sync).  For
+    /// tests and throwaway runs only.
+    Never,
+}
+
+/// How and where the engine persists itself.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root data directory; `wal/` and `checkpoints/` are created inside it.
+    pub data_dir: PathBuf,
+    /// Fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// How many checkpoint files to keep after a successful checkpoint
+    /// (at least 1; the newest is never pruned).
+    pub keep_checkpoints: usize,
+}
+
+impl DurabilityConfig {
+    /// Durable defaults: fsync on every append, keep the two newest
+    /// checkpoints.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Always,
+            keep_checkpoints: 2,
+        }
+    }
+
+    /// Set the WAL fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Set how many checkpoints to retain (clamped to at least 1).
+    pub fn keep_checkpoints(mut self, keep: usize) -> Self {
+        self.keep_checkpoints = keep.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let cfg = DurabilityConfig::new("/tmp/dd");
+        assert_eq!(cfg.fsync, FsyncPolicy::Always);
+        assert_eq!(cfg.keep_checkpoints, 2);
+        let cfg = cfg.fsync(FsyncPolicy::EveryN(8)).keep_checkpoints(0);
+        assert_eq!(cfg.fsync, FsyncPolicy::EveryN(8));
+        assert_eq!(cfg.keep_checkpoints, 1);
+    }
+}

@@ -15,6 +15,10 @@
 //!   corrupt peer cannot make the server allocate unboundedly, and every
 //!   failure mode (clean close, truncated prefix, truncated payload,
 //!   oversized declaration) is a distinct [`frame::FrameError`] variant.
+//! * [`record`] — the frame layout extended with a CRC-32 checksum and a
+//!   monotone sequence number, for `dd-storage`'s write-ahead log and
+//!   checkpoint files: torn tails and bit flips decode to typed errors,
+//!   never to panics or silently-corrupt payloads.
 //!
 //! Nothing in this crate knows about snapshots or engines; it is pure bytes
 //! and values, which is what lets `dd-bench` depend on it without pulling in
@@ -22,6 +26,8 @@
 
 pub mod frame;
 pub mod json;
+pub mod record;
 
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use json::Json;
+pub use record::{crc32, encode_record, read_record, write_record, RecordError, MAX_RECORD_BYTES};

@@ -1,0 +1,367 @@
+//! Checksummed, sequence-numbered record framing for durable storage.
+//!
+//! A record extends the plain [`frame`](crate::frame) layout with exactly the
+//! two fields a write-ahead log needs to survive crashes:
+//!
+//! ```text
+//! [u32 payload len (BE)] [u32 CRC-32 (BE)] [u64 sequence (BE)] [payload…]
+//! ```
+//!
+//! The CRC-32 (IEEE polynomial, the one Ethernet/zip/PNG use) covers the
+//! sequence number *and* the payload, so a bit flip anywhere after the length
+//! prefix is detected.  The length prefix itself is implicitly validated: a
+//! flipped length either trips the reader's cap ([`RecordError::Oversized`]),
+//! runs past end-of-file ([`RecordError::Truncated`]), or shifts the CRC
+//! window so the checksum no longer matches ([`RecordError::Corrupt`]).
+//!
+//! Like the frame layer, every failure mode is a typed error — **never a
+//! panic, never silently accepted bytes**:
+//!
+//! * [`RecordError::Closed`] — end-of-stream on a record boundary; the normal
+//!   end of a well-formed log.
+//! * [`RecordError::Truncated`] — end-of-stream inside a record; a torn write
+//!   from a crash.  Storage layers truncate the log here.
+//! * [`RecordError::Oversized`] — the prefix declares more than the reader's
+//!   cap; bounded allocation, exactly as in [`read_frame`](crate::read_frame).
+//! * [`RecordError::Corrupt`] — checksum mismatch; a bit flip or a torn write
+//!   that happened to leave enough bytes behind.
+//!
+//! Sequence numbers are carried, not policed: the storage layer knows what
+//! sequence it expects next and treats a mismatch as corruption, but this
+//! layer only guarantees the number read is the number written.
+//!
+//! ```
+//! use dd_wire::record::{read_record, write_record, RecordError};
+//! use std::io::Cursor;
+//!
+//! let mut buf = Vec::new();
+//! write_record(&mut buf, 7, b"payload").unwrap();
+//! let mut stream = Cursor::new(buf);
+//! assert_eq!(read_record(&mut stream, 1024).unwrap(), (7, b"payload".to_vec()));
+//! assert!(matches!(read_record(&mut stream, 1024), Err(RecordError::Closed)));
+//! ```
+
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Default cap on a single record's payload — same bound as the wire frames.
+pub const MAX_RECORD_BYTES: usize = crate::frame::MAX_FRAME_BYTES;
+
+/// Bytes of header before the payload: length + checksum + sequence.
+pub const RECORD_HEADER_BYTES: usize = 4 + 4 + 8;
+
+/// CRC-32 (IEEE, reflected, polynomial `0xEDB88320`) lookup table, built at
+/// compile time so the hot loop is one shift + one table load per byte.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `bytes`.  Matches zlib's `crc32(0, …)`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Why a record could not be read.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The stream ended cleanly on a record boundary (well-formed end of log).
+    Closed,
+    /// The stream ended mid-record: a torn write.  Carries how many bytes were
+    /// still expected.
+    Truncated { missing: usize },
+    /// The prefix declared a payload larger than the reader's cap.
+    Oversized { declared: usize, max: usize },
+    /// The checksum did not match the header+payload bytes read.
+    Corrupt { stored: u32, computed: u32 },
+    /// An I/O error other than end-of-stream.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Closed => write!(f, "log ended on a record boundary"),
+            RecordError::Truncated { missing } => {
+                write!(f, "log truncated mid-record ({missing} bytes missing)")
+            }
+            RecordError::Oversized { declared, max } => {
+                write!(f, "record declares {declared} bytes, cap is {max}")
+            }
+            RecordError::Corrupt { stored, computed } => write!(
+                f,
+                "record checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            RecordError::Io(err) => write!(f, "record I/O error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecordError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecordError {
+    fn from(err: io::Error) -> Self {
+        RecordError::Io(err)
+    }
+}
+
+impl RecordError {
+    /// True for the clean end-of-log case.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, RecordError::Closed)
+    }
+
+    /// True for the cases a WAL reader treats as a torn/corrupt tail to
+    /// truncate at the previous record: everything except a clean close and a
+    /// non-EOF I/O error (which is an environment failure, not bad bytes).
+    pub fn is_tail_damage(&self) -> bool {
+        matches!(
+            self,
+            RecordError::Truncated { .. }
+                | RecordError::Oversized { .. }
+                | RecordError::Corrupt { .. }
+        )
+    }
+}
+
+/// Encode one record to a buffer: header then payload.
+///
+/// Panics never; payloads longer than `u32::MAX` are refused by
+/// [`write_record`], and in-memory encoding of such a payload would already
+/// have failed to allocate.
+pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    let len = payload.len() as u32;
+    let seq_be = seq.to_be_bytes();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in seq_be.iter().chain(payload.iter()) {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&(!crc).to_be_bytes());
+    buf.extend_from_slice(&seq_be);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Write one record: length, checksum, sequence, payload.
+///
+/// Refuses payloads longer than `u32::MAX`.  Does not flush or sync — the
+/// storage layer owns the fsync policy.
+pub fn write_record(writer: &mut impl Write, seq: u64, payload: &[u8]) -> io::Result<()> {
+    if u32::try_from(payload.len()).is_err() {
+        return Err(io::Error::new(
+            ErrorKind::InvalidInput,
+            format!(
+                "payload of {} bytes exceeds the u32 record prefix",
+                payload.len()
+            ),
+        ));
+    }
+    writer.write_all(&encode_record(seq, payload))
+}
+
+/// Read one record, allocating at most `max_payload` bytes, verifying the
+/// checksum, and returning `(sequence, payload)`.
+///
+/// End-of-stream before the first header byte is [`RecordError::Closed`];
+/// end-of-stream anywhere later is [`RecordError::Truncated`].
+pub fn read_record(
+    reader: &mut impl Read,
+    max_payload: usize,
+) -> Result<(u64, Vec<u8>), RecordError> {
+    let mut header = [0u8; RECORD_HEADER_BYTES];
+    read_exact_or(reader, &mut header[..4], true)?;
+    let declared = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if declared > max_payload {
+        return Err(RecordError::Oversized {
+            declared,
+            max: max_payload,
+        });
+    }
+    read_exact_or(reader, &mut header[4..], false)?;
+    let stored = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    let seq = u64::from_be_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]);
+    let mut payload = vec![0u8; declared];
+    read_exact_or(reader, &mut payload, false)?;
+    let mut check = Vec::with_capacity(8 + payload.len());
+    check.extend_from_slice(&header[8..]);
+    check.extend_from_slice(&payload);
+    let computed = crc32(&check);
+    if computed != stored {
+        return Err(RecordError::Corrupt { stored, computed });
+    }
+    Ok((seq, payload))
+}
+
+/// `read_exact` that maps end-of-stream to [`RecordError::Closed`] when no
+/// byte of `buf` has arrived yet and `clean_close_ok` is set, and to
+/// [`RecordError::Truncated`] otherwise.
+fn read_exact_or(
+    reader: &mut impl Read,
+    buf: &mut [u8],
+    clean_close_ok: bool,
+) -> Result<(), RecordError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && clean_close_ok {
+                    Err(RecordError::Closed)
+                } else {
+                    Err(RecordError::Truncated {
+                        missing: buf.len() - filled,
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == ErrorKind::Interrupted => {}
+            Err(err) => return Err(RecordError::Io(err)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn records_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, 1, b"first").unwrap();
+        write_record(&mut buf, 2, b"").unwrap();
+        write_record(&mut buf, u64::MAX, "🚀 third".as_bytes()).unwrap();
+        let mut stream = Cursor::new(buf);
+        assert_eq!(
+            read_record(&mut stream, 1024).unwrap(),
+            (1, b"first".to_vec())
+        );
+        assert_eq!(read_record(&mut stream, 1024).unwrap(), (2, Vec::new()));
+        assert_eq!(
+            read_record(&mut stream, 1024).unwrap(),
+            (u64::MAX, "🚀 third".as_bytes().to_vec())
+        );
+        assert!(read_record(&mut stream, 1024).unwrap_err().is_closed());
+    }
+
+    #[test]
+    fn encode_and_write_agree() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, 42, b"same bytes").unwrap();
+        assert_eq!(buf, encode_record(42, b"same bytes"));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_is_typed() {
+        let full = encode_record(9, b"some payload worth checking");
+        for cut in 0..full.len() {
+            let mut stream = Cursor::new(full[..cut].to_vec());
+            match read_record(&mut stream, 1024) {
+                Err(RecordError::Closed) => assert_eq!(cut, 0),
+                Err(RecordError::Truncated { missing }) => {
+                    assert!(missing > 0, "cut at {cut} reported zero missing bytes")
+                }
+                other => panic!("cut at {cut}: expected Closed/Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let full = encode_record(7, b"bit flips must never pass");
+        for byte in 0..full.len() {
+            for bit in 0..8 {
+                let mut damaged = full.clone();
+                damaged[byte] ^= 1 << bit;
+                let mut stream = Cursor::new(damaged);
+                match read_record(&mut stream, full.len() + 64) {
+                    Err(RecordError::Corrupt { stored, computed }) => {
+                        assert_ne!(stored, computed)
+                    }
+                    // A flipped length bit can also declare too much or run
+                    // off the end of the buffer — both are typed, both fine.
+                    Err(RecordError::Oversized { .. }) | Err(RecordError::Truncated { .. }) => {}
+                    Ok((seq, payload)) => panic!(
+                        "flip {byte}/{bit} accepted: seq {seq}, {} bytes",
+                        payload.len()
+                    ),
+                    Err(other) => panic!("flip {byte}/{bit}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_fails_before_allocating() {
+        let mut stream = Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        match read_record(&mut stream, 1024) {
+            Err(RecordError::Oversized { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let err = RecordError::from(io::Error::new(ErrorKind::ConnectionReset, "reset"));
+        assert!(err.to_string().contains("reset"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(!err.is_closed());
+        assert!(!err.is_tail_damage());
+        assert!(RecordError::Closed.is_closed());
+        let torn = RecordError::Truncated { missing: 3 };
+        assert!(torn.is_tail_damage());
+        assert!(torn.to_string().contains("3 bytes"));
+        let bad = RecordError::Corrupt {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(bad.is_tail_damage());
+        assert!(bad.to_string().contains("mismatch"));
+    }
+}

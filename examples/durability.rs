@@ -1,0 +1,171 @@
+//! Durability: persist an engine, kill it, and recover it.
+//!
+//! Opens a data directory with [`DeepDiveBuilder::durability`], runs the
+//! HasSpouse program through an initial run, a materialization, and an
+//! incremental update (each appended to the write-ahead log before it
+//! executes), rolls the log into a checkpoint — then drops the engine on the
+//! floor and reopens the directory, proving the recovered engine serves the
+//! same epoch and the same marginals, supervised facts pinned and all.
+//!
+//! Run with `cargo run --release --example durability`.
+
+use deepdive_repro::prelude::*;
+use std::path::Path;
+
+const PROGRAM: &str = r#"
+    relation Sentence(s: int, content: text) base.
+    relation PersonCandidate(s: int, m: int, t: text) base.
+    relation EL(m: int, e: text) base.
+    relation Married(e1: text, e2: text) base.
+    relation MarriedCandidate(m1: int, m2: int) derived.
+    relation MarriedMentions(m1: int, m2: int) variable.
+
+    rule R1 candidate:
+      MarriedCandidate(m1, m2) :-
+        PersonCandidate(s, m1, t1), PersonCandidate(s, m2, t2), m1 < m2.
+
+    rule FE1 feature:
+      MarriedMentions(m1, m2) :-
+        MarriedCandidate(m1, m2),
+        PersonCandidate(s, m1, t1), PersonCandidate(s, m2, t2),
+        Sentence(s, content)
+      weight = phrase(t1, t2, content).
+
+    rule S1 supervision+:
+      MarriedMentions(m1, m2) :-
+        MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2), Married(e1, e2).
+"#;
+
+fn database() -> Result<Database, RelError> {
+    let mut db = Database::new();
+    db.create_table(
+        "Sentence",
+        Schema::of(&[("s", DataType::Int), ("content", DataType::Text)]),
+    )?;
+    db.create_table(
+        "PersonCandidate",
+        Schema::of(&[
+            ("s", DataType::Int),
+            ("m", DataType::Int),
+            ("t", DataType::Text),
+        ]),
+    )?;
+    db.create_table(
+        "EL",
+        Schema::of(&[("m", DataType::Int), ("e", DataType::Text)]),
+    )?;
+    db.create_table(
+        "Married",
+        Schema::of(&[("e1", DataType::Text), ("e2", DataType::Text)]),
+    )?;
+    db.insert_all(
+        "Sentence",
+        vec![
+            Tuple::from_iter([
+                Value::Int(1),
+                Value::text("Barack and his wife Michelle attended the dinner"),
+            ]),
+            Tuple::from_iter([
+                Value::Int(2),
+                Value::text("George and his wife Laura were married"),
+            ]),
+        ],
+    )?;
+    db.insert_all(
+        "PersonCandidate",
+        vec![
+            Tuple::from_iter([Value::Int(1), Value::Int(10), Value::text("Barack")]),
+            Tuple::from_iter([Value::Int(1), Value::Int(11), Value::text("Michelle")]),
+            Tuple::from_iter([Value::Int(2), Value::Int(20), Value::text("George")]),
+            Tuple::from_iter([Value::Int(2), Value::Int(21), Value::text("Laura")]),
+        ],
+    )?;
+    db.insert_all(
+        "EL",
+        vec![
+            Tuple::from_iter([Value::Int(10), Value::text("Barack_Obama_1")]),
+            Tuple::from_iter([Value::Int(11), Value::text("Michelle_Obama_1")]),
+        ],
+    )?;
+    db.insert_all(
+        "Married",
+        vec![Tuple::from_iter([
+            Value::text("Barack_Obama_1"),
+            Value::text("Michelle_Obama_1"),
+        ])],
+    )?;
+    Ok(db)
+}
+
+fn open(dir: &Path) -> Result<DeepDive, EngineError> {
+    DeepDive::builder()
+        .program_text(PROGRAM)
+        .database(database().expect("example database"))
+        .config(EngineConfig::fast())
+        // Fsync on every append is the safe default; EveryN(64) or Never
+        // trade durability of the newest operations for throughput.
+        .durability(DurabilityConfig::new(dir).fsync(FsyncPolicy::Always))
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("deepdive-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- First life: build, run, update, checkpoint -------------------------
+    let (epoch_before, probe) = {
+        let mut dd = open(&dir)?;
+        dd.initial_run()?;
+        dd.materialize()?;
+
+        // Incremental evidence: the KB learns George and Laura are married.
+        let mut update = KbcUpdate::new();
+        update
+            .insert(
+                "EL",
+                Tuple::from_iter([Value::Int(20), Value::text("George_Bush_1")]),
+            )
+            .insert(
+                "EL",
+                Tuple::from_iter([Value::Int(21), Value::text("Laura_Bush_1")]),
+            )
+            .insert(
+                "Married",
+                Tuple::from_iter([Value::text("George_Bush_1"), Value::text("Laura_Bush_1")]),
+            );
+        dd.run_update(&update, ExecutionMode::Incremental)?;
+
+        // Roll the three WAL records into a compact checkpoint; recovery now
+        // loads the checkpoint instead of replaying from scratch.
+        let covered = dd.checkpoint()?;
+        println!(
+            "first life : epoch {}, WAL sequence {:?}, checkpoint covers {}",
+            dd.epoch(),
+            dd.last_wal_seq(),
+            covered
+        );
+
+        let probe = Tuple::from_iter([Value::Int(20), Value::Int(21)]);
+        let p = dd.snapshot().probability_of("MarriedMentions", &probe);
+        println!("first life : P(MarriedMentions(20, 21)) = {p:?}");
+        (dd.epoch(), probe)
+        // `dd` dropped here — no graceful shutdown hook exists or is needed.
+    };
+
+    // ---- Second life: same directory, recovered state ----------------------
+    let recovered = open(&dir)?;
+    let p = recovered
+        .snapshot()
+        .probability_of("MarriedMentions", &probe);
+    println!(
+        "second life: epoch {} (was {}), P(MarriedMentions(20, 21)) = {p:?}",
+        recovered.epoch(),
+        epoch_before
+    );
+    assert_eq!(recovered.epoch(), epoch_before);
+    assert_eq!(p, Some(1.0), "supervised fact must survive recovery pinned");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("recovered state matches the pre-crash state exactly");
+    Ok(())
+}

@@ -22,7 +22,7 @@ fn main() -> Result<(), EngineError> {
             .build()?;
         engine.initial_run()?;
         if mode == ExecutionMode::Incremental {
-            engine.materialize();
+            engine.materialize().unwrap();
             println!(
                 "materialized {} samples in {:.2}s",
                 engine.materialization().unwrap().num_samples,

@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .config(EngineConfig::fast())
         .build()?;
     engine.initial_run()?;
-    engine.materialize();
+    engine.materialize().unwrap();
 
     let server = Server::bind(
         "127.0.0.1:0",

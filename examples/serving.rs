@@ -25,7 +25,7 @@ fn main() -> Result<(), EngineError> {
         .config(EngineConfig::fast())
         .build()?;
     engine.initial_run()?;
-    engine.materialize();
+    engine.materialize().unwrap();
     println!(
         "initial run published epoch {} ({} catalogued variables)",
         engine.epoch(),

@@ -18,6 +18,9 @@
 //!   and the tradeoff-study graphs;
 //! * [`wire`] — the offline wire format: hand-rolled JSON and length-prefixed
 //!   framing, shared by the server and the bench tooling;
+//! * [`storage`] — durable persistence: a CRC-checked write-ahead log,
+//!   atomically-rotated checkpoint files, and the crash-recovery machinery
+//!   behind [`engine::DeepDiveBuilder::durability`];
 //! * [`server`] — the TCP front door: batched snapshot reads over a
 //!   length-prefixed JSON protocol with bounded-queue backpressure, plus the
 //!   blocking [`server::Client`].
@@ -30,6 +33,7 @@ pub use dd_grounding as grounding;
 pub use dd_inference as inference;
 pub use dd_relstore as relstore;
 pub use dd_server as server;
+pub use dd_storage as storage;
 pub use dd_wire as wire;
 pub use dd_workloads as workloads;
 pub use deepdive as engine;
@@ -43,12 +47,14 @@ pub mod prelude {
     pub use dd_inference::{GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals};
     pub use dd_relstore::{DataType, Database, RelError, Schema, Tuple, Value};
     pub use dd_server::{
-        Client, ClientError, FactQuerySpec, Op, OpResult, Server, ServerConfig, ServerStats,
+        Client, ClientError, FactQuerySpec, Op, OpResult, RetryPolicy, Server, ServerConfig,
+        ServerStats,
     };
     pub use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
     pub use deepdive::{
-        CatalogShard, CatalogShards, DeepDive, DeepDiveBuilder, EngineConfig, EngineError,
-        ExecutionMode, FactQuery, RelationIndex, Snapshot, SnapshotReader, StrategyChoice,
+        decode_snapshot, encode_snapshot, CatalogShard, CatalogShards, DeepDive, DeepDiveBuilder,
+        DurabilityConfig, EngineConfig, EngineError, ExecutionMode, FactQuery, FsyncPolicy,
+        RelationIndex, Snapshot, SnapshotReader, StorageError, StrategyChoice,
     };
 }
 

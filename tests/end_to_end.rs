@@ -63,7 +63,7 @@ fn incremental_and_rerun_extract_similar_high_confidence_facts() {
             )
             .expect("S1");
     }
-    incremental.materialize();
+    incremental.materialize().unwrap();
 
     for template in [
         RuleTemplate::FE2,
@@ -130,7 +130,7 @@ fn optimizer_choices_match_the_paper_rules_end_to_end() {
             ExecutionMode::Rerun,
         )
         .expect("FE1");
-    engine.materialize();
+    engine.materialize().unwrap();
 
     // A1 (no change) -> sampling with 100% acceptance.
     let report = engine
@@ -193,7 +193,7 @@ fn new_documents_flow_through_incremental_grounding() {
             ExecutionMode::Rerun,
         )
         .expect("S1");
-    engine.materialize();
+    engine.materialize().unwrap();
     let vars_before = engine.graph().num_variables();
 
     // Feed the held-out documents one at a time as incremental updates.

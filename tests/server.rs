@@ -231,7 +231,7 @@ fn concurrent_clients_observe_consistent_epochs_during_updates() {
 
     let mut engine = engine();
     engine.initial_run().expect("initial run");
-    engine.materialize();
+    engine.materialize().unwrap();
     let server = Server::bind("127.0.0.1:0", engine.reader(), ServerConfig::default())
         .expect("server binds");
     let addr = server.local_addr();
@@ -622,7 +622,7 @@ fn soak_concurrent_clients_with_live_updates() {
 
     let mut engine = engine();
     engine.initial_run().expect("initial run");
-    engine.materialize();
+    engine.materialize().unwrap();
     let server = Server::bind(
         "127.0.0.1:0",
         engine.reader(),

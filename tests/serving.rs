@@ -149,7 +149,7 @@ fn readers_observe_consistent_epochs_during_updates() {
 
     let mut engine = engine();
     engine.initial_run().expect("initial run");
-    engine.materialize();
+    engine.materialize().unwrap();
     let reader = engine.reader();
     let stop = AtomicBool::new(false);
     let supervised = supervised();
@@ -252,7 +252,7 @@ fn readers_observe_consistent_epochs_during_updates() {
 fn snapshots_taken_before_an_update_are_immutable() {
     let mut engine = engine();
     engine.initial_run().expect("initial run");
-    engine.materialize();
+    engine.materialize().unwrap();
     let before = engine.snapshot();
     let facts_before = before.facts("MarriedMentions").run();
 
