@@ -221,7 +221,9 @@ impl DeepDiveBuilder {
                     }
                     expected += 1;
                     let op = durability::decode_wal_op(&payload)?;
-                    engine.apply_wal_op(op);
+                    if let Err(err) = engine.apply_wal_op(op) {
+                        engine.record_replay_error(seq, &err);
+                    }
                 }
                 engine.attach_durability(handle);
                 Ok(engine)
@@ -247,9 +249,11 @@ impl DeepDiveBuilder {
                 // holds, then write the baseline checkpoint.
                 let mut engine =
                     DeepDive::from_parts(program, self.database, self.udfs, self.config)?;
-                for (_seq, payload) in tail {
+                for (seq, payload) in tail {
                     let op = durability::decode_wal_op(&payload)?;
-                    engine.apply_wal_op(op);
+                    if let Err(err) = engine.apply_wal_op(op) {
+                        engine.record_replay_error(seq, &err);
+                    }
                 }
                 engine.attach_durability(handle);
                 engine.checkpoint()?;

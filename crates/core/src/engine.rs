@@ -177,6 +177,9 @@ pub struct DeepDive {
     /// state-changing public method appends its logical operation *before*
     /// executing it, so recovery can roll the tail forward.
     durability: Option<DurabilityHandle>,
+    /// Failures recorded while replaying the WAL tail during recovery; see
+    /// [`DeepDive::recovery_replay_errors`].
+    replay_errors: Vec<String>,
 }
 
 impl std::fmt::Debug for DeepDive {
@@ -254,6 +257,7 @@ impl DeepDive {
             catalog_cache: snapshot::CatalogShards::new(),
             current: Arc::new(RwLock::new(empty)),
             durability: None,
+            replay_errors: Vec::new(),
         })
     }
 
@@ -289,6 +293,7 @@ impl DeepDive {
             catalog_cache,
             current: Arc::new(RwLock::new(Arc::new(state.snapshot))),
             durability: None,
+            replay_errors: Vec::new(),
         })
     }
 
@@ -828,28 +833,47 @@ impl DeepDive {
     /// Re-execute one logged operation during recovery.  Must run *before*
     /// the durability handle is attached so replay does not re-append.
     ///
-    /// Engine errors are swallowed deliberately: an operation that failed
+    /// An error here is usually not new information: an operation that failed
     /// when first executed (e.g. a strict-mode [`EngineError::StaleMaterialization`])
-    /// fails the same way on replay and leaves the same partial state, so the
-    /// error is not new information — it was already reported to the caller
-    /// in the original run.
-    pub(crate) fn apply_wal_op(&mut self, op: WalOp) {
+    /// fails the same way on replay and leaves the same partial state.  But if
+    /// the engine was rebuilt with a *different* UDF registry or config than
+    /// the run that wrote the log, a failure marks genuine replay divergence —
+    /// so the builder records every error into
+    /// [`DeepDive::recovery_replay_errors`] instead of discarding them.
+    pub(crate) fn apply_wal_op(&mut self, op: WalOp) -> Result<(), EngineError> {
         debug_assert!(
             self.durability.is_none(),
             "WAL replay must happen before the durability handle is attached"
         );
         match op {
-            WalOp::InitialRun => {
-                let _ = self.initial_run_inner();
+            WalOp::InitialRun => self.initial_run_inner().map(drop),
+            WalOp::Update { mode, update } => self.run_update_inner(&update, mode).map(drop),
+            WalOp::Refresh => self.refresh_inner().map(drop),
+            WalOp::Materialize => {
+                self.materialize_inner();
+                Ok(())
             }
-            WalOp::Update { mode, update } => {
-                let _ = self.run_update_inner(&update, mode);
-            }
-            WalOp::Refresh => {
-                let _ = self.refresh_inner();
-            }
-            WalOp::Materialize => self.materialize_inner(),
         }
+    }
+
+    /// Note a failed replay during recovery (builder-only).
+    pub(crate) fn record_replay_error(&mut self, seq: u64, err: &EngineError) {
+        self.replay_errors
+            .push(format!("replaying WAL record {seq}: {err}"));
+    }
+
+    /// Operations that failed while replaying the WAL tail during this
+    /// engine's recovery, as `"replaying WAL record <seq>: <error>"` lines.
+    /// Empty for in-memory engines and clean recoveries.
+    ///
+    /// A non-empty list with the *same* config and UDF registry as the
+    /// original run merely repeats errors that run already reported (replay
+    /// is deterministic, so the op failed identically then).  With a
+    /// different registry or config it signals replay divergence: operations
+    /// that originally succeeded were dropped, and the recovered state does
+    /// not match the pre-crash state.
+    pub fn recovery_replay_errors(&self) -> &[String] {
+        &self.replay_errors
     }
 
     /// Hand the engine its open WAL + checkpoint stores.  Called by the

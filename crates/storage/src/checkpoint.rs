@@ -19,7 +19,7 @@
 //! damaged checkpoint degrades to the previous one instead of to data loss.
 
 use crate::error::StorageError;
-use dd_wire::record::{read_record, write_record, MAX_RECORD_BYTES};
+use dd_wire::record::{read_record, write_record, RecordError, MAX_PAYLOAD_BYTES};
 use std::fs::{self, File};
 use std::io::Cursor;
 use std::path::{Path, PathBuf};
@@ -88,8 +88,23 @@ impl CheckpointStore {
     }
 
     /// Atomically write the checkpoint covering WAL records `..= covered_seq`.
+    ///
+    /// Payloads the record format cannot represent (longer than the u32
+    /// length prefix allows) are refused with a typed error before anything
+    /// is written; every checkpoint this method accepts is readable by
+    /// [`CheckpointStore::latest_valid`], which caps reads at the file's own
+    /// size rather than any fixed constant.
     pub fn write(&mut self, covered_seq: u64, payload: &[u8]) -> Result<PathBuf, StorageError> {
         let final_path = self.dir.join(checkpoint_name(covered_seq));
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(StorageError::Record {
+                path: final_path,
+                source: RecordError::Oversized {
+                    declared: payload.len(),
+                    max: MAX_PAYLOAD_BYTES,
+                },
+            });
+        }
         let tmp_path = self
             .dir
             .join(format!("{}.tmp", checkpoint_name(covered_seq)));
@@ -115,7 +130,13 @@ impl CheckpointStore {
             let bytes = fs::read(&path)
                 .map_err(|e| StorageError::io(format!("reading {}", path.display()), e))?;
             let mut cursor = Cursor::new(&bytes);
-            match read_record(&mut cursor, MAX_RECORD_BYTES) {
+            // Cap the read at the file's own size: a checkpoint payload
+            // JSON-encodes the full database, graph, and sample bundles, and
+            // can legitimately dwarf the 16 MiB streaming cap.  A valid
+            // record never declares more bytes than the file holding it, so
+            // this accepts everything `write` accepted while a corrupt
+            // length prefix still fails typed with bounded allocation.
+            match read_record(&mut cursor, bytes.len()) {
                 // Valid only if the record agrees with its filename and the
                 // file holds exactly one record.
                 Ok((record_seq, payload))
@@ -221,6 +242,21 @@ mod tests {
                 "cut at {cut}"
             );
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_past_the_streaming_cap_round_trip() {
+        // Regression: writes used to succeed for any u32-sized payload while
+        // `latest_valid` read with the 16 MiB streaming cap, so a large
+        // checkpoint (realistic — it JSON-encodes the full engine state) was
+        // written durably but permanently unreadable, turning into
+        // "unrecoverable corruption" once the WAL was pruned beneath it.
+        let dir = temp_dir("big");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        let big = vec![0x5Cu8; dd_wire::MAX_RECORD_BYTES + 1];
+        store.write(6, &big).unwrap();
+        assert_eq!(store.latest_valid().unwrap(), Some((6, big)));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -13,11 +13,13 @@
 //! [`Wal::open`], the log is scanned from the first segment forward and is
 //! *physically repaired*:
 //!
-//! * a record that fails its checksum, truncates mid-record, declares an
-//!   absurd length, or carries the wrong sequence number marks the torn
-//!   tail — the segment is `set_len`-truncated back to the last valid
-//!   record, and any later segments (unreachable past the tear) are
-//!   deleted;
+//! * a record that fails its checksum, truncates mid-record, declares a
+//!   length past the end of its segment, or carries the wrong sequence
+//!   number marks the torn tail — the segment is `set_len`-truncated back to
+//!   the last valid record, and any later segments (unreachable past the
+//!   tear) are deleted.  The scan's size cap is the segment's own length
+//!   (not a fixed constant), so any payload [`Wal::append`] accepted is
+//!   readable and is never misdiagnosed as damage;
 //! * everything before the tear is returned to the caller for replay.
 //!
 //! Opening is therefore idempotent: a second open of the same directory
@@ -31,7 +33,7 @@
 
 use crate::config::FsyncPolicy;
 use crate::error::StorageError;
-use dd_wire::record::{encode_record, read_record, RecordError, MAX_RECORD_BYTES};
+use dd_wire::record::{encode_record, read_record, RecordError, MAX_PAYLOAD_BYTES};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Cursor, Write};
 use std::path::{Path, PathBuf};
@@ -145,7 +147,12 @@ impl Wal {
             let mut cursor = Cursor::new(&bytes);
             let mut valid_end = 0u64;
             loop {
-                match read_record(&mut cursor, MAX_RECORD_BYTES) {
+                // Cap reads at the segment's own size: a valid record can
+                // never declare more bytes than the file that holds it, so
+                // every payload `append` accepted reads back, while a torn
+                // length prefix still fails typed (Oversized past the file,
+                // Truncated/Corrupt within it) and allocation stays bounded.
+                match read_record(&mut cursor, bytes.len()) {
                     Ok((seq, payload)) if seq == expected => {
                         expected += 1;
                         valid_end = cursor.position();
@@ -239,7 +246,21 @@ impl Wal {
     ///
     /// The record is written with a single `write` call so a crash tears at
     /// most the final record, then synced according to the [`FsyncPolicy`].
+    ///
+    /// Payloads the record format cannot represent (longer than the u32
+    /// length prefix allows) are refused with a typed error *before* any
+    /// bytes hit the file — everything this method accepts is guaranteed to
+    /// read back on recovery.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StorageError> {
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(StorageError::Record {
+                path: self.current_path.clone(),
+                source: RecordError::Oversized {
+                    declared: payload.len(),
+                    max: MAX_PAYLOAD_BYTES,
+                },
+            });
+        }
         let seq = self.next_seq;
         let encoded = encode_record(seq, payload);
         self.file
@@ -470,6 +491,27 @@ mod tests {
         assert!(recovered.is_empty());
         assert_eq!(wal.next_seq(), 1);
         assert_eq!(wal.segment_paths().unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payloads_past_the_streaming_cap_round_trip() {
+        // Regression: appends used to succeed for any u32-sized payload while
+        // recovery read with the 16 MiB streaming cap, so a large committed
+        // record (e.g. a bulk-update WAL op) was misread as a torn tail and
+        // silently truncated away along with everything after it.
+        let dir = temp_dir("bigrec");
+        let big = vec![0xA7u8; dd_wire::MAX_RECORD_BYTES + 1];
+        let (mut wal, _) = Wal::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(wal.append(&big).unwrap(), 1);
+        assert_eq!(wal.append(b"after the big one").unwrap(), 2);
+        wal.sync().unwrap();
+        drop(wal);
+        let (wal, recovered) = Wal::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0], (1, big));
+        assert_eq!(recovered[1], (2, b"after the big one".to_vec()));
+        assert_eq!(wal.next_seq(), 3);
         let _ = fs::remove_dir_all(&dir);
     }
 

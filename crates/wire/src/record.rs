@@ -43,8 +43,18 @@
 
 use std::io::{self, ErrorKind, Read, Write};
 
-/// Default cap on a single record's payload — same bound as the wire frames.
+/// Default cap on a single record's payload for *streaming* readers — the
+/// same bound as the wire frames.  Readers of trusted local files (the WAL
+/// and checkpoint stores) instead cap at the file's own size, so a durable
+/// record may legitimately exceed this.
 pub const MAX_RECORD_BYTES: usize = crate::frame::MAX_FRAME_BYTES;
+
+/// Hard ceiling on a single payload: the most the u32 length prefix can
+/// carry.  Writers enforce it ([`write_record`], and the storage layer's
+/// append/write paths with a typed error), which guarantees that any record a
+/// writer accepted can be read back by a reader whose cap is at least the
+/// containing file's size.
+pub const MAX_PAYLOAD_BYTES: usize = u32::MAX as usize;
 
 /// Bytes of header before the payload: length + checksum + sequence.
 pub const RECORD_HEADER_BYTES: usize = 4 + 4 + 8;
@@ -173,10 +183,10 @@ pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
 
 /// Write one record: length, checksum, sequence, payload.
 ///
-/// Refuses payloads longer than `u32::MAX`.  Does not flush or sync — the
-/// storage layer owns the fsync policy.
+/// Refuses payloads longer than [`MAX_PAYLOAD_BYTES`].  Does not flush or
+/// sync — the storage layer owns the fsync policy.
 pub fn write_record(writer: &mut impl Write, seq: u64, payload: &[u8]) -> io::Result<()> {
-    if u32::try_from(payload.len()).is_err() {
+    if payload.len() > MAX_PAYLOAD_BYTES {
         return Err(io::Error::new(
             ErrorKind::InvalidInput,
             format!(

@@ -576,6 +576,78 @@ fn recovery_is_idempotent_across_a_crashed_checkpoint_rotation() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn replay_divergence_from_a_changed_udf_registry_is_surfaced() {
+    use dd_grounding::{parse_rule, UdfRegistry};
+
+    // A program with no tied-weight rules, so it builds under any registry;
+    // the UDF dependency arrives later through an update.
+    const UNTIED_PROGRAM: &str = r#"
+        relation Claim(id: int, text: text) base.
+        relation Fact(id: int) variable.
+        rule F feature: Fact(id) :- Claim(id, text) weight = 1.0.
+    "#;
+    let dir = temp_dir("divergence");
+    let build = |udfs: UdfRegistry| {
+        let mut db = Database::new();
+        db.create_table(
+            "Claim",
+            Schema::of(&[("id", DataType::Int), ("text", DataType::Text)]),
+        )
+        .unwrap();
+        db.insert_all(
+            "Claim",
+            vec![Tuple::from_iter([Value::Int(1), Value::text("alpha")])],
+        )
+        .unwrap();
+        DeepDive::builder()
+            .program_text(UNTIED_PROGRAM)
+            .database(db)
+            .config(EngineConfig::fast())
+            .udfs(udfs)
+            .durability(DurabilityConfig::new(&dir))
+            .build()
+    };
+
+    // Original run: the standard registry resolves `phrase`, and the tied
+    // rule lands in the WAL only (the baseline checkpoint predates it).
+    {
+        let mut dd = build(standard_udfs()).unwrap();
+        dd.initial_run().unwrap();
+        let mut update = KbcUpdate::new();
+        update.add_rule(
+            parse_rule(
+                "rule F2 feature: Fact(id) :- Claim(id, text) weight = phrase(text, text, text).",
+            )
+            .unwrap(),
+        );
+        dd.run_update(&update, ExecutionMode::Rerun).unwrap();
+        assert!(dd.recovery_replay_errors().is_empty());
+    }
+
+    // Recovering with the same registry replays cleanly: nothing to report.
+    {
+        let dd = build(standard_udfs()).unwrap();
+        assert!(dd.recovery_replay_errors().is_empty());
+    }
+
+    // Recovering with a different registry makes the logged update
+    // un-replayable; the divergence must be surfaced, not silently dropped.
+    let dd = build(UdfRegistry::new()).unwrap();
+    let errors = dd.recovery_replay_errors();
+    assert_eq!(
+        errors.len(),
+        1,
+        "exactly the update op diverges: {errors:?}"
+    );
+    assert!(
+        errors[0].contains("phrase"),
+        "the error names the missing UDF: {}",
+        errors[0]
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 // ------------------------------------------------------------- measurement
 
 /// Prints the numbers quoted in PERFORMANCE.md ("Durability cost" section):
