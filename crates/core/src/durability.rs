@@ -33,8 +33,10 @@ use crate::snapshot::{CatalogShard, CatalogShards, Snapshot};
 use dd_factorgraph::{
     Factor, FactorGraph, FactorKind, GraphStats, Lit, Semantics, Variable, VariableRole, Weight,
 };
+use dd_grounding::grounder::GroundingRecord;
 use dd_grounding::{
-    GrounderState, KbcUpdate, Program, RelationDecl, RelationRole, Rule, RuleKind, WeightSpec,
+    CatalogOp, GrounderState, KbcUpdate, Program, RelationDecl, RelationRole, Rule, RuleKind,
+    WeightSpec,
 };
 use dd_inference::{
     DistributionChange, Marginals, SampleMaterialization, SampleSet, StrawmanMaterialization,
@@ -48,7 +50,7 @@ use dd_wire::json::{parse, Json};
 /// Format version stamped into every checkpoint payload.  Bumped whenever the
 /// encoding changes incompatibly; recovery refuses versions it does not know
 /// instead of misreading them.
-pub const CHECKPOINT_FORMAT_VERSION: u64 = 1;
+pub const CHECKPOINT_FORMAT_VERSION: u64 = 2;
 
 type R<T> = Result<T, StorageError>;
 
@@ -74,6 +76,8 @@ pub(crate) enum WalOp {
         mode: ExecutionMode,
         update: KbcUpdate,
     },
+    /// `DeepDive::retract_supervision`.
+    RetractSupervision { relation: String, tuple: Tuple },
     /// `DeepDive::refresh`.
     Refresh,
     /// `DeepDive::materialize`.
@@ -1030,19 +1034,14 @@ fn enc_grounder_state(s: &GrounderState) -> Json {
             ),
         ),
         (
-            "fresh_catalog",
+            "catalog_ops",
             Json::Array(
-                s.fresh_catalog
+                s.catalog_ops
                     .iter()
-                    .map(|(rel, entries)| {
+                    .map(|(rel, ops)| {
                         Json::Array(vec![
                             Json::String(rel.clone()),
-                            Json::Array(
-                                entries
-                                    .iter()
-                                    .map(|(t, v)| Json::Array(vec![enc_tuple(t), enc_usize(*v)]))
-                                    .collect(),
-                            ),
+                            Json::Array(ops.iter().map(enc_catalog_op).collect()),
                         ])
                     })
                     .collect(),
@@ -1056,7 +1055,14 @@ fn enc_grounder_state(s: &GrounderState) -> Json {
                     .map(|(rule, bindings)| {
                         Json::Array(vec![
                             Json::String(rule.clone()),
-                            Json::Array(bindings.iter().map(enc_tuple).collect()),
+                            Json::Array(
+                                bindings
+                                    .iter()
+                                    .map(|(t, rec)| {
+                                        Json::Array(vec![enc_tuple(t), enc_grounding_record(rec)])
+                                    })
+                                    .collect(),
+                            ),
                         ])
                     })
                     .collect(),
@@ -1071,7 +1077,79 @@ fn enc_grounder_state(s: &GrounderState) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "suppressed_labels",
+            Json::Array(
+                s.suppressed_labels
+                    .iter()
+                    .map(|(rel, t)| Json::Array(vec![Json::String(rel.clone()), enc_tuple(t)]))
+                    .collect(),
+            ),
+        ),
+        ("next_var_key", enc_u64(s.next_var_key)),
     ])
+}
+
+fn enc_catalog_op(op: &CatalogOp) -> Json {
+    match op {
+        CatalogOp::Upsert(t, v) => Json::Array(vec![
+            Json::String("upsert".into()),
+            enc_tuple(t),
+            enc_usize(*v),
+        ]),
+        CatalogOp::Remove(t) => Json::Array(vec![Json::String("remove".into()), enc_tuple(t)]),
+    }
+}
+
+fn dec_catalog_op(j: &Json, ctx: &str) -> R<CatalogOp> {
+    let e = arr_of(j, ctx)?;
+    match e.first().map(|tag| str_of(tag, ctx)).transpose()? {
+        Some("upsert") if e.len() == 3 => Ok(CatalogOp::Upsert(
+            dec_tuple(&e[1], ctx)?,
+            usize_of(&e[2], ctx)?,
+        )),
+        Some("remove") if e.len() == 2 => Ok(CatalogOp::Remove(dec_tuple(&e[1], ctx)?)),
+        _ => Err(bad(
+            ctx,
+            "catalog op is not [\"upsert\", tuple, var] or [\"remove\", tuple]",
+        )),
+    }
+}
+
+fn enc_grounding_record(rec: &GroundingRecord) -> Json {
+    obj(vec![
+        ("support", enc_i64(rec.support)),
+        (
+            "factor",
+            match rec.factor {
+                None => Json::Null,
+                Some(f) => enc_usize(f),
+            },
+        ),
+        (
+            "label",
+            match rec.label {
+                None => Json::Null,
+                Some(b) => Json::Bool(b),
+            },
+        ),
+    ])
+}
+
+fn dec_grounding_record(j: &Json, ctx: &str) -> R<GroundingRecord> {
+    let factor = match field(j, "factor", ctx)? {
+        Json::Null => None,
+        other => Some(usize_of(other, ctx)?),
+    };
+    let label = match field(j, "label", ctx)? {
+        Json::Null => None,
+        other => Some(bool_of(other, ctx)?),
+    };
+    Ok(GroundingRecord {
+        support: i64_of(field(j, "support", ctx)?, ctx)?,
+        factor,
+        label,
+    })
 }
 
 fn dec_grounder_state(j: &Json, ctx: &str) -> R<GrounderState> {
@@ -1087,46 +1165,56 @@ fn dec_grounder_state(j: &Json, ctx: &str) -> R<GrounderState> {
             usize_of(&e[2], ctx)?,
         ));
     }
-    let mut fresh_catalog = Vec::new();
-    for entry in arr_of(field(j, "fresh_catalog", ctx)?, ctx)? {
+    let mut catalog_ops = Vec::new();
+    for entry in arr_of(field(j, "catalog_ops", ctx)?, ctx)? {
         let e = arr_of(entry, ctx)?;
         if e.len() != 2 {
-            return Err(bad(ctx, "fresh_catalog entry is not [relation, entries]"));
+            return Err(bad(ctx, "catalog_ops entry is not [relation, ops]"));
         }
-        let mut entries = Vec::new();
-        for pair in arr_of(&e[1], ctx)? {
-            let p = arr_of(pair, ctx)?;
-            if p.len() != 2 {
-                return Err(bad(ctx, "fresh_catalog pair is not [tuple, var]"));
-            }
-            entries.push((dec_tuple(&p[0], ctx)?, usize_of(&p[1], ctx)?));
-        }
-        fresh_catalog.push((str_of(&e[0], ctx)?.to_string(), entries));
+        let ops = arr_of(&e[1], ctx)?
+            .iter()
+            .map(|op| dec_catalog_op(op, ctx))
+            .collect::<R<Vec<_>>>()?;
+        catalog_ops.push((str_of(&e[0], ctx)?.to_string(), ops));
     }
     let mut grounded_bindings = Vec::new();
     for entry in arr_of(field(j, "grounded_bindings", ctx)?, ctx)? {
         let e = arr_of(entry, ctx)?;
         if e.len() != 2 {
-            return Err(bad(ctx, "grounded_bindings entry is not [rule, tuples]"));
+            return Err(bad(ctx, "grounded_bindings entry is not [rule, bindings]"));
         }
-        let tuples = arr_of(&e[1], ctx)?
-            .iter()
-            .map(|t| dec_tuple(t, ctx))
-            .collect::<R<Vec<_>>>()?;
-        grounded_bindings.push((str_of(&e[0], ctx)?.to_string(), tuples));
+        let mut bindings = Vec::new();
+        for pair in arr_of(&e[1], ctx)? {
+            let p = arr_of(pair, ctx)?;
+            if p.len() != 2 {
+                return Err(bad(ctx, "grounded binding is not a [tuple, record] pair"));
+            }
+            bindings.push((dec_tuple(&p[0], ctx)?, dec_grounding_record(&p[1], ctx)?));
+        }
+        grounded_bindings.push((str_of(&e[0], ctx)?.to_string(), bindings));
     }
     let view_rules = arr_of(field(j, "view_rules", ctx)?, ctx)?
         .iter()
         .map(|r| Ok(str_of(r, ctx)?.to_string()))
         .collect::<R<Vec<_>>>()?;
+    let mut suppressed_labels = Vec::new();
+    for entry in arr_of(field(j, "suppressed_labels", ctx)?, ctx)? {
+        let e = arr_of(entry, ctx)?;
+        if e.len() != 2 {
+            return Err(bad(ctx, "suppressed label is not a [relation, tuple] pair"));
+        }
+        suppressed_labels.push((str_of(&e[0], ctx)?.to_string(), dec_tuple(&e[1], ctx)?));
+    }
     Ok(GrounderState {
         program: dec_program(field(j, "program", ctx)?, ctx)?,
         db: dec_database(field(j, "db", ctx)?, ctx)?,
         graph: dec_graph(field(j, "graph", ctx)?, ctx)?,
         var_catalog,
-        fresh_catalog,
+        catalog_ops,
         grounded_bindings,
         view_rules,
+        suppressed_labels,
+        next_var_key: u64_of(field(j, "next_var_key", ctx)?, ctx)?,
     })
 }
 
@@ -1276,11 +1364,28 @@ pub(crate) fn encode_wal_op(op: &WalOp) -> Vec<u8> {
                     Json::Array(deltas.iter().map(|(_, d)| enc_delta_relation(d)).collect()),
                 ),
                 (
+                    "retracted_supervision",
+                    Json::Array(
+                        update
+                            .retracted_supervision
+                            .iter()
+                            .map(|(rel, t)| {
+                                Json::Array(vec![Json::String(rel.clone()), enc_tuple(t)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
                     "new_rules",
                     Json::Array(update.new_rules.iter().map(enc_rule).collect()),
                 ),
             ])
         }
+        WalOp::RetractSupervision { relation, tuple } => obj(vec![
+            ("op", Json::String("retract_supervision".into())),
+            ("relation", Json::String(relation.clone())),
+            ("tuple", enc_tuple(tuple)),
+        ]),
     };
     json.encode().into_bytes()
 }
@@ -1306,11 +1411,27 @@ pub(crate) fn decode_wal_op(bytes: &[u8]) -> R<WalOp> {
                     .base_deltas
                     .insert(delta.relation().to_string(), delta);
             }
+            for entry in arr_of(field(&json, "retracted_supervision", ctx)?, ctx)? {
+                let e = arr_of(entry, ctx)?;
+                if e.len() != 2 {
+                    return Err(bad(
+                        ctx,
+                        "retracted supervision is not a [relation, tuple] pair",
+                    ));
+                }
+                update
+                    .retracted_supervision
+                    .push((str_of(&e[0], ctx)?.to_string(), dec_tuple(&e[1], ctx)?));
+            }
             for r in arr_of(field(&json, "new_rules", ctx)?, ctx)? {
                 update.new_rules.push(dec_rule(r, ctx)?);
             }
             Ok(WalOp::Update { mode, update })
         }
+        "retract_supervision" => Ok(WalOp::RetractSupervision {
+            relation: str_of(field(&json, "relation", ctx)?, ctx)?.to_string(),
+            tuple: dec_tuple(field(&json, "tuple", ctx)?, ctx)?,
+        }),
         other => Err(bad(ctx, format!("unknown WAL op `{other}`"))),
     }
 }

@@ -368,21 +368,36 @@ impl DeepDive {
         }
         self.grounder.write_back_marginals(marginals.values());
 
-        // Drain the grounder's catalog dirty-set and re-index only those
-        // shards.  Entries from a rejected earlier commit stay pending until
-        // the next successful publish, so the cache never misses growth.
+        // Drain the grounder's catalog op-log and re-index only the relations
+        // that appear in it.  Ops are recorded chronologically; netting them
+        // per tuple (last op wins) collapses remove-then-re-add churn within
+        // one publish into a single signed change per tuple.  Ops from a
+        // rejected earlier commit stay pending until the next successful
+        // publish, so the cache never misses growth or shrinkage.
         self.epoch += 1;
-        let fresh = self.grounder.take_new_catalog_entries();
+        let fresh = self.grounder.take_catalog_delta();
         let mut resharded = Vec::with_capacity(fresh.len());
-        for (relation, entries) in fresh {
+        for (relation, ops) in fresh {
+            let mut net: HashMap<Tuple, Option<usize>> = HashMap::new();
+            for op in ops {
+                match op {
+                    dd_grounding::CatalogOp::Upsert(tuple, var) => {
+                        net.insert(tuple, Some(var));
+                    }
+                    dd_grounding::CatalogOp::Remove(tuple) => {
+                        net.insert(tuple, None);
+                    }
+                }
+            }
             self.catalog_cache
-                .merge_delta(&relation, entries, self.epoch);
+                .apply_delta(&relation, net.into_iter().collect(), self.epoch);
             resharded.push(relation);
         }
-        // Self-healing backstop: grounding only ever adds catalog entries, so
-        // an entry-count mismatch means some code path bypassed the dirty-set.
-        // Fall back to the O(n) full rebuild rather than serve a snapshot
-        // that silently lacks variables.  The count itself is O(#relations).
+        // Self-healing backstop: every grounder-side catalog change is
+        // op-logged, so an entry-count mismatch means some code path bypassed
+        // the dirty-set.  Fall back to the O(n) full rebuild rather than serve
+        // a snapshot that silently lacks (or over-reports) variables.  The
+        // count itself is O(#relations).
         if self.catalog_cache.num_entries() != self.grounder.num_catalogued_variables() {
             debug_assert!(false, "catalog dirty-set missed entries; full rebuild");
             self.catalog_cache =
@@ -528,6 +543,28 @@ impl DeepDive {
         self.run_update_inner(update, mode)
     }
 
+    /// Un-pin a supervision label: the variable for `tuple` in `relation`
+    /// reverts to an open query variable and future re-derivations of the same
+    /// supervision rule no longer re-pin it.  Runs as an incremental update
+    /// (WAL-logged as its own operation), so the next published snapshot
+    /// reflects the freed variable without re-grounding.
+    pub fn retract_supervision(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<IterationReport, EngineError> {
+        if self.durability.is_some() {
+            let op = WalOp::RetractSupervision {
+                relation: relation.to_string(),
+                tuple: tuple.clone(),
+            };
+            self.log_op(&op)?;
+        }
+        let mut update = KbcUpdate::new();
+        update.retract_supervision(relation, tuple);
+        self.run_update_inner(&update, ExecutionMode::Incremental)
+    }
+
     fn run_update_inner(
         &mut self,
         update: &KbcUpdate,
@@ -547,6 +584,32 @@ impl DeepDive {
         let t0 = Instant::now();
         let incremental = self.grounder.ground_incremental(update)?;
         let grounding_secs = t0.elapsed().as_secs_f64();
+
+        // Retraction compacts the factor graph in place (swap-remove), so any
+        // stored materialization — samples and approximate factorization alike
+        // — is keyed by variable/weight ids that no longer mean the same thing.
+        // Strict incremental surfaces that as a typed error; otherwise the
+        // materialization is dropped and the update (plus all later ones,
+        // until re-materialization) is served by full Gibbs.  This never
+        // re-grounds: the grounder's own state is already O(Δ)-updated.
+        let has_retraction =
+            incremental.delta.has_removals() || !update.retracted_supervision.is_empty();
+        if has_retraction && self.materialization.is_some() {
+            if self.config.strict_incremental && mode == ExecutionMode::Incremental {
+                return Err(EngineError::StaleMaterialization {
+                    kind: StaleKind::Retraction {
+                        removed_variables: incremental.delta.removed_variables.len(),
+                        removed_factors: incremental.delta.removed_factors.len(),
+                    },
+                    materialized_epoch: self.materialized_epoch,
+                    current_epoch: self.epoch,
+                });
+            }
+            self.materialization = None;
+            self.materialized_epoch = None;
+            self.materialized_coverage = None;
+            self.cumulative_change = DistributionChange::default();
+        }
 
         // Describe the distribution change against a clone of the pre-update
         // graph (applying the same delta reproduces the grounder's ids).
@@ -623,8 +686,9 @@ impl DeepDive {
                 // change (new features or new evidence); warmstarted from the
                 // previous weights.
                 let t1 = Instant::now();
-                let needs_learning =
-                    !change.new_factors.is_empty() || !change.new_evidence.is_empty();
+                let needs_learning = !change.new_factors.is_empty()
+                    || !change.new_evidence.is_empty()
+                    || has_retraction;
                 if needs_learning {
                     let mut warm = self.learned_weights.clone();
                     warm.resize(self.grounder.graph().num_weights(), 0.0);
@@ -848,6 +912,12 @@ impl DeepDive {
         match op {
             WalOp::InitialRun => self.initial_run_inner().map(drop),
             WalOp::Update { mode, update } => self.run_update_inner(&update, mode).map(drop),
+            WalOp::RetractSupervision { relation, tuple } => {
+                let mut update = KbcUpdate::new();
+                update.retract_supervision(&relation, tuple);
+                self.run_update_inner(&update, ExecutionMode::Incremental)
+                    .map(drop)
+            }
             WalOp::Refresh => self.refresh_inner().map(drop),
             WalOp::Materialize => {
                 self.materialize_inner();

@@ -29,6 +29,16 @@ pub enum StaleKind {
         /// Weights in the graph now.
         num_weights: usize,
     },
+    /// The update retracted facts, compacting the factor graph in place.
+    /// Stored samples and the approximate factorization are keyed by
+    /// pre-compaction variable ids, so the materialization cannot interpret
+    /// the shrunken graph.
+    Retraction {
+        /// Variables removed (and compacted over) by the update.
+        removed_variables: usize,
+        /// Factors removed by the update.
+        removed_factors: usize,
+    },
 }
 
 /// Any failure raised by the DeepDive engine.
@@ -120,6 +130,14 @@ impl fmt::Display for EngineError {
                     } => write!(
                         f,
                         "materialization taken at epoch {} is stale at epoch {current_epoch}: the graph has grown to {num_variables} variables / {num_weights} weights",
+                        materialized_epoch.unwrap_or(0)
+                    )?,
+                    StaleKind::Retraction {
+                        removed_variables,
+                        removed_factors,
+                    } => write!(
+                        f,
+                        "materialization taken at epoch {} is invalidated at epoch {current_epoch}: the update retracted {removed_variables} variables / {removed_factors} factors, compacting the id space the stored samples are keyed by",
                         materialized_epoch.unwrap_or(0)
                     )?,
                 }

@@ -118,6 +118,46 @@ impl RelationIndex {
         RelationIndex { sorted: merged }
     }
 
+    /// A new index with a signed delta merged in: `Some(var)` upserts the
+    /// tuple's mapping, `None` removes it (retraction).  Same single sorted
+    /// merge as [`RelationIndex::merged_with`], so a retraction-bearing
+    /// publish still costs O(existing + Δ log Δ) for the touched shard only.
+    pub(crate) fn merged_with_changes(&self, mut delta: Vec<(Tuple, Option<usize>)>) -> Self {
+        delta.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged = Vec::with_capacity(self.sorted.len() + delta.len());
+        let mut old = self.sorted.iter().peekable();
+        let mut new = delta.into_iter().peekable();
+        loop {
+            match (old.peek(), new.peek()) {
+                (Some((ot, _)), Some((nt, _))) => match ot.cmp(nt) {
+                    std::cmp::Ordering::Less => merged.push(old.next().unwrap().clone()),
+                    std::cmp::Ordering::Greater => {
+                        let (t, change) = new.next().unwrap();
+                        if let Some(var) = change {
+                            merged.push((t, var));
+                        }
+                    }
+                    std::cmp::Ordering::Equal => {
+                        old.next();
+                        let (t, change) = new.next().unwrap();
+                        if let Some(var) = change {
+                            merged.push((t, var));
+                        }
+                    }
+                },
+                (Some(_), None) => merged.push(old.next().unwrap().clone()),
+                (None, Some(_)) => {
+                    let (t, change) = new.next().unwrap();
+                    if let Some(var) = change {
+                        merged.push((t, var));
+                    }
+                }
+                (None, None) => break,
+            }
+        }
+        RelationIndex { sorted: merged }
+    }
+
     /// Number of catalogued tuples in this relation.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -255,6 +295,50 @@ impl CatalogShards {
                     index: Arc::new(RelationIndex::from_entries(entries)),
                 },
             ),
+        }
+    }
+
+    /// Apply a signed catalog delta for one relation: `Some(var)` upserts a
+    /// tuple's mapping, `None` removes it.  Like
+    /// [`CatalogShards::merge_delta`], only the touched shard is re-indexed
+    /// and stamped `generation`; every other shard stays `Arc`-shared with
+    /// previously published epochs, so a retraction-bearing publish is still
+    /// O(Δ) in the number of touched relations.
+    pub fn apply_delta(
+        &mut self,
+        relation: &str,
+        changes: Vec<(Tuple, Option<usize>)>,
+        generation: u64,
+    ) {
+        if changes.is_empty() {
+            return;
+        }
+        match self
+            .shards
+            .binary_search_by(|s| s.relation.as_str().cmp(relation))
+        {
+            Ok(i) => {
+                let shard = &mut self.shards[i];
+                shard.index = Arc::new(shard.index.merged_with_changes(changes));
+                shard.generation = generation;
+            }
+            Err(i) => {
+                let entries: Vec<(Tuple, usize)> = changes
+                    .into_iter()
+                    .filter_map(|(t, change)| change.map(|var| (t, var)))
+                    .collect();
+                if entries.is_empty() {
+                    return;
+                }
+                self.shards.insert(
+                    i,
+                    CatalogShard {
+                        relation: relation.to_string(),
+                        generation,
+                        index: Arc::new(RelationIndex::from_entries(entries)),
+                    },
+                );
+            }
         }
     }
 

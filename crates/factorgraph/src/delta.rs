@@ -9,7 +9,15 @@
 //! * new factors (new features, new inference rules),
 //! * weight changes (re-learned or manually adjusted weights),
 //! * evidence changes (new supervision labels turning query variables into
-//!   evidence, or retracted labels turning evidence back into queries).
+//!   evidence, or retracted labels turning evidence back into queries),
+//! * factor/variable *removals* (retracted facts whose derivations vanished —
+//!   the negative half of the Z-set delta the DRed pass produces).
+//!
+//! Removals are recorded as **ordered op lists**: each id is valid at its
+//! position in the sequence, accounting for the `swap_remove` compaction moves
+//! of [`FactorGraph::remove_factor`]/[`FactorGraph::remove_variable`].
+//! Replaying a delta on a clone of the pre-update graph therefore reproduces
+//! the exact ids of the in-place update.
 
 use crate::factor::{Factor, FactorId};
 use crate::graph::FactorGraph;
@@ -47,6 +55,12 @@ pub struct GraphDelta {
     pub weight_changes: Vec<WeightChange>,
     /// Evidence-status changes to existing variables.
     pub evidence_changes: Vec<EvidenceChange>,
+    /// Factors to remove, **before** any addition, in recorded order.  Each id
+    /// is valid at its point in the sequence (`swap_remove` semantics).
+    pub removed_factors: Vec<FactorId>,
+    /// Variables to remove after factor removals, in recorded order; every
+    /// removed variable must be factor-free by then.
+    pub removed_variables: Vec<VarId>,
 }
 
 /// Reference to a variable that either already exists or is introduced by the
@@ -91,13 +105,21 @@ impl GraphDelta {
             && self.new_factors.is_empty()
             && self.weight_changes.is_empty()
             && self.evidence_changes.is_empty()
+            && self.removed_factors.is_empty()
+            && self.removed_variables.is_empty()
     }
 
-    /// True if the delta changes the *structure* of the graph (new variables or
-    /// factors) as opposed to only weights/evidence — the distinction the
-    /// rule-based optimizer of §3.3 keys on.
+    /// True if the delta retracts structure (removed factors or variables) —
+    /// the negative half of the Z-set.
+    pub fn has_removals(&self) -> bool {
+        !self.removed_factors.is_empty() || !self.removed_variables.is_empty()
+    }
+
+    /// True if the delta changes the *structure* of the graph (new or removed
+    /// variables/factors) as opposed to only weights/evidence — the distinction
+    /// the rule-based optimizer of §3.3 keys on.
     pub fn changes_structure(&self) -> bool {
-        !self.new_variables.is_empty() || !self.new_factors.is_empty()
+        !self.new_variables.is_empty() || !self.new_factors.is_empty() || self.has_removals()
     }
 
     /// True if the delta modifies evidence (new supervision labels).
@@ -110,19 +132,31 @@ impl GraphDelta {
         !self.new_weights.is_empty()
     }
 
-    /// Number of modified variables |ΔV| (new + evidence-changed).
+    /// Number of modified variables |ΔV| (new + removed + evidence-changed).
     pub fn num_modified_variables(&self) -> usize {
-        self.new_variables.len() + self.evidence_changes.len()
+        self.new_variables.len() + self.removed_variables.len() + self.evidence_changes.len()
     }
 
-    /// Number of modified factors |ΔF| (new + weight-changed).
+    /// Number of modified factors |ΔF| (new + removed + weight-changed).
     pub fn num_modified_factors(&self) -> usize {
-        self.new_factors.len() + self.weight_changes.len()
+        self.new_factors.len() + self.removed_factors.len() + self.weight_changes.len()
     }
 
     /// Apply the delta to a graph, returning the ids assigned to the new
     /// variables and factors.
+    ///
+    /// Order matters and mirrors how the grounder mutates its own graph:
+    /// removals first (factors, then variables, each list in recorded order),
+    /// then additions, then weight and evidence changes.  This makes replaying
+    /// a delta on a clone of the pre-update graph id-exact.
     pub fn apply(&self, graph: &mut FactorGraph) -> (Vec<VarId>, Vec<FactorId>) {
+        // 0. removals (ordered op lists; ids valid at each step)
+        for &f in &self.removed_factors {
+            graph.remove_factor(f);
+        }
+        for &v in &self.removed_variables {
+            graph.remove_variable(v);
+        }
         // 1. new variables
         let new_var_ids: Vec<VarId> = self
             .new_variables
@@ -157,20 +191,20 @@ impl GraphDelta {
         for wc in &self.weight_changes {
             graph.set_weight_value(wc.weight_id, wc.new_value);
         }
-        // 5. evidence changes
+        // 5. evidence changes.  Un-pinning (back to `Query`) resets the initial
+        // value to the query default so the variable is indistinguishable from
+        // one that was never evidence — required for retraction equivalence.
         for ec in &self.evidence_changes {
             let var = graph.variable_mut(ec.var);
             var.role = ec.new_role;
-            if let Some(v) = ec.new_role.fixed_value() {
-                var.initial_value = v;
-            }
+            var.initial_value = ec.new_role.fixed_value().unwrap_or(false);
         }
         (new_var_ids, new_factor_ids)
     }
 }
 
 /// Rewrite every variable reference inside a factor through `map`.
-fn remap_factor_vars(factor: &mut Factor, map: &dyn Fn(usize) -> VarId) {
+pub(crate) fn remap_factor_vars(factor: &mut Factor, map: &dyn Fn(usize) -> VarId) {
     use crate::factor::FactorKind::*;
     match &mut factor.kind {
         Conjunction(lits) => {
@@ -251,6 +285,7 @@ mod tests {
                 var: 0,
                 new_role: VariableRole::PositiveEvidence,
             }],
+            ..Default::default()
         };
         assert!(d.changes_structure());
         assert!(d.changes_evidence());
@@ -311,6 +346,64 @@ mod tests {
             }
             other => panic!("unexpected factor kind {other:?}"),
         }
+    }
+
+    #[test]
+    fn removal_delta_replays_id_exact_on_a_clone() {
+        // Build v0..v2 with f0: is_true(v0), f1: equal(v1, v2); retract f0+v0
+        // in place while recording the ops, then replay on a clone.
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(3);
+        let w = b.tied_weight("w", 1.0, false);
+        b.add_factor(Factor::is_true(w, vs[0]));
+        b.add_factor(Factor::equal(w, vs[1], vs[2]));
+        let g0 = b.build();
+
+        let mut live = g0.clone();
+        let mut delta = GraphDelta::new();
+        live.remove_factor(0);
+        delta.removed_factors.push(0);
+        live.remove_variable(0);
+        delta.removed_variables.push(0);
+        assert!(delta.has_removals());
+        assert!(delta.changes_structure());
+        assert_eq!(delta.num_modified_variables(), 1);
+        assert_eq!(delta.num_modified_factors(), 1);
+
+        let mut replayed = g0.clone();
+        replayed.apply_delta(&delta);
+        assert_eq!(replayed.num_variables(), live.num_variables());
+        assert_eq!(replayed.num_factors(), live.num_factors());
+        for v in 0..live.num_variables() {
+            assert_eq!(replayed.variable(v).relation, live.variable(v).relation);
+            assert_eq!(replayed.variable(v).key, live.variable(v).key);
+            assert_eq!(replayed.factors_of(v), live.factors_of(v));
+        }
+        for f in 0..live.num_factors() {
+            assert_eq!(replayed.factor(f).variables(), live.factor(f).variables());
+        }
+    }
+
+    #[test]
+    fn unpinning_resets_initial_value() {
+        let mut g = base_graph();
+        g.apply_delta(&GraphDelta {
+            evidence_changes: vec![EvidenceChange {
+                var: 1,
+                new_role: VariableRole::PositiveEvidence,
+            }],
+            ..Default::default()
+        });
+        assert!(g.variable(1).initial_value);
+        g.apply_delta(&GraphDelta {
+            evidence_changes: vec![EvidenceChange {
+                var: 1,
+                new_role: VariableRole::Query,
+            }],
+            ..Default::default()
+        });
+        assert!(!g.variable(1).initial_value);
+        assert_eq!(g.variable(1).role, VariableRole::Query);
     }
 
     #[test]

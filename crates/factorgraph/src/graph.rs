@@ -28,7 +28,7 @@ pub struct GraphStats {
 /// This is the *mutable build/delta* representation: grounding appends to it
 /// and learning rewrites its weights.  Samplers run on the compiled
 /// [`crate::FlatGraph`] produced by [`FactorGraph::compile`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FactorGraph {
     variables: Vec<Variable>,
     factors: Vec<Factor>,
@@ -304,6 +304,93 @@ impl FactorGraph {
         components
     }
 
+    // -------------------------------------------------------------- retraction
+
+    /// Remove a factor, keeping the factor store dense via `swap_remove`.
+    ///
+    /// The factor is detached from its variables' adjacency lists.  If another
+    /// factor occupied the last slot, it is moved into the freed id and every
+    /// adjacency entry pointing at its old id is patched (lists stay sorted).
+    /// Returns the *previous* id of the moved factor (`Some(old_last)`), or
+    /// `None` if the removed factor was itself last — callers that track
+    /// factors by id (the grounder, delta replay) use this to follow the move.
+    pub fn remove_factor(&mut self, f: FactorId) -> Option<FactorId> {
+        assert!(f < self.factors.len(), "remove_factor: unknown factor {f}");
+        let mut vars = self.factors[f].variables();
+        vars.sort_unstable();
+        vars.dedup();
+        for v in vars {
+            self.adjacency[v].retain(|&g| g != f);
+        }
+        let last = self.factors.len() - 1;
+        self.factors.swap_remove(f);
+        if f == last {
+            return None;
+        }
+        // The factor formerly at `last` now lives at `f`: patch adjacency.
+        let mut moved_vars = self.factors[f].variables();
+        moved_vars.sort_unstable();
+        moved_vars.dedup();
+        for v in moved_vars {
+            for g in self.adjacency[v].iter_mut() {
+                if *g == last {
+                    *g = f;
+                }
+            }
+            self.adjacency[v].sort_unstable();
+        }
+        Some(last)
+    }
+
+    /// Remove a variable with no incident factors, keeping the variable store
+    /// dense via `swap_remove`.  Panics if factors still touch it — detach them
+    /// with [`FactorGraph::remove_factor`] first (retraction bugs fail loudly).
+    ///
+    /// If another variable occupied the last slot it is moved into the freed
+    /// id; its `id` field, its factors' literal references, and the
+    /// `(relation, key)` index are all patched.  Returns the moved variable's
+    /// previous id (`Some(old_last)`), or `None` if the removed variable was
+    /// last.
+    pub fn remove_variable(&mut self, v: VarId) -> Option<VarId> {
+        assert!(
+            v < self.variables.len(),
+            "remove_variable: unknown variable {v}"
+        );
+        assert!(
+            self.adjacency[v].is_empty(),
+            "remove_variable: variable {v} still has incident factors"
+        );
+        let origin = (self.variables[v].relation.clone(), self.variables[v].key);
+        if self.var_index.get(&origin) == Some(&v) {
+            self.var_index.remove(&origin);
+        }
+        let last = self.variables.len() - 1;
+        self.variables.swap_remove(v);
+        self.adjacency.swap_remove(v);
+        if v == last {
+            return None;
+        }
+        // The variable formerly at `last` now lives at `v`.
+        self.variables[v].id = v;
+        let moved_origin = (self.variables[v].relation.clone(), self.variables[v].key);
+        if let Some(e) = self.var_index.get_mut(&moved_origin) {
+            if *e == last {
+                *e = v;
+            }
+        }
+        let adj: Vec<FactorId> = self.adjacency[v].clone();
+        for f in adj {
+            crate::delta::remap_factor_vars(&mut self.factors[f], &|slot| {
+                if slot == last {
+                    v
+                } else {
+                    slot
+                }
+            });
+        }
+        Some(last)
+    }
+
     /// Apply a [`GraphDelta`], returning the ids of the newly created variables
     /// and factors.  See [`GraphDelta::apply`] for the semantics of each change.
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> (Vec<VarId>, Vec<FactorId>) {
@@ -571,6 +658,90 @@ mod tests {
         let p = g.exact_marginal(q);
         let expected = (expected_w).exp() / ((expected_w).exp() + (-expected_w).exp());
         assert!((p - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_factor_compacts_and_patches_adjacency() {
+        // f0: is_true(v0), f1: equal(v0, v1), f2: is_true(v1)
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(2);
+        let w = b.tied_weight("w", 1.0, false);
+        b.add_factor(Factor::is_true(w, vs[0]));
+        b.add_factor(Factor::equal(w, vs[0], vs[1]));
+        b.add_factor(Factor::is_true(w, vs[1]));
+        let mut g = b.build();
+
+        // Removing f0 moves f2 into slot 0.
+        assert_eq!(g.remove_factor(0), Some(2));
+        assert_eq!(g.num_factors(), 2);
+        assert!(matches!(g.factor(0).kind, FactorKind::IsTrue(1)));
+        assert_eq!(g.factors_of(0), &[1]);
+        assert_eq!(g.factors_of(1), &[0, 1]);
+
+        // Removing the last factor moves nothing.
+        assert_eq!(g.remove_factor(1), None);
+        assert_eq!(g.num_factors(), 1);
+        assert_eq!(g.factors_of(0), &[] as &[FactorId]);
+        assert_eq!(g.factors_of(1), &[0]);
+    }
+
+    #[test]
+    fn remove_variable_compacts_and_remaps_moved_factors() {
+        let mut g = FactorGraph::new();
+        let v0 = g.add_variable(Variable::query(0).with_origin("R", 0));
+        let v1 = g.add_variable(Variable::query(0).with_origin("R", 1));
+        let v2 = g.add_variable(Variable::query(0).with_origin("S", 0));
+        let w = g.add_weight(Weight::learnable(0, 1.0, "w"));
+        let f = g.add_factor(Factor::equal(w, v1, v2));
+
+        // v0 is isolated; removing it moves v2 into slot 0.
+        assert_eq!(g.remove_variable(v0), Some(2));
+        assert_eq!(g.num_variables(), 2);
+        assert_eq!(g.variable(0).relation, "S");
+        assert_eq!(g.variable(0).id, 0);
+        assert_eq!(g.find_variable("S", 0), Some(0));
+        assert_eq!(g.find_variable("R", 0), None);
+        assert_eq!(g.find_variable("R", 1), Some(1));
+        // The factor's reference to old id 2 was remapped to 0.
+        let mut vars = g.factor(f).variables();
+        vars.sort_unstable();
+        assert_eq!(vars, vec![0, 1]);
+        assert_eq!(g.factors_of(0), &[f]);
+        assert_eq!(g.factors_of(1), &[f]);
+    }
+
+    #[test]
+    #[should_panic(expected = "still has incident factors")]
+    fn remove_variable_with_factors_panics() {
+        let mut g = chain();
+        g.remove_variable(0);
+    }
+
+    #[test]
+    fn remove_then_rebuild_matches_fresh_graph_energy() {
+        // Retract a factor+variable, then check energies equal a graph never
+        // containing them (same remaining structure, possibly different ids).
+        let mut b = FactorGraphBuilder::new();
+        let vs = b.add_query_variables(3);
+        let w = b.tied_weight("w", 0.8, false);
+        b.add_factor(Factor::is_true(w, vs[0]));
+        b.add_factor(Factor::equal(w, vs[1], vs[2]));
+        let mut g = b.build();
+        g.remove_factor(0);
+        g.remove_variable(0);
+
+        let mut b2 = FactorGraphBuilder::new();
+        let us = b2.add_query_variables(2);
+        let w2 = b2.tied_weight("w", 0.8, false);
+        b2.add_factor(Factor::equal(w2, us[0], us[1]));
+        let fresh = b2.build();
+
+        assert_eq!(g.num_variables(), fresh.num_variables());
+        assert_eq!(g.num_factors(), fresh.num_factors());
+        for v in 0..g.num_variables() {
+            assert!((g.exact_marginal(v) - 0.5).abs() < 1e-12);
+        }
+        assert!((fresh.exact_marginal(0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

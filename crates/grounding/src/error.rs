@@ -76,6 +76,12 @@ pub enum GroundingError {
     Program(ProgramError),
     /// A rule evaluation failed inside the relational substrate.
     Relational(RelError),
+    /// A retraction could not be applied incrementally: the update implies
+    /// removing a grounding the grounder has no record of, or drives a
+    /// binding's derivation support negative (deleting tuples that were never
+    /// inserted).  A deletion is never silently dropped — it either retracts
+    /// cleanly or surfaces here.
+    Retraction { rule: String, detail: String },
 }
 
 impl fmt::Display for GroundingError {
@@ -83,6 +89,9 @@ impl fmt::Display for GroundingError {
         match self {
             GroundingError::Program(e) => write!(f, "invalid program: {e}"),
             GroundingError::Relational(e) => write!(f, "rule evaluation failed: {e}"),
+            GroundingError::Retraction { rule, detail } => {
+                write!(f, "cannot retract grounding of rule `{rule}`: {detail}")
+            }
         }
     }
 }
@@ -92,6 +101,7 @@ impl std::error::Error for GroundingError {
         match self {
             GroundingError::Program(e) => Some(e),
             GroundingError::Relational(e) => Some(e),
+            GroundingError::Retraction { .. } => None,
         }
     }
 }

@@ -12,12 +12,12 @@ use crate::error::{GroundingError, ProgramError};
 use crate::program::{Program, RelationRole};
 use crate::udf::UdfRegistry;
 use dd_factorgraph::{
-    Factor, FactorGraph, FactorKind, Lit, Semantics, VarId, Variable, VariableRole, Weight,
-    WeightId,
+    EvidenceChange, Factor, FactorGraph, FactorId, FactorKind, Lit, Semantics, VarId, Variable,
+    VariableRole, Weight, WeightId,
 };
 use dd_relstore::view::Term;
 use dd_relstore::{Database, MaterializedView, RelError, Tuple, Value};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Summary of one grounding run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -30,6 +30,65 @@ pub struct GroundingResult {
     pub groundings_per_rule: HashMap<String, usize>,
 }
 
+/// One operation against a relation's published catalog shard.  The grounder
+/// emits these in chronological order; the publisher nets them per tuple
+/// (last op wins) and re-indexes only the relations that appear — the same
+/// O(Δ) contract the grow-only dirty-set had, extended with removals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogOp {
+    /// The tuple maps to this variable id (new variable, or an existing
+    /// variable whose id moved during compaction).
+    Upsert(Tuple, VarId),
+    /// The tuple's variable was retracted.
+    Remove(Tuple),
+}
+
+/// Book-keeping for one grounded binding of a weighted or supervision rule.
+///
+/// `support` counts the binding's derivations in the rule's body query —
+/// the Z-set multiplicity.  Positive deltas raise it, negative deltas lower
+/// it; at zero the grounding's artifacts (factor or label) are retracted.
+/// Driving it below zero is a typed [`GroundingError::Retraction`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundingRecord {
+    pub support: i64,
+    /// The factor this grounding created (weighted rules).  Kept current
+    /// across `swap_remove` compaction moves.
+    pub factor: Option<FactorId>,
+    /// The label this grounding contributed (supervision rules); `None` when
+    /// the head's supervision is suppressed by `retract_supervision`.
+    pub label: Option<bool>,
+}
+
+/// Per-variable usage counters, keyed by the stable `(relation, tuple)`
+/// identity (never by `VarId`, which moves under compaction).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VarUse {
+    /// Grounding records referencing the variable (head or body).
+    pub refs: i64,
+    /// Grounding records whose *head* is this variable.
+    pub head_refs: i64,
+    /// Positive supervision labels currently attached.
+    pub pos_labels: i64,
+    /// Negative supervision labels currently attached.
+    pub neg_labels: i64,
+}
+
+impl VarUse {
+    /// The role the label counts imply: negative evidence dominates positive
+    /// (a deliberate, order-independent policy — last-writer-wins would make
+    /// incremental and from-scratch grounding diverge on conflicting labels).
+    pub fn role(&self) -> VariableRole {
+        if self.neg_labels > 0 {
+            VariableRole::NegativeEvidence
+        } else if self.pos_labels > 0 {
+            VariableRole::PositiveEvidence
+        } else {
+            VariableRole::Query
+        }
+    }
+}
+
 /// The grounding engine.
 pub struct Grounder {
     pub(crate) program: Program,
@@ -38,15 +97,31 @@ pub struct Grounder {
     pub(crate) graph: FactorGraph,
     /// (relation, tuple) → variable id.
     pub(crate) var_catalog: HashMap<(String, Tuple), VarId>,
-    /// Catalog entries created since the last [`Grounder::take_new_catalog_entries`]
+    /// Catalog ops recorded since the last [`Grounder::take_catalog_delta`]
     /// drain, grouped per relation — the dirty-set a sharded snapshot publish
-    /// consumes to re-index only the relations that actually grew.
-    pub(crate) fresh_catalog: BTreeMap<String, Vec<(Tuple, VarId)>>,
-    /// weight description → weight id.
+    /// consumes to re-index only the relations that actually changed.
+    pub(crate) fresh_catalog: BTreeMap<String, Vec<CatalogOp>>,
+    /// weight description → weight id, covering only weights with at least one
+    /// referencing factor.  Orphaned weight slots stay in the graph (learned
+    /// weight vectors are indexed by `WeightId`) but leave the catalog.
     pub(crate) weight_catalog: HashMap<String, WeightId>,
-    /// rule name → set of body-query bindings already grounded (prevents
-    /// duplicate factors across incremental runs).
-    pub(crate) grounded_bindings: HashMap<String, HashSet<Tuple>>,
+    /// rule name → grounded body-query bindings with their support records.
+    /// `BTreeMap` so retraction sweeps are deterministic per seed.
+    pub(crate) grounded_bindings: HashMap<String, BTreeMap<Tuple, GroundingRecord>>,
+    /// Per-variable reference/label counters, keyed by stable identity.
+    pub(crate) var_use: HashMap<(String, Tuple), VarUse>,
+    /// factor id → (rule, binding) that owns it, kept current across
+    /// compaction moves; the inverse of `GroundingRecord::factor`.
+    pub(crate) factor_owners: HashMap<FactorId, (String, Tuple)>,
+    /// weight id → number of referencing factors.
+    pub(crate) weight_use: HashMap<WeightId, i64>,
+    /// Heads whose supervision labels are suppressed (sticky): existing labels
+    /// were un-pinned and future labels are recorded but not applied.
+    pub(crate) suppressed_labels: BTreeSet<(String, Tuple)>,
+    /// Monotonic origin-key counter for new variables.  Never reused after a
+    /// removal, so `(relation, key)` origins stay unique for the graph's
+    /// lifetime (a catalog-length counter would collide after shrinkage).
+    pub(crate) next_var_key: u64,
     /// Materialized views for candidate-mapping rules (incremental maintenance).
     pub(crate) candidate_views: HashMap<String, MaterializedView>,
 }
@@ -70,6 +145,11 @@ impl Grounder {
             fresh_catalog: BTreeMap::new(),
             weight_catalog: HashMap::new(),
             grounded_bindings: HashMap::new(),
+            var_use: HashMap::new(),
+            factor_owners: HashMap::new(),
+            weight_use: HashMap::new(),
+            suppressed_labels: BTreeSet::new(),
+            next_var_key: 0,
             candidate_views: HashMap::new(),
         })
     }
@@ -123,15 +203,17 @@ impl Grounder {
         self.var_catalog.len()
     }
 
-    /// Drain the catalog entries created since the last drain, grouped by
+    /// Drain the catalog ops recorded since the last drain, grouped by
     /// relation in sorted order.  The keys are exactly the relations a
     /// publisher must re-index — every other relation's index is unchanged —
     /// which is what makes snapshot publication O(Δ) instead of O(catalog).
-    pub fn take_new_catalog_entries(&mut self) -> BTreeMap<String, Vec<(Tuple, VarId)>> {
+    /// Ops within a relation are chronological; netting them per tuple
+    /// (last op wins) yields the upserts and removals to apply.
+    pub fn take_catalog_delta(&mut self) -> BTreeMap<String, Vec<CatalogOp>> {
         std::mem::take(&mut self.fresh_catalog)
     }
 
-    /// Weight id for a tying key, if known.
+    /// Weight id for a tying key, if it has at least one live factor.
     pub fn weight_for(&self, description: &str) -> Option<WeightId> {
         self.weight_catalog.get(description).copied()
     }
@@ -142,6 +224,17 @@ impl Grounder {
             .get(rule)
             .map(|s| s.len())
             .unwrap_or(0)
+    }
+
+    /// The support record of one grounded binding, if any.
+    pub fn grounding_record(&self, rule: &str, binding: &Tuple) -> Option<&GroundingRecord> {
+        self.grounded_bindings.get(rule)?.get(binding)
+    }
+
+    /// True if supervision labels on this head are suppressed.
+    pub fn is_supervision_suppressed(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.suppressed_labels
+            .contains(&(relation.to_string(), tuple.clone()))
     }
 
     // ---------------------------------------------------------------- grounding
@@ -186,10 +279,13 @@ impl Grounder {
     pub fn ground_rule(&mut self, rule: &Rule) -> Result<usize, RelError> {
         let query = rule.body_query();
         let bindings = query.evaluate(&self.db)?;
-        let tuples: Vec<Tuple> = bindings.iter().cloned().collect();
+        let tuples: Vec<(Tuple, i64)> = bindings
+            .iter_counted()
+            .map(|(t, c)| (t.clone(), c))
+            .collect();
         let mut new_groundings = 0usize;
-        for binding in tuples {
-            if self.ground_binding(rule, &binding)? {
+        for (binding, count) in tuples {
+            if self.ground_binding_counted(rule, &binding, count)? {
                 new_groundings += 1;
             }
         }
@@ -224,8 +320,22 @@ impl Grounder {
     /// Ground one body-query binding of a weighted/supervision rule.  Returns
     /// `false` if the binding was grounded before.
     pub fn ground_binding(&mut self, rule: &Rule, binding: &Tuple) -> Result<bool, RelError> {
-        let already = self.grounded_bindings.entry(rule.name.clone()).or_default();
-        if !already.insert(binding.clone()) {
+        self.ground_binding_counted(rule, binding, 1)
+    }
+
+    /// [`Grounder::ground_binding`] with an explicit derivation count, which
+    /// becomes the new record's retraction support.
+    pub fn ground_binding_counted(
+        &mut self,
+        rule: &Rule,
+        binding: &Tuple,
+        count: i64,
+    ) -> Result<bool, RelError> {
+        if self
+            .grounded_bindings
+            .get(&rule.name)
+            .is_some_and(|m| m.contains_key(binding))
+        {
             return Ok(false);
         }
 
@@ -241,16 +351,29 @@ impl Grounder {
         // Resolve the head tuple and its variable.
         let head_tuple = Self::instantiate_atom_tuple(&rule.head.terms, &value_of);
         let head_var = self.var_for_tuple(&rule.head.relation, &head_tuple);
+        let head_key = (rule.head.relation.clone(), head_tuple.clone());
+
+        let mut record = GroundingRecord {
+            support: count.max(1),
+            factor: None,
+            label: None,
+        };
 
         match (&rule.kind, &rule.weight) {
             (RuleKind::Supervision, WeightSpec::Label(polarity)) => {
-                let var = self.graph.variable_mut(head_var);
-                var.role = if *polarity {
-                    VariableRole::PositiveEvidence
-                } else {
-                    VariableRole::NegativeEvidence
-                };
-                var.initial_value = *polarity;
+                if !self.suppressed_labels.contains(&head_key) {
+                    record.label = Some(*polarity);
+                    let usage = self.var_use.entry(head_key.clone()).or_default();
+                    if *polarity {
+                        usage.pos_labels += 1;
+                    } else {
+                        usage.neg_labels += 1;
+                    }
+                    let role = usage.role();
+                    let var = self.graph.variable_mut(head_var);
+                    var.role = role;
+                    var.initial_value = role.fixed_value().unwrap_or(false);
+                }
             }
             _ => {
                 let weight_id = self.weight_for_rule(rule, &value_of);
@@ -267,9 +390,24 @@ impl Grounder {
                     }
                 }
                 let factor = Self::make_factor(weight_id, body_lits, head_var, rule.semantics);
-                self.graph.add_factor(factor);
+                let fid = self.graph.add_factor(factor);
+                record.factor = Some(fid);
+                self.factor_owners
+                    .insert(fid, (rule.name.clone(), binding.clone()));
+                *self.weight_use.entry(weight_id).or_insert(0) += 1;
             }
         }
+
+        // Reference counting by stable identity, for retraction.
+        for key in Self::record_var_keys(&self.program, rule, binding) {
+            self.var_use.entry(key).or_default().refs += 1;
+        }
+        self.var_use.entry(head_key).or_default().head_refs += 1;
+
+        self.grounded_bindings
+            .entry(rule.name.clone())
+            .or_default()
+            .insert(binding.clone(), record);
 
         // Make sure the head tuple exists in its relation so error-analysis
         // queries can see it.
@@ -279,6 +417,40 @@ impl Grounder {
             }
         }
         Ok(true)
+    }
+
+    /// The distinct `(relation, tuple)` variable identities a grounding of
+    /// `rule` under `binding` references: the head plus every body atom over a
+    /// variable relation.  Sorted and deduplicated, so live bookkeeping and
+    /// state reconstruction count identically.
+    pub(crate) fn record_var_keys(
+        program: &Program,
+        rule: &Rule,
+        binding: &Tuple,
+    ) -> Vec<(String, Tuple)> {
+        let projection_vars = rule.projection_vars();
+        let value_of = |var: &str| -> Value {
+            projection_vars
+                .iter()
+                .position(|v| v == var)
+                .and_then(|i| binding.get(i).cloned())
+                .unwrap_or(Value::Null)
+        };
+        let mut keys = vec![(
+            rule.head.relation.clone(),
+            Self::instantiate_atom_tuple(&rule.head.terms, &value_of),
+        )];
+        for atom in &rule.body {
+            if program.role_of(&atom.relation) == RelationRole::Variable {
+                keys.push((
+                    atom.relation.clone(),
+                    Self::instantiate_atom_tuple(&atom.terms, &value_of),
+                ));
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
     }
 
     /// Build the factor for one grounding.  With Linear semantics (or an empty
@@ -334,14 +506,16 @@ impl Grounder {
         if let Some(&v) = self.var_catalog.get(&key) {
             return v;
         }
+        let origin_key = self.next_var_key;
+        self.next_var_key += 1;
         let id = self
             .graph
-            .add_variable(Variable::query(0).with_origin(relation, self.var_catalog.len() as u64));
+            .add_variable(Variable::query(0).with_origin(relation, origin_key));
         self.var_catalog.insert(key, id);
         self.fresh_catalog
             .entry(relation.to_string())
             .or_default()
-            .push((tuple.clone(), id));
+            .push(CatalogOp::Upsert(tuple.clone(), id));
         id
     }
 
@@ -441,6 +615,88 @@ impl Grounder {
         }
     }
 
+    /// Permanently suppress supervision for one head tuple and un-pin any
+    /// labels it already carries.
+    ///
+    /// The suppression is *sticky*: the head joins `suppressed_labels`, so
+    /// labels from supervision-rule groundings that arrive later (including a
+    /// from-scratch rebuild replaying the same updates) are recorded with
+    /// `label: None` and never pin the variable.  Existing label-carrying
+    /// records have their label taken and the usage counters decremented; if
+    /// the variable's implied role changes, it is updated in place and the
+    /// corresponding [`EvidenceChange`] is returned so callers can replay the
+    /// transition through a [`dd_factorgraph::GraphDelta`].
+    pub fn apply_supervision_retraction(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+    ) -> Vec<EvidenceChange> {
+        let head_key = (relation.to_string(), tuple.clone());
+        self.suppressed_labels.insert(head_key.clone());
+
+        let mut pos_cleared = 0i64;
+        let mut neg_cleared = 0i64;
+        let supervision_rules: Vec<Rule> = self
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.kind == RuleKind::Supervision && r.head.relation == relation)
+            .cloned()
+            .collect();
+        for rule in &supervision_rules {
+            let Some(records) = self.grounded_bindings.get_mut(&rule.name) else {
+                continue;
+            };
+            let projection_vars = rule.projection_vars();
+            for (binding, record) in records.iter_mut() {
+                if record.label.is_none() {
+                    continue;
+                }
+                let value_of = |var: &str| -> Value {
+                    projection_vars
+                        .iter()
+                        .position(|v| v == var)
+                        .and_then(|i| binding.get(i).cloned())
+                        .unwrap_or(Value::Null)
+                };
+                let head_tuple = Self::instantiate_atom_tuple(&rule.head.terms, &value_of);
+                if head_tuple != *tuple {
+                    continue;
+                }
+                match record.label.take() {
+                    Some(true) => pos_cleared += 1,
+                    Some(false) => neg_cleared += 1,
+                    None => unreachable!(),
+                }
+            }
+        }
+
+        if pos_cleared > 0 || neg_cleared > 0 {
+            if let Some(usage) = self.var_use.get_mut(&head_key) {
+                usage.pos_labels -= pos_cleared;
+                usage.neg_labels -= neg_cleared;
+            }
+        }
+        let role = self
+            .var_use
+            .get(&head_key)
+            .map(VarUse::role)
+            .unwrap_or(VariableRole::Query);
+        let mut changes = Vec::new();
+        if let Some(&var) = self.var_catalog.get(&head_key) {
+            let v = self.graph.variable_mut(var);
+            if v.role != role {
+                v.role = role;
+                v.initial_value = role.fixed_value().unwrap_or(false);
+                changes.push(EvidenceChange {
+                    var,
+                    new_role: role,
+                });
+            }
+        }
+        changes
+    }
+
     // ------------------------------------------------------------- persistence
 
     /// Export every piece of grounder state a checkpoint must carry, in
@@ -459,16 +715,20 @@ impl Grounder {
             .map(|((rel, tuple), &var)| (rel.clone(), tuple.clone(), var))
             .collect();
         var_catalog.sort();
-        let mut grounded_bindings: Vec<(String, Vec<Tuple>)> = self
+        let mut grounded_bindings: Vec<(String, Vec<(Tuple, GroundingRecord)>)> = self
             .grounded_bindings
             .iter()
-            .map(|(rule, set)| {
-                let mut tuples: Vec<Tuple> = set.iter().cloned().collect();
-                tuples.sort();
-                (rule.clone(), tuples)
+            .map(|(rule, records)| {
+                (
+                    rule.clone(),
+                    records
+                        .iter()
+                        .map(|(t, r)| (t.clone(), r.clone()))
+                        .collect(),
+                )
             })
             .collect();
-        grounded_bindings.sort();
+        grounded_bindings.sort_by(|a, b| a.0.cmp(&b.0));
         let mut view_rules: Vec<String> = self.candidate_views.keys().cloned().collect();
         view_rules.sort();
         GrounderState {
@@ -476,28 +736,81 @@ impl Grounder {
             db: self.db.clone(),
             graph: self.graph.clone(),
             var_catalog,
-            fresh_catalog: self
+            catalog_ops: self
                 .fresh_catalog
                 .iter()
-                .map(|(rel, entries)| (rel.clone(), entries.clone()))
+                .map(|(rel, ops)| (rel.clone(), ops.clone()))
                 .collect(),
             grounded_bindings,
             view_rules,
+            suppressed_labels: self.suppressed_labels.iter().cloned().collect(),
+            next_var_key: self.next_var_key,
         }
     }
 
     /// Rebuild a grounder from exported state plus a (re-supplied) UDF
-    /// registry.  The weight catalog is reconstructed from the graph's weight
-    /// descriptions — `Grounder::weight_descriptor` guarantees description
-    /// and catalog key coincide — and candidate views are re-materialized
-    /// from the restored database.
+    /// registry.
+    ///
+    /// Derived bookkeeping is reconstructed rather than persisted: the weight
+    /// catalog and per-weight refcounts come from scanning the graph's factors
+    /// (so orphaned weight slots stay out of the catalog), per-variable usage
+    /// counters are recomputed from the grounding records via
+    /// `Grounder::record_var_keys` (the same computation live bookkeeping
+    /// uses), and candidate views are re-materialized from the restored
+    /// database.
     pub fn from_state(state: GrounderState, udfs: UdfRegistry) -> Result<Self, GroundingError> {
+        // Per-weight refcounts and the live-weight catalog, from the factors.
+        let mut weight_use: HashMap<WeightId, i64> = HashMap::new();
+        for factor in state.graph.factors() {
+            *weight_use.entry(factor.weight_id).or_insert(0) += 1;
+        }
         let weight_catalog: HashMap<String, WeightId> = state
             .graph
             .weights()
             .iter()
+            .filter(|w| weight_use.get(&w.id).copied().unwrap_or(0) > 0)
             .map(|w| (w.description.clone(), w.id))
             .collect();
+        // Per-variable usage and factor ownership, from the records.
+        let mut var_use: HashMap<(String, Tuple), VarUse> = HashMap::new();
+        let mut factor_owners: HashMap<FactorId, (String, Tuple)> = HashMap::new();
+        for (rule_name, records) in &state.grounded_bindings {
+            let rule = state
+                .program
+                .rules
+                .iter()
+                .find(|r| r.name == *rule_name)
+                .ok_or(GroundingError::Program(ProgramError::UnknownRule {
+                    rule: rule_name.clone(),
+                }))?;
+            for (binding, record) in records {
+                for key in Self::record_var_keys(&state.program, rule, binding) {
+                    var_use.entry(key).or_default().refs += 1;
+                }
+                let projection_vars = rule.projection_vars();
+                let value_of = |var: &str| -> Value {
+                    projection_vars
+                        .iter()
+                        .position(|v| v == var)
+                        .and_then(|i| binding.get(i).cloned())
+                        .unwrap_or(Value::Null)
+                };
+                let head_key = (
+                    rule.head.relation.clone(),
+                    Self::instantiate_atom_tuple(&rule.head.terms, &value_of),
+                );
+                let usage = var_use.entry(head_key).or_default();
+                usage.head_refs += 1;
+                match record.label {
+                    Some(true) => usage.pos_labels += 1,
+                    Some(false) => usage.neg_labels += 1,
+                    None => {}
+                }
+                if let Some(fid) = record.factor {
+                    factor_owners.insert(fid, (rule_name.clone(), binding.clone()));
+                }
+            }
+        }
         let mut grounder = Grounder {
             program: state.program,
             db: state.db,
@@ -508,13 +821,18 @@ impl Grounder {
                 .into_iter()
                 .map(|(rel, tuple, var)| ((rel, tuple), var))
                 .collect(),
-            fresh_catalog: state.fresh_catalog.into_iter().collect(),
+            fresh_catalog: state.catalog_ops.into_iter().collect(),
             weight_catalog,
             grounded_bindings: state
                 .grounded_bindings
                 .into_iter()
-                .map(|(rule, tuples)| (rule, tuples.into_iter().collect()))
+                .map(|(rule, records)| (rule, records.into_iter().collect()))
                 .collect(),
+            var_use,
+            factor_owners,
+            weight_use,
+            suppressed_labels: state.suppressed_labels.into_iter().collect(),
+            next_var_key: state.next_var_key,
             candidate_views: HashMap::new(),
         };
         for rule_name in state.view_rules {
@@ -544,12 +862,17 @@ pub struct GrounderState {
     pub graph: FactorGraph,
     /// `(relation, tuple, variable id)`, sorted.
     pub var_catalog: Vec<(String, Tuple, VarId)>,
-    /// Undrained dirty catalog entries, per relation (sorted by relation).
-    pub fresh_catalog: Vec<(String, Vec<(Tuple, VarId)>)>,
-    /// Rule name → sorted bindings already grounded.
-    pub grounded_bindings: Vec<(String, Vec<Tuple>)>,
+    /// Undrained catalog ops, per relation (sorted by relation, chronological
+    /// within a relation).
+    pub catalog_ops: Vec<(String, Vec<CatalogOp>)>,
+    /// Rule name → sorted bindings already grounded, with support records.
+    pub grounded_bindings: Vec<(String, Vec<(Tuple, GroundingRecord)>)>,
     /// Names of candidate-mapping rules with a materialized view.
     pub view_rules: Vec<String>,
+    /// Heads with suppressed supervision, sorted.
+    pub suppressed_labels: Vec<(String, Tuple)>,
+    /// Monotonic origin-key counter for new variables.
+    pub next_var_key: u64,
 }
 
 #[cfg(test)]

@@ -1,42 +1,56 @@
-//! Incremental grounding (paper §3.1).
+//! Incremental grounding with retraction (paper §3.1).
 //!
-//! A KBC iteration changes the input data (new documents, new labels) and/or the
-//! program (new feature-extraction, supervision, or inference rules).  Incremental
-//! grounding turns such a [`KbcUpdate`] into the factor-graph delta (ΔV, ΔF) that
-//! incremental inference consumes:
+//! A KBC iteration changes the input data (new documents, new labels, and —
+//! since facts get corrected — *deleted* tuples and *retracted* supervision)
+//! and/or the program (new rules).  Incremental grounding turns such a
+//! [`KbcUpdate`] into the factor-graph delta (ΔV, ΔF) that incremental
+//! inference consumes:
 //!
-//! 1. base-relation deltas are cascaded through the candidate-mapping rules using
-//!    the counting/DRed delta rules of the relational substrate (the derived
-//!    relations are materialized views);
-//! 2. the weighted and supervision rules are differentiated against the combined
-//!    base + derived deltas, producing new groundings;
-//! 3. brand-new rules are grounded in full against the post-update database;
-//! 4. everything is packaged as a [`GraphDelta`] and applied to the grounder's
-//!    own factor graph, keeping its tuple→variable and key→weight catalogs in
-//!    sync.
+//! 1. supervision retractions are applied first: the head joins the grounder's
+//!    sticky suppression set, existing labels are un-pinned, and the evidence
+//!    transition is recorded in the delta;
+//! 2. base-relation deltas are cascaded through the candidate-mapping rules as
+//!    signed multiplicities (Z-sets).  Each rule's materialized view runs a
+//!    DRed-style distinct refresh ([`MaterializedView::refresh_dred`]); a
+//!    deletion reported by one view is cancelled when a sibling rule with the
+//!    same head still derives the tuple (re-derivation);
+//! 3. the weighted and supervision rules are differentiated against the
+//!    combined base + derived deltas.  Positive binding counts raise the
+//!    support of existing groundings or create new ones; negative counts lower
+//!    support, and a grounding whose support reaches zero is *retracted*: its
+//!    factor is removed from the graph (`swap_remove` compaction), its label
+//!    contribution is withdrawn, and variables left without any referencing
+//!    grounding are removed along with their catalog entries;
+//! 4. brand-new rules are grounded in full against the post-update database;
+//! 5. everything is packaged as a [`GraphDelta`] — removals first, then
+//!    additions, then evidence transitions — which replays id-exactly on a
+//!    clone of the pre-update graph, and the grounder's tuple→variable and
+//!    key→weight catalogs shrink or grow in lock-step.
 //!
-//! Deletions of existing groundings are detected and counted but their factors
-//! are left in place (with the same effect as a zero-probability derivation); the
-//! paper's inference-phase techniques likewise focus on additions and
-//! modifications, and a full DRed over-delete/re-derive pass on the factor graph
-//! is orthogonal to the materialization tradeoff being studied.
+//! A deletion is never silently dropped: retracting a grounding the grounder
+//! has no record of, or driving a binding's derivation support negative, is a
+//! typed [`GroundingError::Retraction`].
 
 use crate::ast::{Rule, RuleKind, WeightSpec};
 use crate::error::{GroundingError, ProgramError};
-use crate::grounder::Grounder;
+use crate::grounder::{CatalogOp, Grounder, GroundingRecord, VarUse};
 use crate::program::RelationRole;
 use dd_factorgraph::{
-    DeltaFactor, EvidenceChange, Factor, FactorKind, GraphDelta, Lit, NewVarRef, NewWeightRef,
-    Semantics, Variable, VariableRole, Weight,
+    DeltaFactor, EvidenceChange, Factor, FactorId, FactorKind, GraphDelta, Lit, NewVarRef,
+    NewWeightRef, Semantics, VarId, Variable, VariableRole, Weight,
 };
 use dd_relstore::{DeltaRelation, MaterializedView, Tuple, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-/// One update to a KBC system: data changes and/or new rules.
+/// One update to a KBC system: data changes, supervision retractions, and/or
+/// new rules.
 #[derive(Debug, Clone, Default)]
 pub struct KbcUpdate {
     /// Changes to base relations, keyed by relation name.
     pub base_deltas: HashMap<String, DeltaRelation>,
+    /// Supervision heads `(relation, tuple)` whose labels are withdrawn and
+    /// permanently suppressed.
+    pub retracted_supervision: Vec<(String, Tuple)>,
     /// Rules added in this iteration.
     pub new_rules: Vec<Rule>,
 }
@@ -64,6 +78,14 @@ impl KbcUpdate {
         self
     }
 
+    /// Withdraw supervision from one head tuple (sticky: later labels for the
+    /// same head are recorded but never pin the variable again).
+    pub fn retract_supervision(&mut self, relation: &str, tuple: Tuple) -> &mut Self {
+        self.retracted_supervision
+            .push((relation.to_string(), tuple));
+        self
+    }
+
     /// Add a new rule.
     pub fn add_rule(&mut self, rule: Rule) -> &mut Self {
         self.new_rules.push(rule);
@@ -72,7 +94,9 @@ impl KbcUpdate {
 
     /// True if the update changes nothing.
     pub fn is_empty(&self) -> bool {
-        self.new_rules.is_empty() && self.base_deltas.values().all(|d| d.is_empty())
+        self.new_rules.is_empty()
+            && self.retracted_supervision.is_empty()
+            && self.base_deltas.values().all(|d| d.is_empty())
     }
 }
 
@@ -80,36 +104,63 @@ impl KbcUpdate {
 #[derive(Debug, Clone, Default)]
 pub struct IncrementalGrounding {
     /// The factor-graph delta (already applied to the grounder's graph).
+    /// Replaying it on a clone of the pre-update graph reproduces the
+    /// post-update graph id-exactly, removals included.
     pub delta: GraphDelta,
     /// Derived-relation deltas produced by cascading through candidate rules.
     pub derived_deltas: HashMap<String, DeltaRelation>,
     /// Number of new groundings (factors or labels) produced.
     pub new_groundings: usize,
-    /// Number of grounding deletions detected but not removed from the graph.
-    pub skipped_deletions: usize,
-    /// Variable relations that gained catalog entries in this run — the
+    /// Number of groundings whose support reached zero and whose artifacts
+    /// (factor, label, orphaned variables) were removed from the graph.
+    pub retracted_groundings: usize,
+    /// Variable relations whose catalog changed in this run — gained entries,
+    /// lost entries, or had entries re-pointed by compaction.  This is the
     /// publish dirty-set: only these relations' snapshot shards need
     /// re-indexing, every other shard can be shared with the previous epoch.
     pub touched_relations: BTreeSet<String>,
 }
 
-/// Accumulates graph changes in delta form before they are applied.
+/// One new grounding staged by the [`DeltaBuilder`], resolved to graph ids
+/// after the delta is applied.
+struct NewBinding {
+    rule: String,
+    binding: Tuple,
+    support: i64,
+    label: Option<bool>,
+    /// Index into `delta.new_factors`, for weighted rules.
+    factor_slot: Option<usize>,
+}
+
+/// Accumulates graph additions in delta form before they are applied.
+/// Removals and evidence transitions are handled by the retraction sweep and
+/// the final evidence pass in [`Grounder::ground_incremental`]; the builder
+/// only ever grows the graph.
 #[derive(Default)]
 struct DeltaBuilder {
     delta: GraphDelta,
+    /// Origin-key base for pending variables: the grounder's `next_var_key`
+    /// at builder creation (pending var `i` gets origin key `base + i`).
+    base_var_key: u64,
     pending_vars: HashMap<(String, Tuple), usize>,
     pending_var_keys: Vec<(String, Tuple)>,
     pending_weights: HashMap<String, usize>,
     pending_weight_keys: Vec<String>,
-    new_bindings: Vec<(String, Tuple)>,
+    new_bindings: Vec<NewBinding>,
     seen_bindings: HashSet<(String, Tuple)>,
-    evidence_changed: HashSet<usize>,
     /// Head tuples to insert into their relation's table once the update lands.
     pending_head_tuples: Vec<(String, Tuple)>,
     new_groundings: usize,
 }
 
 impl DeltaBuilder {
+    fn new(base_var_key: u64) -> Self {
+        DeltaBuilder {
+            base_var_key,
+            ..DeltaBuilder::default()
+        }
+    }
+
     /// Resolve a `(relation, tuple)` to an existing variable or a pending new one.
     fn var_ref(&mut self, grounder: &Grounder, relation: &str, tuple: &Tuple) -> NewVarRef {
         if let Some(v) = grounder.variable_for(relation, tuple) {
@@ -120,9 +171,9 @@ impl DeltaBuilder {
             return NewVarRef::New(i);
         }
         let i = self.delta.new_variables.len();
-        self.delta.new_variables.push(
-            Variable::query(0).with_origin(relation, (grounder.graph().num_variables() + i) as u64),
-        );
+        self.delta
+            .new_variables
+            .push(Variable::query(0).with_origin(relation, self.base_var_key + i as u64));
         self.pending_vars.insert(key.clone(), i);
         self.pending_var_keys.push(key);
         NewVarRef::New(i)
@@ -153,16 +204,25 @@ impl DeltaBuilder {
         NewWeightRef::New(i)
     }
 
-    /// Ground one binding of a weighted or supervision rule, in delta form.
-    fn ground_binding(&mut self, grounder: &Grounder, rule: &Rule, binding: &Tuple) -> bool {
+    /// Ground one binding of a weighted or supervision rule, in delta form,
+    /// with an explicit derivation count (its retraction support).  Label roles
+    /// are *not* assigned here — the final evidence pass derives every role
+    /// from the usage counters, so incremental and from-scratch grounding agree
+    /// on conflicting labels.
+    fn ground_binding(
+        &mut self,
+        grounder: &Grounder,
+        rule: &Rule,
+        binding: &Tuple,
+        count: i64,
+    ) -> bool {
         let binding_key = (rule.name.clone(), binding.clone());
         if self.seen_bindings.contains(&binding_key)
             || grounder.grounded_binding_exists(&rule.name, binding)
         {
             return false;
         }
-        self.seen_bindings.insert(binding_key.clone());
-        self.new_bindings.push(binding_key);
+        self.seen_bindings.insert(binding_key);
 
         let projection_vars = rule.projection_vars();
         let value_of = |var: &str| -> Value {
@@ -176,29 +236,14 @@ impl DeltaBuilder {
         let head_tuple = Grounder::instantiate_atom_tuple(&rule.head.terms, &value_of);
         let head_ref = self.var_ref(grounder, &rule.head.relation, &head_tuple);
         self.pending_head_tuples
-            .push((rule.head.relation.clone(), head_tuple));
+            .push((rule.head.relation.clone(), head_tuple.clone()));
 
+        let mut label = None;
+        let mut factor_slot = None;
         match (&rule.kind, &rule.weight) {
             (RuleKind::Supervision, WeightSpec::Label(polarity)) => {
-                let role = if *polarity {
-                    VariableRole::PositiveEvidence
-                } else {
-                    VariableRole::NegativeEvidence
-                };
-                match head_ref {
-                    NewVarRef::Existing(v) => {
-                        if self.evidence_changed.insert(v) {
-                            self.delta.evidence_changes.push(EvidenceChange {
-                                var: v,
-                                new_role: role,
-                            });
-                        }
-                    }
-                    NewVarRef::New(i) => {
-                        let var = &mut self.delta.new_variables[i];
-                        var.role = role;
-                        var.initial_value = *polarity;
-                    }
+                if !grounder.is_supervision_suppressed(&rule.head.relation, &head_tuple) {
+                    label = Some(*polarity);
                 }
             }
             _ => {
@@ -242,6 +287,7 @@ impl DeltaBuilder {
                         ),
                     }
                 };
+                factor_slot = Some(self.delta.new_factors.len());
                 self.delta.new_factors.push(DeltaFactor {
                     weight,
                     template,
@@ -249,6 +295,13 @@ impl DeltaBuilder {
                 });
             }
         }
+        self.new_bindings.push(NewBinding {
+            rule: rule.name.clone(),
+            binding: binding.clone(),
+            support: count.max(1),
+            label,
+            factor_slot,
+        });
         self.new_groundings += 1;
         true
     }
@@ -259,8 +312,41 @@ impl Grounder {
     pub(crate) fn grounded_binding_exists(&self, rule: &str, binding: &Tuple) -> bool {
         self.grounded_bindings
             .get(rule)
-            .map(|s| s.contains(binding))
+            .map(|s| s.contains_key(binding))
             .unwrap_or(false)
+    }
+
+    /// Remove one factor from the graph, keeping ownership bookkeeping and
+    /// weight refcounts current across the `swap_remove` move, and record the
+    /// removal op for replay.
+    fn retract_factor(&mut self, fid: FactorId, ops: &mut Vec<FactorId>) {
+        let weight_id = self.graph.factor(fid).weight_id;
+        self.factor_owners.remove(&fid);
+        let moved = self.graph.remove_factor(fid);
+        ops.push(fid);
+        if let Some(old_last) = moved {
+            if let Some(owner) = self.factor_owners.remove(&old_last) {
+                if let Some(rec) = self
+                    .grounded_bindings
+                    .get_mut(&owner.0)
+                    .and_then(|m| m.get_mut(&owner.1))
+                {
+                    rec.factor = Some(fid);
+                }
+                self.factor_owners.insert(fid, owner);
+            }
+        }
+        let uses = self.weight_use.entry(weight_id).or_insert(0);
+        *uses -= 1;
+        if *uses <= 0 {
+            self.weight_use.remove(&weight_id);
+            let description = self.graph.weight(weight_id).description.clone();
+            // The weight slot itself stays in the graph (learned-weight vectors
+            // are indexed by WeightId); only the catalog forgets it.
+            if self.weight_catalog.get(&description) == Some(&weight_id) {
+                self.weight_catalog.remove(&description);
+            }
+        }
     }
 
     /// Incrementally ground an update, mutating the database, the catalogs, and
@@ -276,7 +362,18 @@ impl Grounder {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         let mut derived_deltas: HashMap<String, DeltaRelation> = HashMap::new();
-        let mut skipped_deletions = 0usize;
+        let mut touched_relations = BTreeSet::new();
+
+        // ---- 0. supervision retractions (sticky suppression + un-pinning).
+        // The graph is mutated in place; the evidence transitions themselves
+        // are emitted by the final evidence pass, once every removal and
+        // addition has settled the variable ids, so the replayed delta applies
+        // them to the right (post-compaction) variables.
+        let mut forced_evidence: BTreeSet<(String, Tuple)> = BTreeSet::new();
+        for (relation, tuple) in &update.retracted_supervision {
+            self.apply_supervision_retraction(relation, tuple);
+            forced_evidence.insert((relation.clone(), tuple.clone()));
+        }
 
         // ---- 1. cascade through candidate-mapping rules (pre-update database).
         let ordered: Vec<Rule> = self
@@ -304,14 +401,12 @@ impl Grounder {
                 continue;
             }
             let head_rel = rule.head.relation.clone();
-            let head_table_pre: HashSet<Tuple> = self
-                .db
-                .table(&head_rel)
-                .map(|t| t.iter().cloned().collect())
-                .unwrap_or_default();
 
+            // DRed distinct refresh of this rule's view: ±1 presence
+            // transitions within the view, over-deletions already cancelled
+            // against the view's own remaining derivations.
             let view_delta = match self.candidate_views.get_mut(&rule.name) {
-                Some(view) => view.refresh_incremental(&self.db, &accumulated)?,
+                Some(view) => view.refresh_dred(&self.db, &accumulated)?,
                 None => {
                     // The rule was never grounded (e.g. added in an earlier update
                     // without data): materialize it now against the pre-update
@@ -323,25 +418,41 @@ impl Grounder {
                     )
                     .with_filters(rule.filters.clone());
                     let mut view = MaterializedView::materialize(q, &self.db)?;
-                    let d = view.refresh_incremental(&self.db, &accumulated)?;
+                    let d = view.refresh_dred(&self.db, &accumulated)?;
                     self.candidate_views.insert(rule.name.clone(), view);
                     d
                 }
             };
 
-            // Translate derivation-count changes into distinct tuple changes.
-            let view_after = self
-                .candidate_views
-                .get(&rule.name)
-                .expect("view just refreshed")
-                .result();
+            // Cross-rule re-derivation and dedup: a tuple deleted from this
+            // view survives if a sibling rule with the same head still derives
+            // it; a tuple added by this view is only new if the head relation
+            // did not already carry it (base table + deltas accumulated so far).
             let mut distinct_delta = DeltaRelation::new(head_rel.clone());
-            for (tuple, count) in view_delta.iter() {
-                if count > 0 && !head_table_pre.contains(tuple) && view_after.contains(tuple) {
-                    distinct_delta.insert(tuple.clone());
-                } else if count < 0 && head_table_pre.contains(tuple) && !view_after.contains(tuple)
-                {
-                    distinct_delta.delete(tuple.clone());
+            for (tuple, transition) in view_delta.iter() {
+                let head_count = self
+                    .db
+                    .table(&head_rel)
+                    .map(|t| t.count(tuple))
+                    .unwrap_or(0);
+                let pending = accumulated
+                    .get(&head_rel)
+                    .map(|d| d.count(tuple))
+                    .unwrap_or(0);
+                let present_before = head_count + pending > 0;
+                if transition > 0 {
+                    if !present_before {
+                        distinct_delta.insert(tuple.clone());
+                    }
+                } else if present_before {
+                    let rederived = self.candidate_views.iter().any(|(name, sibling)| {
+                        name != &rule.name
+                            && sibling.query().name == head_rel
+                            && sibling.result().contains(tuple)
+                    });
+                    if !rederived {
+                        distinct_delta.delete(tuple.clone());
+                    }
                 }
             }
             if !distinct_delta.is_empty() {
@@ -357,7 +468,6 @@ impl Grounder {
         }
 
         // ---- 2. differentiate the weighted and supervision rules (pre-update db).
-        let mut builder = DeltaBuilder::default();
         let weighted: Vec<Rule> = self
             .program
             .rules
@@ -370,6 +480,7 @@ impl Grounder {
             })
             .cloned()
             .collect();
+        let mut rule_deltas: Vec<(Rule, DeltaRelation)> = Vec::new();
         for rule in &weighted {
             let touches_change = rule
                 .body_relations()
@@ -380,11 +491,136 @@ impl Grounder {
             }
             let query = rule.body_query();
             let delta = query.delta_evaluate(&self.db, &accumulated)?;
+            if !delta.is_empty() {
+                rule_deltas.push((rule.clone(), delta));
+            }
+        }
+
+        // ---- 2b. retraction sweep: negative binding counts lower support;
+        // support hitting zero retracts the grounding (factor out, label
+        // withdrawn, refcounts down), and variables left unreferenced are
+        // removed afterwards in sorted key order.
+        let mut removed_factor_ops: Vec<FactorId> = Vec::new();
+        let mut removed_var_ops: Vec<VarId> = Vec::new();
+        let mut label_dirty: BTreeSet<(String, Tuple)> = BTreeSet::new();
+        let mut dead_var_keys: BTreeSet<(String, Tuple)> = BTreeSet::new();
+        let mut retracted_groundings = 0usize;
+        for (rule, delta) in &rule_deltas {
             for (binding, count) in delta.iter() {
-                if count > 0 {
-                    builder.ground_binding(self, rule, binding);
-                } else {
-                    skipped_deletions += 1;
+                if count >= 0 {
+                    continue;
+                }
+                let Some(record) = self
+                    .grounded_bindings
+                    .get_mut(&rule.name)
+                    .and_then(|m| m.get_mut(binding))
+                else {
+                    return Err(GroundingError::Retraction {
+                        rule: rule.name.clone(),
+                        detail: format!(
+                            "no grounding recorded for binding {binding:?} (delta {count})"
+                        ),
+                    });
+                };
+                if record.support + count < 0 {
+                    return Err(GroundingError::Retraction {
+                        rule: rule.name.clone(),
+                        detail: format!(
+                            "binding {binding:?} has support {} but delta {count} \
+                             (more deletions than derivations)",
+                            record.support
+                        ),
+                    });
+                }
+                record.support += count;
+                if record.support > 0 {
+                    continue;
+                }
+                let record = self
+                    .grounded_bindings
+                    .get_mut(&rule.name)
+                    .expect("checked above")
+                    .remove(binding)
+                    .expect("checked above");
+                retracted_groundings += 1;
+
+                if let Some(fid) = record.factor {
+                    self.retract_factor(fid, &mut removed_factor_ops);
+                }
+
+                let projection_vars = rule.projection_vars();
+                let value_of = |var: &str| -> Value {
+                    projection_vars
+                        .iter()
+                        .position(|v| v == var)
+                        .and_then(|i| binding.get(i).cloned())
+                        .unwrap_or(Value::Null)
+                };
+                let head_key = (
+                    rule.head.relation.clone(),
+                    Self::instantiate_atom_tuple(&rule.head.terms, &value_of),
+                );
+                if let Some(label) = record.label {
+                    if let Some(usage) = self.var_use.get_mut(&head_key) {
+                        if label {
+                            usage.pos_labels -= 1;
+                        } else {
+                            usage.neg_labels -= 1;
+                        }
+                    }
+                    label_dirty.insert(head_key.clone());
+                }
+                for key in Self::record_var_keys(&self.program, rule, binding) {
+                    if let Some(usage) = self.var_use.get_mut(&key) {
+                        usage.refs -= 1;
+                        if usage.refs <= 0 {
+                            dead_var_keys.insert(key);
+                        }
+                    }
+                }
+                if let Some(usage) = self.var_use.get_mut(&head_key) {
+                    usage.head_refs -= 1;
+                    if usage.head_refs <= 0 {
+                        // Withdraw the derivation this grounding inserted into
+                        // the head's variable relation.
+                        if let Ok(table) = self.db.table_mut(&rule.head.relation) {
+                            table.delete(&head_key.1);
+                        }
+                    }
+                }
+            }
+        }
+        if !dead_var_keys.is_empty() {
+            // Reverse map VarId → catalog key, maintained through swap_remove
+            // moves so each removal patches at most one other entry.
+            let mut reverse: HashMap<VarId, (String, Tuple)> = self
+                .var_catalog
+                .iter()
+                .map(|(k, &v)| (v, k.clone()))
+                .collect();
+            for key in &dead_var_keys {
+                let Some(vid) = self.var_catalog.remove(key) else {
+                    continue;
+                };
+                self.var_use.remove(key);
+                reverse.remove(&vid);
+                let moved = self.graph.remove_variable(vid);
+                removed_var_ops.push(vid);
+                self.fresh_catalog
+                    .entry(key.0.clone())
+                    .or_default()
+                    .push(CatalogOp::Remove(key.1.clone()));
+                touched_relations.insert(key.0.clone());
+                if let Some(old_last) = moved {
+                    if let Some(moved_key) = reverse.remove(&old_last) {
+                        self.var_catalog.insert(moved_key.clone(), vid);
+                        reverse.insert(vid, moved_key.clone());
+                        self.fresh_catalog
+                            .entry(moved_key.0.clone())
+                            .or_default()
+                            .push(CatalogOp::Upsert(moved_key.1.clone(), vid));
+                        touched_relations.insert(moved_key.0);
+                    }
                 }
             }
         }
@@ -396,7 +632,27 @@ impl Grounder {
             }
         }
 
-        // ---- 4. ground brand-new rules in full against the post-update database.
+        // ---- 4. additions: positive binding counts, resolved against the
+        // post-removal graph, plus brand-new rules grounded in full against
+        // the post-update database.
+        let mut builder = DeltaBuilder::new(self.next_var_key);
+        for (rule, delta) in &rule_deltas {
+            for (binding, count) in delta.iter() {
+                if count <= 0 {
+                    continue;
+                }
+                if let Some(record) = self
+                    .grounded_bindings
+                    .get_mut(&rule.name)
+                    .and_then(|m| m.get_mut(binding))
+                {
+                    // Already grounded: the new derivations only raise support.
+                    record.support += count;
+                } else {
+                    builder.ground_binding(self, rule, binding, count);
+                }
+            }
+        }
         for rule in &update.new_rules {
             self.program.rules.push(rule.clone());
             match rule.kind {
@@ -409,36 +665,83 @@ impl Grounder {
                 RuleKind::FeatureExtraction | RuleKind::Inference | RuleKind::Supervision => {
                     let query = rule.body_query();
                     let bindings = query.evaluate(&self.db)?;
-                    for binding in bindings.iter() {
-                        builder.ground_binding(self, rule, binding);
+                    for (binding, count) in bindings.iter_counted() {
+                        builder.ground_binding(self, rule, binding, count);
                     }
                 }
                 RuleKind::ErrorAnalysis => {}
             }
         }
 
-        // ---- 5. apply the factor-graph delta and update the catalogs.
-        let delta = builder.delta.clone();
+        // ---- 5. apply the additions, update the catalogs and usage counters,
+        // then derive every dirty variable's evidence role from the counters.
+        let additions = builder.delta.clone();
         let base_weight_count = self.graph.num_weights();
-        let (new_var_ids, _new_factor_ids) = self.graph.apply_delta(&delta);
-        let mut touched_relations = BTreeSet::new();
+        let (new_var_ids, new_factor_ids) = self.graph.apply_delta(&additions);
+        self.next_var_key += builder.pending_var_keys.len() as u64;
         for (key, id) in builder.pending_var_keys.iter().zip(new_var_ids.iter()) {
             self.var_catalog.insert(key.clone(), *id);
             touched_relations.insert(key.0.clone());
             self.fresh_catalog
                 .entry(key.0.clone())
                 .or_default()
-                .push((key.1.clone(), *id));
+                .push(CatalogOp::Upsert(key.1.clone(), *id));
         }
         for (i, key) in builder.pending_weight_keys.iter().enumerate() {
             self.weight_catalog
                 .insert(key.clone(), base_weight_count + i);
         }
-        for (rule, binding) in builder.new_bindings {
+        for staged in builder.new_bindings {
+            let rule = self
+                .program
+                .rules
+                .iter()
+                .find(|r| r.name == staged.rule)
+                .cloned()
+                .expect("staged binding's rule is in the program");
+            let factor = staged.factor_slot.map(|slot| new_factor_ids[slot]);
+            if let Some(fid) = factor {
+                self.factor_owners
+                    .insert(fid, (staged.rule.clone(), staged.binding.clone()));
+                let weight_id = self.graph.factor(fid).weight_id;
+                *self.weight_use.entry(weight_id).or_insert(0) += 1;
+            }
+            let projection_vars = rule.projection_vars();
+            let value_of = |var: &str| -> Value {
+                projection_vars
+                    .iter()
+                    .position(|v| v == var)
+                    .and_then(|i| staged.binding.get(i).cloned())
+                    .unwrap_or(Value::Null)
+            };
+            let head_key = (
+                rule.head.relation.clone(),
+                Self::instantiate_atom_tuple(&rule.head.terms, &value_of),
+            );
+            for key in Self::record_var_keys(&self.program, &rule, &staged.binding) {
+                self.var_use.entry(key).or_default().refs += 1;
+            }
+            let usage = self.var_use.entry(head_key.clone()).or_default();
+            usage.head_refs += 1;
+            if let Some(label) = staged.label {
+                if label {
+                    usage.pos_labels += 1;
+                } else {
+                    usage.neg_labels += 1;
+                }
+                label_dirty.insert(head_key);
+            }
             self.grounded_bindings
-                .entry(rule)
+                .entry(staged.rule)
                 .or_default()
-                .insert(binding);
+                .insert(
+                    staged.binding,
+                    GroundingRecord {
+                        support: staged.support,
+                        factor,
+                        label: staged.label,
+                    },
+                );
         }
         for (relation, tuple) in builder.pending_head_tuples {
             if let Ok(table) = self.db.table_mut(&relation) {
@@ -448,11 +751,41 @@ impl Grounder {
             }
         }
 
+        // Evidence pass: every variable whose label counts changed (or whose
+        // supervision was forcibly retracted) gets the role its counters imply.
+        // Forced keys emit unconditionally — their in-place role was already
+        // updated in phase 0, but a replayed delta still needs the transition.
+        let mut evidence_changes = Vec::new();
+        for key in label_dirty.union(&forced_evidence) {
+            let Some(&var) = self.var_catalog.get(key) else {
+                continue;
+            };
+            let role = self
+                .var_use
+                .get(key)
+                .map(VarUse::role)
+                .unwrap_or(VariableRole::Query);
+            if forced_evidence.contains(key) || self.graph.variable(var).role != role {
+                let v = self.graph.variable_mut(var);
+                v.role = role;
+                v.initial_value = role.fixed_value().unwrap_or(false);
+                evidence_changes.push(EvidenceChange {
+                    var,
+                    new_role: role,
+                });
+            }
+        }
+
+        let mut delta = additions;
+        delta.removed_factors = removed_factor_ops;
+        delta.removed_variables = removed_var_ops;
+        delta.evidence_changes = evidence_changes;
+
         Ok(IncrementalGrounding {
             delta,
             derived_deltas,
             new_groundings: builder.new_groundings,
-            skipped_deletions,
+            retracted_groundings,
             touched_relations,
         })
     }
@@ -654,12 +987,12 @@ mod tests {
         // entries still pending from the initial full grounding).
         assert!(inc.touched_relations.contains("MarriedMentions"));
         assert_eq!(inc.touched_relations.len(), 1);
-        let fresh = g.take_new_catalog_entries();
+        let fresh = g.take_catalog_delta();
         assert!(fresh["MarriedMentions"]
             .iter()
-            .any(|(t, _)| *t == tuple![20i64, 21i64]));
+            .any(|op| matches!(op, CatalogOp::Upsert(t, _) if *t == tuple![20i64, 21i64])));
         // Drained: a second drain with no new grounding is empty.
-        assert!(g.take_new_catalog_entries().is_empty());
+        assert!(g.take_catalog_delta().is_empty());
     }
 
     #[test]
@@ -757,20 +1090,113 @@ mod tests {
     }
 
     #[test]
-    fn deletion_is_detected_but_factor_left_in_place() {
+    fn deletion_retracts_the_factor_and_orphaned_variable() {
         let mut g = grounded();
-        let factors_before = g.graph().num_factors();
+        assert_eq!(g.graph().num_factors(), 1);
+        assert_eq!(g.graph().num_variables(), 1);
         let mut update = KbcUpdate::new();
         update.delete("PersonCandidate", tuple![1i64, 11i64, "Michelle"]);
         let inc = g.ground_incremental(&update).unwrap();
-        assert!(inc.skipped_deletions > 0);
-        assert_eq!(g.graph().num_factors(), factors_before);
-        // the base table itself was updated
+        assert_eq!(inc.retracted_groundings, 1);
+        assert_eq!(inc.delta.removed_factors.len(), 1);
+        assert_eq!(inc.delta.removed_variables.len(), 1);
+        // The grounding, its factor, and the now-unreferenced variable are gone.
+        assert_eq!(g.graph().num_factors(), 0);
+        assert_eq!(g.graph().num_variables(), 0);
+        assert!(g
+            .variable_for("MarriedMentions", &tuple![10i64, 11i64])
+            .is_none());
+        assert!(inc.touched_relations.contains("MarriedMentions"));
+        // Base table, derived candidate, and head variable relation all shrank.
         assert!(!g
             .database()
             .table("PersonCandidate")
             .unwrap()
             .contains(&tuple![1i64, 11i64, "Michelle"]));
+        assert!(!g
+            .database()
+            .table("MarriedCandidate")
+            .unwrap()
+            .contains(&tuple![10i64, 11i64]));
+        assert!(!g
+            .database()
+            .table("MarriedMentions")
+            .unwrap()
+            .contains(&tuple![10i64, 11i64]));
+        // The catalog delta records the removal for the snapshot publisher.
+        let fresh = g.take_catalog_delta();
+        assert!(fresh["MarriedMentions"]
+            .iter()
+            .any(|op| matches!(op, CatalogOp::Remove(t) if *t == tuple![10i64, 11i64])));
+    }
+
+    #[test]
+    fn deleting_more_derivations_than_exist_is_a_typed_error() {
+        let mut g = grounded();
+        let mut update = KbcUpdate::new();
+        // Two deletions of a tuple that carries one derivation.
+        update.delete(
+            "Sentence",
+            tuple![1i64, "Barack and his wife Michelle attended the dinner"],
+        );
+        update.delete(
+            "Sentence",
+            tuple![1i64, "Barack and his wife Michelle attended the dinner"],
+        );
+        let err = g.ground_incremental(&update).unwrap_err();
+        assert!(matches!(err, GroundingError::Retraction { .. }));
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips_to_the_original_graph() {
+        let mut g = grounded();
+        let baseline = g.graph().clone();
+        let mut grow = KbcUpdate::new();
+        grow.insert(
+            "Sentence",
+            tuple![2i64, "George and his wife Laura were married"],
+        )
+        .insert("PersonCandidate", tuple![2i64, 20i64, "George"])
+        .insert("PersonCandidate", tuple![2i64, 21i64, "Laura"]);
+        g.ground_incremental(&grow).unwrap();
+        assert_eq!(g.graph().num_variables(), 2);
+
+        let mut shrink = KbcUpdate::new();
+        shrink
+            .delete(
+                "Sentence",
+                tuple![2i64, "George and his wife Laura were married"],
+            )
+            .delete("PersonCandidate", tuple![2i64, 20i64, "George"])
+            .delete("PersonCandidate", tuple![2i64, 21i64, "Laura"]);
+        let inc = g.ground_incremental(&shrink).unwrap();
+        assert_eq!(inc.retracted_groundings, 1);
+        assert_eq!(g.graph().num_variables(), baseline.num_variables());
+        assert_eq!(g.graph().num_factors(), baseline.num_factors());
+        // Zero full-rebuild fallbacks: the delta alone replays the transition.
+        assert!(inc.delta.has_removals());
+    }
+
+    #[test]
+    fn retraction_delta_replays_id_exact_on_the_pre_update_graph() {
+        let mut g = grounded();
+        let mut grow = KbcUpdate::new();
+        grow.insert(
+            "Sentence",
+            tuple![2i64, "George and his wife Laura were married"],
+        )
+        .insert("PersonCandidate", tuple![2i64, 20i64, "George"])
+        .insert("PersonCandidate", tuple![2i64, 21i64, "Laura"]);
+        g.ground_incremental(&grow).unwrap();
+
+        let pre = g.graph().clone();
+        let mut shrink = KbcUpdate::new();
+        shrink.delete("PersonCandidate", tuple![1i64, 11i64, "Michelle"]);
+        let inc = g.ground_incremental(&shrink).unwrap();
+
+        let mut replayed = pre;
+        replayed.apply_delta(&inc.delta);
+        assert_eq!(&replayed, g.graph());
     }
 
     #[test]
@@ -780,6 +1206,7 @@ mod tests {
         let inc = g.ground_incremental(&KbcUpdate::new()).unwrap();
         assert!(inc.delta.is_empty());
         assert_eq!(inc.new_groundings, 0);
+        assert_eq!(inc.retracted_groundings, 0);
         assert_eq!(g.graph().stats(), before);
         assert!(KbcUpdate::new().is_empty());
     }
@@ -804,5 +1231,41 @@ mod tests {
         let second = g.ground_incremental(&update).unwrap();
         assert_eq!(second.new_groundings, 0);
         assert_eq!(g.graph().num_factors(), factors_after_first);
+    }
+
+    #[test]
+    fn retract_supervision_unpins_and_suppresses_future_labels() {
+        let mut g = grounded();
+        let s1 = Rule::new(
+            "S1",
+            RuleKind::Supervision,
+            atom("MarriedMentions", &["m1", "m2"]),
+            vec![
+                atom("MarriedCandidate", &["m1", "m2"]),
+                RuleAtom::new("EL", vec![Term::var("m1"), Term::var("e1")]),
+                RuleAtom::new("EL", vec![Term::var("m2"), Term::var("e2")]),
+                RuleAtom::new("Married", vec![Term::var("e1"), Term::var("e2")]),
+            ],
+            WeightSpec::Label(true),
+        );
+        let mut add = KbcUpdate::new();
+        add.add_rule(s1);
+        g.ground_incremental(&add).unwrap();
+        assert_eq!(g.graph().stats().num_evidence_variables, 1);
+
+        let mut retract = KbcUpdate::new();
+        retract.retract_supervision("MarriedMentions", tuple![10i64, 11i64]);
+        let inc = g.ground_incremental(&retract).unwrap();
+        assert_eq!(inc.delta.evidence_changes.len(), 1);
+        assert_eq!(g.graph().stats().num_evidence_variables, 0);
+        let v = g
+            .variable_for("MarriedMentions", &tuple![10i64, 11i64])
+            .unwrap();
+        assert_eq!(g.graph().variable(v).role, VariableRole::Query);
+        assert!(!g.graph().variable(v).initial_value);
+        assert!(g.is_supervision_suppressed("MarriedMentions", &tuple![10i64, 11i64]));
+        // The suppressed record is still tracked, just label-free.
+        let record = g.grounding_record("S1", &tuple![10i64, 11i64]).unwrap();
+        assert_eq!(record.label, None);
     }
 }

@@ -41,10 +41,23 @@ impl DistributionChange {
             .iter()
             .map(|wc| (wc.weight_id, graph.weight(wc.weight_id).value))
             .collect();
+        // Evidence changes refer to *post-apply* variable ids: a change may
+        // target a variable created by this same delta (born `Query`, pinned
+        // by the change), and removals compact ids before the change applies.
+        // A forward reference has no old role; a compaction-moved id would
+        // misread here, so treat any removal-carrying delta's old roles as
+        // unknown (callers on the retraction path discard the description).
         let old_roles: Vec<(VarId, Option<bool>)> = delta
             .evidence_changes
             .iter()
-            .map(|ec| (ec.var, graph.variable(ec.var).fixed_value()))
+            .map(|ec| {
+                let old = if delta.has_removals() || ec.var >= graph.num_variables() {
+                    None
+                } else {
+                    graph.variable(ec.var).fixed_value()
+                };
+                (ec.var, old)
+            })
             .collect();
 
         let (new_vars, new_factors) = graph.apply_delta(delta);

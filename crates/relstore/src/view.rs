@@ -536,6 +536,47 @@ impl MaterializedView {
         self.incremental_refreshes += 1;
         Ok(view_delta)
     }
+
+    /// DRed-style maintenance returning the **distinct presence delta**, with
+    /// `db` in its **pre-update** state.
+    ///
+    /// Gupta–Mumick–Subrahmanian DRed proceeds in two phases: *over-delete*
+    /// every derivation a deleted tuple participated in, then *re-derive*
+    /// tuples that still have an alternative derivation.  For the
+    /// non-recursive conjunctive queries grounding uses, the counting delta
+    /// rule computes both phases in one shot: a deletion subtracts exactly the
+    /// derivations it supported, and the surviving count *is* the re-derived
+    /// support.  What the grounder's candidate cascade needs on top of the
+    /// counted maintenance is the set of tuples whose **presence** flipped:
+    ///
+    /// * `+1` — the tuple appeared (count crossed zero upward);
+    /// * `-1` — the tuple's last derivation vanished (count crossed to ≤ 0).
+    ///
+    /// Tuples whose count changed without crossing zero (an alternative
+    /// derivation survives — DRed's re-derived tuples) are *not* reported,
+    /// which is what stops spurious downstream retraction.  Cross-**rule**
+    /// re-derivation (another view deriving the same head tuple) is the
+    /// caller's job: it has the sibling views, this view does not.
+    pub fn refresh_dred(
+        &mut self,
+        db: &Database,
+        deltas: &HashMap<String, DeltaRelation>,
+    ) -> RelResult<DeltaRelation> {
+        let view_delta = self.query.delta_evaluate(db, deltas)?;
+        let mut distinct = DeltaRelation::new(self.query.name.clone());
+        for (t, c) in view_delta.iter() {
+            let before = self.result.count(t);
+            let after = before + c;
+            if before <= 0 && after > 0 {
+                distinct.change(t.clone(), 1);
+            } else if before > 0 && after <= 0 {
+                distinct.change(t.clone(), -1);
+            }
+        }
+        view_delta.apply_to(&mut self.result);
+        self.incremental_refreshes += 1;
+        Ok(distinct)
+    }
 }
 
 #[cfg(test)]
@@ -767,6 +808,63 @@ mod tests {
         deltas.insert("EL".to_string(), d);
         assert!(q.delta_evaluate(&db, &deltas).is_err());
         drop(q);
+    }
+
+    #[test]
+    fn dred_reports_only_presence_transitions() {
+        // SentencesWithPeople(s) :- PersonCandidate(s, m): sentence 1 has two
+        // derivations, so deleting one of them must NOT retract the tuple.
+        let mut db = example_db();
+        let q = ConjunctiveQuery::new(
+            "SentencesWithPeople",
+            vec!["s".into()],
+            vec![QueryAtom::new(
+                "PersonCandidate",
+                vec![Term::var("s"), Term::var("m")],
+            )],
+        );
+        let mut view = MaterializedView::materialize(q.clone(), &db).unwrap();
+        assert_eq!(view.result().count(&tuple![1i64]), 2);
+
+        // Delete one derivation of sentence 1: count 2 → 1, no transition.
+        let mut delta = DeltaRelation::new("PersonCandidate");
+        delta.delete(tuple![1i64, 10i64]);
+        let mut deltas = HashMap::new();
+        deltas.insert("PersonCandidate".to_string(), delta.clone());
+        let distinct = view.refresh_dred(&db, &deltas).unwrap();
+        assert!(distinct.is_empty(), "re-derived tuple must not be reported");
+        assert_eq!(view.result().count(&tuple![1i64]), 1);
+        delta.apply_to(db.table_mut("PersonCandidate").unwrap());
+
+        // Delete the last derivation: presence flips, -1 reported.
+        let mut delta2 = DeltaRelation::new("PersonCandidate");
+        delta2.delete(tuple![1i64, 11i64]);
+        let mut deltas2 = HashMap::new();
+        deltas2.insert("PersonCandidate".to_string(), delta2.clone());
+        let distinct2 = view.refresh_dred(&db, &deltas2).unwrap();
+        assert_eq!(distinct2.count(&tuple![1i64]), -1);
+        assert!(!view.result().contains(&tuple![1i64]));
+        delta2.apply_to(db.table_mut("PersonCandidate").unwrap());
+
+        // Insert into a fresh sentence: presence appears, +1 reported.
+        let mut delta3 = DeltaRelation::new("PersonCandidate");
+        delta3.insert(tuple![9i64, 90i64]);
+        let mut deltas3 = HashMap::new();
+        deltas3.insert("PersonCandidate".to_string(), delta3);
+        let distinct3 = view.refresh_dred(&db, &deltas3).unwrap();
+        assert_eq!(distinct3.count(&tuple![9i64]), 1);
+
+        // The maintained result always matches full recomputation.
+        let full = q.evaluate(&db).unwrap();
+        // (delta3 not yet applied to db; apply before comparing)
+        let mut db2 = db.clone();
+        db2.table_mut("PersonCandidate")
+            .unwrap()
+            .insert(tuple![9i64, 90i64])
+            .unwrap();
+        let full2 = q.evaluate(&db2).unwrap();
+        assert_ne!(full.sorted_tuples(), full2.sorted_tuples());
+        assert_eq!(view.result().sorted_tuples(), full2.sorted_tuples());
     }
 
     #[test]

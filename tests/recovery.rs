@@ -164,8 +164,12 @@ fn in_memory() -> DeepDive {
         .expect("in-memory engine builds")
 }
 
-/// The canonical operation sequence every test draws a prefix of.
-const NUM_OPS: u64 = 5;
+/// The canonical operation sequence every test draws a prefix of.  Ops 6 and
+/// 7 exercise the retraction surface: a deletion update that compacts the
+/// factor graph (op 6) and a supervision retraction logged as its own
+/// `RetractSupervision` WAL record (op 7) — so every kill-9 boundary,
+/// truncation sweep, and bit-flip sweep below covers them too.
+const NUM_OPS: u64 = 7;
 
 fn apply_op(dd: &mut DeepDive, op: u64) {
     match op {
@@ -214,6 +218,26 @@ fn apply_op(dd: &mut DeepDive, op: u64) {
         }
         5 => {
             dd.refresh().unwrap();
+        }
+        6 => {
+            // Retract the document added by op 4: the candidate pair, its
+            // variable, and its factors are swap-remove-compacted away, and
+            // the stale materialization is dropped.
+            let mut update = KbcUpdate::new();
+            update.delete(
+                "PersonCandidate",
+                Tuple::from_iter([Value::Int(4), Value::Int(40), Value::text("Franklin")]),
+            );
+            dd.run_update(&update, ExecutionMode::Incremental).unwrap();
+        }
+        7 => {
+            // Un-pin the original supervised fact; logged as its own
+            // `RetractSupervision` WAL op.
+            dd.retract_supervision(
+                "MarriedMentions",
+                Tuple::from_iter([Value::Int(10), Value::Int(11)]),
+            )
+            .unwrap();
         }
         _ => unreachable!("op {op} is not part of the canonical sequence"),
     }
@@ -462,6 +486,77 @@ fn mid_log_damage_truncates_everything_after_it() {
     bytes[starts[1] + 20] ^= 0x01; // payload byte of record 2
     fs::write(&segment, &bytes).unwrap();
     assert_eq!(recovered_state(&dir), reference_state(1));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retraction_wal_records_survive_tail_truncation_and_bit_flips() {
+    // Run the full sequence so the final two records are the retraction ops:
+    // record 6 is the deletion `Update`, record 7 the `RetractSupervision`.
+    let dir = temp_dir("retracttail");
+    {
+        let mut dd = durable(&dir);
+        for op in 1..=NUM_OPS {
+            apply_op(&mut dd, op);
+        }
+    }
+    let segment = only_wal_segment(&dir);
+    let intact = fs::read(&segment).unwrap();
+    let starts = record_starts(&intact);
+    assert_eq!(starts.len(), NUM_OPS as usize);
+    let without_tail = reference_state(NUM_OPS - 1);
+
+    // Undamaged: the whole sequence, retractions included, replays.
+    assert_eq!(recovered_state(&dir), reference_state(NUM_OPS));
+
+    // Truncation anywhere inside the RetractSupervision record cleanly loses
+    // exactly that op.
+    let tail_start = *starts.last().unwrap();
+    for cut in (tail_start..intact.len()).step_by(3) {
+        fs::write(&segment, &intact[..cut]).unwrap();
+        assert_eq!(
+            recovered_state(&dir),
+            without_tail,
+            "truncation at byte {cut} of {}",
+            intact.len()
+        );
+    }
+
+    // Bit flips in the final record are detected and truncated away; a flip
+    // in the deletion-update record (6) truncates ops 6..=7.
+    for byte in (tail_start..intact.len()).step_by(3) {
+        let mut damaged = intact.clone();
+        damaged[byte] ^= 0x40;
+        fs::write(&segment, &damaged).unwrap();
+        assert_eq!(
+            recovered_state(&dir),
+            without_tail,
+            "bit flip at byte {byte} of {}",
+            intact.len()
+        );
+        fs::write(&segment, &intact).unwrap();
+    }
+    let mut damaged = intact.clone();
+    damaged[starts[5] + 20] ^= 0x01; // payload byte of the deletion record
+    fs::write(&segment, &damaged).unwrap();
+    assert_eq!(recovered_state(&dir), reference_state(5));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_after_retractions_recovers_byte_exactly() {
+    // The checkpoint is written *after* both retraction ops, so the v2
+    // grounder codec must round-trip the shrunken graph, the grounding
+    // records, and the sticky suppression set byte-exactly.
+    let dir = temp_dir("retractckpt");
+    spawn_crashing_child(&dir, NUM_OPS, Some(NUM_OPS));
+    let (epoch, bytes) = recovered_state(&dir);
+    let (want_epoch, want_bytes) = reference_state(NUM_OPS);
+    assert_eq!(epoch, want_epoch);
+    assert_eq!(
+        bytes, want_bytes,
+        "checkpoint taken after retraction ops must recover byte-identically"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -204,6 +204,147 @@ fn readers_on_an_old_snapshot_see_the_old_catalog_while_publish_lands() {
     ));
 }
 
+/// An update shrinking only `FactA` (deleting a ClaimA tuple retracts the
+/// grounded variable, its factors, and its catalog entry).
+fn shrink_a(id: i64) -> KbcUpdate {
+    let mut update = KbcUpdate::new();
+    update.delete("ClaimA", Tuple::from_iter([Value::Int(id)]));
+    update
+}
+
+#[test]
+fn retraction_reindexes_only_the_touched_relation() {
+    let mut dd = engine();
+    dd.initial_run().expect("initial run");
+    // Grow FactA first so the graph's *last* variable belongs to FactA: the
+    // swap-remove compaction triggered by the deletion below then moves a
+    // FactA variable into the freed slot, keeping the churn within one shard.
+    dd.run_update(&grow_a(3), ExecutionMode::Incremental)
+        .expect("growth applies");
+    let epoch2 = dd.snapshot();
+    let before = epoch2.catalog().shard("FactA").unwrap().index().len();
+
+    let report = dd
+        .run_update(&shrink_a(2), ExecutionMode::Incremental)
+        .expect("retraction applies");
+    // The retraction sweep threads the shrunken relation through the same
+    // dirty-set as growth: exactly FactA is re-indexed.
+    assert_eq!(report.resharded_relations, vec!["FactA"]);
+
+    let epoch3 = dd.snapshot();
+    assert_eq!(
+        epoch3.catalog().shard("FactA").unwrap().index().len(),
+        before - 1,
+        "the retracted tuple must leave the serving index"
+    );
+    assert!(
+        epoch3
+            .probability_of("FactA", &Tuple::from_iter([Value::Int(2)]))
+            .is_none(),
+        "retracted fact must not be served by the new epoch"
+    );
+
+    // Untouched relation: same allocation across the shrink publish.
+    assert!(Arc::ptr_eq(
+        epoch2.catalog().shard("FactB").unwrap().index(),
+        epoch3.catalog().shard("FactB").unwrap().index(),
+    ));
+    assert_eq!(epoch3.catalog().shard("FactB").unwrap().generation(), 1);
+}
+
+#[test]
+fn compaction_move_across_relations_reindexes_the_moved_shard() {
+    let mut dd = engine();
+    dd.initial_run().expect("initial run");
+
+    // Right after the initial run the graph's last variable belongs to FactB,
+    // so retracting a FactA variable swap-moves a FactB variable to a new id.
+    // That id lives in FactB's serving index, so FactB is *touched* — the
+    // publish must re-index it, and does so through the same O(Δ) op-log.
+    let report = dd
+        .run_update(&shrink_a(2), ExecutionMode::Incremental)
+        .expect("retraction applies");
+    assert_eq!(report.resharded_relations, vec!["FactA", "FactB"]);
+
+    // Both FactB facts are still served, with marginals intact under the
+    // moved variable ids.
+    let snap = dd.snapshot();
+    for id in [100, 101] {
+        assert!(
+            snap.probability_of("FactB", &Tuple::from_iter([Value::Int(id)]))
+                .is_some(),
+            "FactB({id}) must survive the cross-relation compaction move"
+        );
+    }
+    assert!(snap
+        .probability_of("FactA", &Tuple::from_iter([Value::Int(2)]))
+        .is_none());
+}
+
+#[test]
+fn pinned_snapshots_serve_retracted_facts_until_dropped() {
+    let mut dd = engine();
+    dd.initial_run().expect("initial run");
+    let pinned = dd.snapshot();
+    let tuple = Tuple::from_iter([Value::Int(1)]);
+    let pinned_prob = pinned.probability_of("FactA", &tuple);
+    assert!(pinned_prob.is_some());
+
+    dd.run_update(&shrink_a(1), ExecutionMode::Incremental)
+        .expect("retraction applies");
+
+    // The old epoch still serves the retracted fact, bit-for-bit.
+    assert_eq!(pinned.epoch(), 1);
+    assert_eq!(pinned.probability_of("FactA", &tuple), pinned_prob);
+    assert!(pinned.facts("FactA").run().iter().any(|(t, _)| *t == tuple));
+
+    // The new epoch does not.
+    let fresh = dd.snapshot();
+    assert!(fresh.probability_of("FactA", &tuple).is_none());
+    assert!(!fresh.facts("FactA").run().iter().any(|(t, _)| *t == tuple));
+
+    // Dropping the pinned snapshot releases the last reference to the old
+    // shard; the served state is unaffected.
+    drop(pinned);
+    assert!(dd.snapshot().probability_of("FactA", &tuple).is_none());
+}
+
+#[test]
+fn pagination_stays_stable_after_retraction() {
+    let mut dd = engine();
+    dd.initial_run().expect("initial run");
+    dd.run_update(&grow_a(3), ExecutionMode::Incremental)
+        .expect("growth applies");
+    dd.run_update(&shrink_a(1), ExecutionMode::Incremental)
+        .expect("retraction applies");
+    let snap = dd.snapshot();
+
+    // Total order is still (relation, tuple), with the retracted tuple gone.
+    let all = snap.all_facts(0.0, 0, usize::MAX);
+    assert_eq!(all.len(), snap.num_catalogued_variables());
+    let keys: Vec<(String, Tuple)> = all
+        .iter()
+        .map(|(r, t, _)| (r.to_string(), t.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "all_facts must stay sorted after retraction");
+    assert!(!keys.contains(&("FactA".to_string(), Tuple::from_iter([Value::Int(1)]))));
+
+    // Disjoint pages still tile the enumeration exactly.
+    let mut paged = Vec::new();
+    let mut offset = 0;
+    loop {
+        let page = snap.all_facts(0.0, offset, 2);
+        if page.is_empty() {
+            break;
+        }
+        offset += page.len();
+        paged.extend(page);
+    }
+    assert_eq!(paged, all);
+}
+
 #[test]
 fn all_facts_pagination_is_stable_across_relations() {
     let mut dd = engine();
