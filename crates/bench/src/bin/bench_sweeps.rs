@@ -31,6 +31,15 @@
 //! sizes.  `publish_speedup_n{N}` is the factor the sharding buys for a
 //! Δ-update against an N-entry catalog.
 //!
+//! A fourth series, `retraction_cost/*`, prices deletion the paper's way
+//! (Fig 10's rerun-vs-incremental axis, pointed at retractions): the same
+//! batch of base-tuple deletions is grounded twice — once by rebuilding a
+//! fresh grounder over the post-delete corpus (what a rerun pays), once by
+//! `Grounder::ground_incremental`'s DRed retraction sweep on the live
+//! graph (what the engine actually pays).  `delete_speedup_n{N}` is the
+//! O(n)-vs-O(Δ) factor incrementality buys at an N-claim KB, and
+//! `deletes_per_sec_n{N}` tracks absolute retraction throughput.
+//!
 //! Usage: `cargo run --release -p dd-bench --bin bench_sweeps [--smoke] [output.json]`
 //!
 //! `--smoke` runs a reduced-iteration profile (fewer sweeps, smaller publish
@@ -40,9 +49,9 @@
 
 use dd_bench::secs;
 use dd_factorgraph::{FactorGraph, FlatGraph};
-use dd_grounding::standard_udfs;
+use dd_grounding::{standard_udfs, KbcUpdate};
 use dd_inference::{sigmoid, GibbsSampler, ParallelGibbs, SweepRng};
-use dd_relstore::{tuple, Tuple};
+use dd_relstore::{tuple, DataType, Database, Schema, Tuple};
 use dd_workloads::{pairwise_graph, KbcSystem, RuleTemplate, SyntheticConfig, SystemKind};
 use deepdive::{CatalogShards, DeepDive, EngineConfig, ExecutionMode};
 use rand::{Rng, SeedableRng};
@@ -320,6 +329,115 @@ fn bench_publish_cost(sizes: &[usize], reps: usize, entries: &mut Vec<Entry>) {
     }
 }
 
+/// The program the retraction benchmark grounds: claims become facts, every
+/// third claim is positively labelled.
+const RETRACTION_PROGRAM: &str = "\
+    relation Claim(id: int) base.\n\
+    relation Label(id: int) base.\n\
+    relation Fact(id: int) variable.\n\
+    rule F feature: Fact(id) :- Claim(id) weight = 1.5.\n\
+    rule S supervision+: Fact(id) :- Claim(id), Label(id).\n";
+
+/// A corpus of `n` claims, every third one labelled, minus the ids in
+/// `skip` (sorted).
+fn retraction_database(n: usize, skip: &[usize]) -> Database {
+    let mut db = Database::new();
+    db.create_table("Claim", Schema::of(&[("id", DataType::Int)]))
+        .expect("fresh table");
+    db.create_table("Label", Schema::of(&[("id", DataType::Int)]))
+        .expect("fresh table");
+    for i in 0..n {
+        if skip.binary_search(&i).is_ok() {
+            continue;
+        }
+        db.insert("Claim", tuple![i as i64]).expect("seed row");
+        if i % 3 == 0 {
+            db.insert("Label", tuple![i as i64]).expect("seed label");
+        }
+    }
+    db
+}
+
+/// Time the same deletion batch grounded from scratch vs through the DRed
+/// retraction sweep.  Emits `retraction_cost/{rerun_delete_ms,
+/// incremental_delete_ms, delete_speedup, deletes_per_sec}_n{N}`.
+fn bench_retraction_cost(sizes: &[usize], reps: usize, entries: &mut Vec<Entry>) {
+    println!("\nretraction_cost: from-scratch re-ground vs incremental DRed deletes");
+    let program = dd_grounding::parse_program(RETRACTION_PROGRAM).expect("program parses");
+    for &n in sizes {
+        let deletes = (n / 20).max(1);
+        let victims: Vec<usize> = (0..deletes).map(|i| i * 20).collect();
+        let mut update = KbcUpdate::new();
+        for &id in &victims {
+            update.delete("Claim", tuple![id as i64]);
+            if id % 3 == 0 {
+                update.delete("Label", tuple![id as i64]);
+            }
+        }
+
+        // Baseline: what a rerun pays for the deletion — re-grounding the
+        // whole post-delete corpus into a fresh graph.
+        let mut rerun_secs = f64::INFINITY;
+        for _ in 0..reps {
+            let db = retraction_database(n, &victims);
+            let start = Instant::now();
+            let mut grounder = dd_grounding::Grounder::new(program.clone(), db, standard_udfs())
+                .expect("grounder builds");
+            grounder.ground().expect("full re-ground");
+            rerun_secs = rerun_secs.min(start.elapsed().as_secs_f64());
+            assert_eq!(grounder.num_catalogued_variables(), n - deletes);
+        }
+
+        // Incremental: the DRed retraction sweep on a live, fully-grounded
+        // graph (preparation untimed).
+        let mut incremental_secs = f64::INFINITY;
+        for _ in 0..reps {
+            let mut grounder = dd_grounding::Grounder::new(
+                program.clone(),
+                retraction_database(n, &[]),
+                standard_udfs(),
+            )
+            .expect("grounder builds");
+            grounder.ground().expect("initial ground");
+            let start = Instant::now();
+            let grounding = grounder
+                .ground_incremental(&update)
+                .expect("incremental delete batch");
+            incremental_secs = incremental_secs.min(start.elapsed().as_secs_f64());
+            // Every victim loses its feature grounding; labelled victims
+            // lose their supervision grounding too.
+            let labelled = victims.iter().filter(|id| *id % 3 == 0).count();
+            assert_eq!(grounding.retracted_groundings, deletes + labelled);
+            assert_eq!(grounder.num_catalogued_variables(), n - deletes);
+        }
+
+        let speedup = rerun_secs / incremental_secs;
+        let throughput = deletes as f64 / incremental_secs;
+        println!(
+            "  n={n:>6} (Δ = {deletes} deletes): re-ground {:>10} | incremental {:>10}  \
+             ({speedup:.1}x, {throughput:.0} deletes/s)",
+            secs(rerun_secs),
+            secs(incremental_secs)
+        );
+        for (kind, value, unit) in [
+            (format!("rerun_delete_ms_n{n}"), rerun_secs * 1e3, "ms"),
+            (
+                format!("incremental_delete_ms_n{n}"),
+                incremental_secs * 1e3,
+                "ms",
+            ),
+            (format!("delete_speedup_n{n}"), speedup, "x"),
+            (format!("deletes_per_sec_n{n}"), throughput, "deletes/s"),
+        ] {
+            entries.push(Entry {
+                name: format!("retraction_cost/{kind}"),
+                unit,
+                value,
+            });
+        }
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_sweeps.json".to_string();
@@ -345,6 +463,11 @@ fn main() {
         &[10_000, 100_000, 1_000_000]
     };
     let publish_reps = if smoke { 3 } else { 5 };
+    let retraction_sizes: &[usize] = if smoke {
+        &[500, 2_000]
+    } else {
+        &[2_000, 8_000]
+    };
 
     let mut entries = Vec::new();
     bench_workload(
@@ -360,6 +483,7 @@ fn main() {
         &mut entries,
     );
     bench_publish_cost(publish_sizes, publish_reps, &mut entries);
+    bench_retraction_cost(retraction_sizes, publish_reps, &mut entries);
 
     let mut json = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {

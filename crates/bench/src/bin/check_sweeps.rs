@@ -1,9 +1,12 @@
 //! CI perf gate over a `BENCH_sweeps.json` produced by `bench_sweeps`.
 //!
 //! Exits non-zero when the file is unreadable, malformed, empty, holds a
-//! non-finite value, or any `*_speedup` metric sits below 1.0× — i.e. when an
+//! non-finite value, any `*_speedup` metric sits below 1.0× — i.e. when an
 //! optimization this repo has already banked (compiled flat graph, persistent
-//! pool dispatch, sharded O(Δ) publish) has regressed behind its baseline.
+//! pool dispatch, sharded O(Δ) publish, incremental retraction) has regressed
+//! behind its baseline — or a whole required series stopped emitting speedup
+//! entries (the coverage floor: a sweep that silently stops running is a
+//! regression too).
 //!
 //! Usage: `cargo run --release -p dd-bench --bin check_sweeps [file.json]`
 //! (default `BENCH_sweeps.json`).  CI runs it against a fresh `--smoke` file:
@@ -13,7 +16,7 @@
 //! cargo run --release -p dd-bench --bin check_sweeps -- ci-smoke.json
 //! ```
 
-use dd_bench::sweeps::{gate_violations, parse_bench_entries};
+use dd_bench::sweeps::{coverage_violations, gate_violations, parse_bench_entries};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -48,7 +51,8 @@ fn main() -> ExitCode {
         println!("  {:<55} {:>9.3}{}", entry.name, entry.value, entry.unit);
     }
 
-    let violations = gate_violations(&entries, 1.0);
+    let mut violations = gate_violations(&entries, 1.0);
+    violations.extend(coverage_violations(&entries));
     if violations.is_empty() {
         println!("check_sweeps: all gates pass");
         ExitCode::SUCCESS

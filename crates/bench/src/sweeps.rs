@@ -63,6 +63,33 @@ pub fn parse_bench_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
         .collect()
 }
 
+/// The benchmark series a `BENCH_sweeps.json` must cover: each of these
+/// prefixes has banked at least one `*speedup*` gate (flat-graph inference,
+/// pooled dispatch, sharded publish, incremental retraction), and a file
+/// missing a whole series means a sweep silently stopped running — which the
+/// per-entry gate alone cannot see.
+pub const REQUIRED_SPEEDUP_SERIES: [&str; 4] = [
+    "fig9_news_end_to_end/",
+    "fig5_synthetic_pairwise/",
+    "publish_cost/",
+    "retraction_cost/",
+];
+
+/// The coverage floor: every series in [`REQUIRED_SPEEDUP_SERIES`] must
+/// contribute at least one `speedup` entry.  Returns one violation message
+/// per missing series.
+pub fn coverage_violations(entries: &[BenchEntry]) -> Vec<String> {
+    REQUIRED_SPEEDUP_SERIES
+        .iter()
+        .filter(|prefix| {
+            !entries
+                .iter()
+                .any(|e| e.name.starts_with(*prefix) && e.name.contains("speedup"))
+        })
+        .map(|prefix| format!("series {prefix}* has no speedup entry — did its sweep not run?"))
+        .collect()
+}
+
 /// The smoke gate: every entry must hold a finite value, and every metric
 /// whose name contains `speedup` must be at least `min_speedup` (the CI gate
 /// uses 1.0 — "never slower than the baseline it replaced").  Returns the
@@ -162,6 +189,31 @@ mod tests {
         let violations = gate_violations(&entries, 1.0);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("pooled_vs_spawn_speedup_t2"));
+    }
+
+    #[test]
+    fn coverage_floor_requires_every_series() {
+        let entry = |name: &str| BenchEntry {
+            name: name.into(),
+            unit: "x".into(),
+            value: 2.0,
+        };
+        let full: Vec<BenchEntry> = REQUIRED_SPEEDUP_SERIES
+            .iter()
+            .map(|p| entry(&format!("{p}some_speedup_n1")))
+            .collect();
+        assert!(coverage_violations(&full).is_empty());
+
+        // Dropping one series is caught and named.
+        let partial = &full[..full.len() - 1];
+        let violations = coverage_violations(partial);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("retraction_cost/"));
+
+        // A raw (non-speedup) metric does not satisfy the floor.
+        let mut decoy = partial.to_vec();
+        decoy.push(entry("retraction_cost/deletes_per_sec_n1"));
+        assert_eq!(coverage_violations(&decoy).len(), 1);
     }
 
     #[test]

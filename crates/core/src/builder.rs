@@ -194,6 +194,10 @@ impl DeepDiveBuilder {
             wal,
             checkpoints,
             keep_checkpoints: cfg.keep_checkpoints.max(1),
+            checkpoint_every_records: cfg.checkpoint_every_records.map(|n| n.max(1)),
+            checkpoint_every_bytes: cfg.checkpoint_every_bytes.map(|n| n.max(1)),
+            records_since_checkpoint: 0,
+            bytes_since_checkpoint: 0,
         };
 
         match latest {

@@ -90,6 +90,27 @@ pub(crate) struct DurabilityHandle {
     pub checkpoints: CheckpointStore,
     /// How many checkpoint files to retain after a successful rotation.
     pub keep_checkpoints: usize,
+    /// Auto-checkpoint after this many WAL records since the last
+    /// checkpoint (`None`: manual-only).
+    pub checkpoint_every_records: Option<u64>,
+    /// Auto-checkpoint after this many encoded WAL bytes since the last
+    /// checkpoint (`None`: manual-only).
+    pub checkpoint_every_bytes: Option<u64>,
+    /// WAL records appended since the last checkpoint.
+    pub records_since_checkpoint: u64,
+    /// Encoded WAL bytes appended since the last checkpoint.
+    pub bytes_since_checkpoint: u64,
+}
+
+impl DurabilityHandle {
+    /// True once either configured threshold has been reached.
+    pub fn auto_checkpoint_due(&self) -> bool {
+        self.checkpoint_every_records
+            .is_some_and(|n| self.records_since_checkpoint >= n)
+            || self
+                .checkpoint_every_bytes
+                .is_some_and(|n| self.bytes_since_checkpoint >= n)
+    }
 }
 
 /// Everything needed to reconstruct a `DeepDive` engine at a point in time

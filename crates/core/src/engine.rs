@@ -434,7 +434,9 @@ impl DeepDive {
     /// operation forward even if the process dies mid-inference.
     pub fn initial_run(&mut self) -> Result<IterationReport, EngineError> {
         self.log_op(&WalOp::InitialRun)?;
-        self.initial_run_inner()
+        let report = self.initial_run_inner()?;
+        self.maybe_auto_checkpoint()?;
+        Ok(report)
     }
 
     fn initial_run_inner(&mut self) -> Result<IterationReport, EngineError> {
@@ -477,6 +479,7 @@ impl DeepDive {
     pub fn materialize(&mut self) -> Result<(), EngineError> {
         self.log_op(&WalOp::Materialize)?;
         self.materialize_inner();
+        self.maybe_auto_checkpoint()?;
         Ok(())
     }
 
@@ -501,7 +504,9 @@ impl DeepDive {
     /// been applied, and applying them again inflates derivation counts.
     pub fn refresh(&mut self) -> Result<IterationReport, EngineError> {
         self.log_op(&WalOp::Refresh)?;
-        self.refresh_inner()
+        let report = self.refresh_inner()?;
+        self.maybe_auto_checkpoint()?;
+        Ok(report)
     }
 
     fn refresh_inner(&mut self) -> Result<IterationReport, EngineError> {
@@ -540,7 +545,9 @@ impl DeepDive {
             };
             self.log_op(&op)?;
         }
-        self.run_update_inner(update, mode)
+        let report = self.run_update_inner(update, mode)?;
+        self.maybe_auto_checkpoint()?;
+        Ok(report)
     }
 
     /// Un-pin a supervision label: the variable for `tuple` in `relation`
@@ -562,7 +569,9 @@ impl DeepDive {
         }
         let mut update = KbcUpdate::new();
         update.retract_supervision(relation, tuple);
-        self.run_update_inner(&update, ExecutionMode::Incremental)
+        let report = self.run_update_inner(&update, ExecutionMode::Incremental)?;
+        self.maybe_auto_checkpoint()?;
+        Ok(report)
     }
 
     fn run_update_inner(
@@ -863,7 +872,27 @@ impl DeepDive {
             .copied()
             .unwrap_or(covered);
         d.wal.prune_below(oldest + 1)?;
+        // The auto-checkpoint window restarts here for both policy counters
+        // (manual checkpoints count too: they bound replay just the same).
+        d.records_since_checkpoint = 0;
+        d.bytes_since_checkpoint = 0;
         Ok(covered)
+    }
+
+    /// Trigger [`DeepDive::checkpoint`] when the configured auto-checkpoint
+    /// policy ([`dd_storage::DurabilityConfig::checkpoint_every_records`] /
+    /// `checkpoint_every_bytes`) has accumulated enough WAL since the last
+    /// checkpoint.  Called after every successful state-changing operation;
+    /// a no-op for in-memory engines and manual-only policies.
+    fn maybe_auto_checkpoint(&mut self) -> Result<(), EngineError> {
+        let due = self
+            .durability
+            .as_ref()
+            .is_some_and(DurabilityHandle::auto_checkpoint_due);
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Append one logical operation to the WAL (no-op on in-memory engines).
@@ -873,7 +902,10 @@ impl DeepDive {
     /// deterministic), so replayed state matches original state either way.
     fn log_op(&mut self, op: &WalOp) -> Result<(), EngineError> {
         if let Some(d) = self.durability.as_mut() {
-            d.wal.append(&durability::encode_wal_op(op))?;
+            let payload = durability::encode_wal_op(op);
+            d.wal.append(&payload)?;
+            d.records_since_checkpoint += 1;
+            d.bytes_since_checkpoint += payload.len() as u64;
         }
         Ok(())
     }

@@ -40,6 +40,8 @@
 //! * [`decomposition`] — Algorithm 2: grouping inactive variables (Appendix B.1).
 //! * [`incremental_learning`] — SGD/GD with and without warmstart (Appendix B.3).
 //! * [`quality`]  — precision / recall / F1 against a ground-truth fact set.
+//! * [`sharding`] — shard-assignment helpers (hash / range partition keys)
+//!   used by the `dd-router` cluster layer to split a KB across engines.
 //!
 //! Every engine owns a persistent worker pool (shared process-global by
 //! default, dedicated via [`config::EngineConfig::num_threads`]); full-Gibbs
@@ -59,6 +61,7 @@ pub mod incremental_learning;
 pub mod materialization;
 pub mod optimizer;
 pub mod quality;
+pub mod sharding;
 pub mod snapshot;
 
 pub use builder::DeepDiveBuilder;
@@ -71,6 +74,7 @@ pub use incremental_learning::{compare_learning_strategies, LearningComparison};
 pub use materialization::Materialization;
 pub use optimizer::{choose_strategy, StrategyChoice};
 pub use quality::{evaluate_quality, QualityReport};
+pub use sharding::{ShardAssignment, ShardingError};
 pub use snapshot::{
     CatalogShard, CatalogShards, FactQuery, RelationIndex, Snapshot, SnapshotReader,
 };

@@ -1,0 +1,215 @@
+//! `dd-routerd` — the scatter-gather front door as a standalone process.
+//!
+//! Two modes:
+//!
+//! - **Daemon** (production shape): given the addresses of already-running
+//!   shard servers, bind a front door and serve the dd-wire protocol until
+//!   killed.  Clients connect to it exactly as they would to a single
+//!   `dd-serverd`; batch envelopes additionally carry the cross-shard epoch
+//!   vector.
+//!
+//!   ```text
+//!   dd-routerd --shard 10.0.0.1:7100 --shard 10.0.0.2:7100 \
+//!              --listen 0.0.0.0:7101 --hash-column 0 --pool 4
+//!   ```
+//!
+//! - **Demo** (`--demo [--shards N]`): self-host a small cluster in-process,
+//!   route reads through a front door, apply a single-shard update to show
+//!   the epoch vector diverging, then kill a shard to show typed
+//!   degradation.  Exits 0; used by CI as an end-to-end smoke test.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use dd_grounding::{standard_udfs, KbcUpdate};
+use dd_relstore::{tuple, DataType, Database, Schema};
+use dd_router::{Cluster, ClusterConfig, RouterConfig, RouterHandler};
+use dd_server::{Client, Op, Server, ServerConfig};
+use deepdive::{EngineConfig, ExecutionMode, ShardAssignment};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = if args.iter().any(|a| a == "--demo") {
+        demo(&args)
+    } else {
+        daemon(&args)
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dd-routerd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull the values of a repeatable `--flag value` option.
+fn values_of<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+        .collect()
+}
+
+fn value_of<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    values_of(args, flag).into_iter().next_back()
+}
+
+fn daemon(args: &[String]) -> Result<(), String> {
+    let shards: Vec<SocketAddr> = values_of(args, "--shard")
+        .into_iter()
+        .map(|s| s.parse().map_err(|e| format!("bad --shard {s:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if shards.is_empty() {
+        return Err(
+            "no shards given; usage: dd-routerd --shard ADDR [--shard ADDR ...] \
+             [--listen ADDR] [--hash-column C | --range-bounds B1,B2,...] [--pool N] \
+             (or: dd-routerd --demo [--shards N])"
+                .to_string(),
+        );
+    }
+    let listen = value_of(args, "--listen").unwrap_or("127.0.0.1:7101");
+    let pool: usize = match value_of(args, "--pool") {
+        Some(p) => p.parse().map_err(|e| format!("bad --pool {p:?}: {e}"))?,
+        None => 4,
+    };
+    let assignment = match value_of(args, "--range-bounds") {
+        Some(spec) => ShardAssignment::RangeKey {
+            column: parse_column(args)?,
+            bounds: spec
+                .split(',')
+                .map(|b| {
+                    b.trim()
+                        .parse()
+                        .map_err(|e| format!("bad bound {b:?}: {e}"))
+                })
+                .collect::<Result<_, _>>()?,
+        },
+        None => ShardAssignment::HashKey {
+            column: parse_column(args)?,
+        },
+    };
+
+    let handler = RouterHandler::new(assignment, &shards, RouterConfig::default(), pool)
+        .map_err(|e| e.to_string())?;
+    let server = Server::bind_with_handler(listen, Arc::new(handler), ServerConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "dd-routerd: front door on {} over {} shard(s)",
+        server.local_addr(),
+        shards.len()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse_column(args: &[String]) -> Result<usize, String> {
+    match value_of(args, "--hash-column").or_else(|| value_of(args, "--range-column")) {
+        Some(c) => c.parse().map_err(|e| format!("bad column {c:?}: {e}")),
+        None => Ok(0),
+    }
+}
+
+/// The demo program: claims become facts, every claim carries an exact
+/// positive or negative label, so marginal probabilities are exactly 1.0 or
+/// 0.0 and the output is deterministic.
+const DEMO_PROGRAM: &str = "\
+    relation Claim(doc: int, id: int) base.\n\
+    relation Pos(doc: int, id: int) base.\n\
+    relation Neg(doc: int, id: int) base.\n\
+    relation Fact(doc: int, id: int) variable.\n\
+    rule F feature: Fact(doc, id) :- Claim(doc, id) weight = 1.5.\n\
+    rule SP supervision+: Fact(doc, id) :- Claim(doc, id), Pos(doc, id).\n\
+    rule SN supervision-: Fact(doc, id) :- Claim(doc, id), Neg(doc, id).\n";
+
+fn demo_database(docs: i64) -> Database {
+    let mut db = Database::new();
+    let schema = || Schema::of(&[("doc", DataType::Int), ("id", DataType::Int)]);
+    for table in ["Claim", "Pos", "Neg"] {
+        db.create_table(table, schema()).expect("fresh table");
+    }
+    for doc in 0..docs {
+        for id in 0..6i64 {
+            db.insert("Claim", tuple![doc, id]).expect("demo row");
+            let label = if id % 2 == 0 { "Pos" } else { "Neg" };
+            db.insert(label, tuple![doc, id]).expect("demo label");
+        }
+    }
+    db
+}
+
+fn demo(args: &[String]) -> Result<(), String> {
+    let num_shards: usize = match value_of(args, "--shards") {
+        Some(n) => n.parse().map_err(|e| format!("bad --shards {n:?}: {e}"))?,
+        None => 4,
+    };
+    println!("== dd-routerd demo: {num_shards} shards, hash-partitioned on doc ==");
+
+    let mut config = ClusterConfig::new(num_shards);
+    config.engine = EngineConfig::fast();
+    let mut cluster = Cluster::build(DEMO_PROGRAM, &demo_database(8), &standard_udfs(), &config)
+        .map_err(|e| e.to_string())?;
+    cluster.initial_run().map_err(|e| e.to_string())?;
+    println!("shard epochs after initial run: {:?}", cluster.epochs());
+
+    let front = cluster
+        .serve_front(
+            "127.0.0.1:0",
+            RouterConfig::default(),
+            ServerConfig::default(),
+            2,
+        )
+        .map_err(|e| e.to_string())?;
+    println!("front door: {}", front.local_addr());
+
+    let mut client = Client::connect(front.local_addr()).map_err(|e| e.to_string())?;
+    let batch = client
+        .batch(vec![
+            Op::Relations,
+            Op::Stats,
+            Op::AllFacts {
+                min_probability: 0.5,
+                offset: 0,
+                limit: 1_000,
+            },
+        ])
+        .map_err(|e| e.to_string())?;
+    println!("epoch vector: {:?}", batch.epochs);
+    println!("relations:    {:?}", batch.results[0]);
+    println!("stats:        {:?}", batch.results[1]);
+
+    // A single-document update touches exactly one shard: its epoch advances,
+    // the rest stand still, and the next batch's epoch vector shows it.
+    let mut update = KbcUpdate::new();
+    update.insert("Claim", tuple![100i64, 0i64]);
+    update.insert("Pos", tuple![100i64, 0i64]);
+    cluster
+        .run_update(&update, ExecutionMode::Incremental)
+        .map_err(|e| e.to_string())?;
+    let after = client
+        .batch(vec![Op::probability_of("Fact", tuple![100i64, 0i64])])
+        .map_err(|e| e.to_string())?;
+    println!("after one-doc update:");
+    println!(
+        "epoch vector: {:?} (exactly one shard advanced)",
+        after.epochs
+    );
+    println!("new fact:     {:?}", after.results[0]);
+
+    // Kill a shard: broadcast reads now degrade into a typed error.
+    cluster.kill_shard(0);
+    match client.batch(vec![Op::Relations]) {
+        Err(dd_server::ClientError::Server { kind, message }) => {
+            println!("with shard 0 down: typed refusal {kind}: {message}");
+        }
+        Ok(_) => return Err("a dead shard must fail broadcast reads".to_string()),
+        Err(other) => return Err(format!("expected a typed refusal, got {other}")),
+    }
+
+    front.shutdown();
+    println!("demo complete");
+    Ok(())
+}

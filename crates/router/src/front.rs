@@ -1,0 +1,115 @@
+//! The front door: serving routed batches over the ordinary wire protocol.
+//!
+//! [`RouterHandler`] implements [`dd_server::BatchHandler`], so an unmodified
+//! [`dd_server::Server`] — same framing, same backpressure, same typed error
+//! taxonomy — can answer from a shard cluster instead of a local snapshot.
+//! Clients need no changes: they connect to the front door exactly as they
+//! would to a single engine and receive batch envelopes that additionally
+//! carry the cross-shard epoch vector.
+//!
+//! A [`Router`] holds per-shard connections and is therefore stateful; the
+//! handler keeps a small pool of routers behind mutexes and picks one per
+//! batch round-robin, preferring an uncontended router (`try_lock`) and
+//! falling back to blocking on its designated slot so a burst of batches
+//! cannot starve.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use dd_server::{BatchHandler, Request, Response};
+use deepdive::{ShardAssignment, ShardingError};
+
+use crate::router::{Router, RouterConfig};
+
+/// A [`BatchHandler`] that answers wire batches by scatter-gathering over a
+/// shard cluster.
+pub struct RouterHandler {
+    routers: Vec<Mutex<Router>>,
+    next: AtomicUsize,
+}
+
+impl RouterHandler {
+    /// Build a handler with `pool` independent routers (clamped to at least
+    /// one) over the given shard addresses.  Each pooled router maintains
+    /// its own shard connections, so the front door serves up to `pool`
+    /// batches concurrently — size it to the front server's worker count.
+    pub fn new(
+        assignment: ShardAssignment,
+        addrs: &[std::net::SocketAddr],
+        config: RouterConfig,
+        pool: usize,
+    ) -> Result<RouterHandler, ShardingError> {
+        let routers = (0..pool.max(1))
+            .map(|_| Router::new(assignment.clone(), addrs, config.clone()).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RouterHandler {
+            routers,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of pooled routers.
+    pub fn pool_size(&self) -> usize {
+        self.routers.len()
+    }
+}
+
+impl BatchHandler for RouterHandler {
+    fn execute(&self, request: &Request) -> Response {
+        let n = self.routers.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        // First pass: take any idle router without blocking.
+        for i in 0..n {
+            if let Ok(mut router) = self.routers[(start + i) % n].try_lock() {
+                return router.execute(request);
+            }
+        }
+        // All busy: queue on this batch's designated slot.
+        self.routers[start % n]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .execute(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_server::Op;
+
+    #[test]
+    fn the_pool_is_never_empty_and_serves_requests() {
+        let addrs = ["127.0.0.1:1".parse().unwrap()];
+        let handler = RouterHandler::new(
+            ShardAssignment::HashKey { column: 0 },
+            &addrs,
+            RouterConfig::default(),
+            0,
+        )
+        .unwrap();
+        assert_eq!(handler.pool_size(), 1);
+
+        // Nothing listens on port 1: the handler must answer with a typed
+        // error, not hang or panic.
+        let response = handler.execute(&Request::new(vec![Op::Epoch]));
+        let Response::Error { kind, .. } = response else {
+            panic!("a dead shard must surface as a typed error");
+        };
+        assert_eq!(kind, dd_server::ErrorKind::ShardUnavailable);
+    }
+
+    #[test]
+    fn bad_assignments_are_rejected_at_construction() {
+        let addrs = ["127.0.0.1:1".parse().unwrap()];
+        let result = RouterHandler::new(
+            ShardAssignment::RangeKey {
+                column: 0,
+                bounds: vec![10, 20],
+            },
+            &addrs,
+            RouterConfig::default(),
+            2,
+        );
+        assert!(result.is_err());
+    }
+}

@@ -24,8 +24,23 @@ use crate::protocol::{Batch, ErrorKind, FactQuerySpec, Op, OpResult, Request, Re
 use dd_relstore::Tuple;
 use dd_wire::frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Connection-level knobs of a [`Client`] (see [`Client::connect_with`]).
+///
+/// Both timeouts default to `None` — block indefinitely, the plain
+/// `TcpStream` behavior — which is right for trusted local serving.  A
+/// router fanning a batch out across shards sets both, so one dead or
+/// wedged shard turns into a timely typed error instead of hanging the
+/// whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct ClientConfig {
+    /// Cap on establishing the TCP connection (per resolved address).
+    pub connect_timeout: Option<Duration>,
+    /// Cap on waiting for any single read while receiving a response.
+    pub read_timeout: Option<Duration>,
+}
 
 /// Bounded exponential backoff for retrying `overloaded` refusals
 /// (see [`Client::call_with_retry`]).
@@ -117,6 +132,28 @@ impl ClientError {
             }
         )
     }
+
+    /// True when the server refused because it is shutting down.  The server
+    /// closes the connection after this refusal, so a retry must reconnect
+    /// first — [`Client::call_with_retry`] does exactly that, which is how a
+    /// shard restart becomes a ride-out instead of a hard failure.
+    pub fn is_shutting_down(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                kind: ErrorKind::ShuttingDown,
+                ..
+            }
+        )
+    }
+
+    /// True for the refusals [`Client::call_with_retry`] spends budget on:
+    /// `overloaded` (transient backpressure) and `shutting_down` (a restart
+    /// in progress).  Everything else — transport errors, framing errors,
+    /// other refusals — is not load and returns immediately.
+    pub fn is_retryable(&self) -> bool {
+        self.is_overloaded() || self.is_shutting_down()
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -158,17 +195,72 @@ impl From<FrameError> for ClientError {
 pub struct Client {
     stream: TcpStream,
     max_frame_bytes: usize,
+    /// The addresses `connect` resolved, kept so [`Client::reconnect`] can
+    /// re-dial the same server after a restart.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server with default (blocking, no-timeout) settings.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit connection/read timeouts.
+    ///
+    /// ```no_run
+    /// use dd_server::{Client, ClientConfig};
+    /// use std::time::Duration;
+    ///
+    /// let client = Client::connect_with(
+    ///     "127.0.0.1:7171",
+    ///     ClientConfig {
+    ///         connect_timeout: Some(Duration::from_millis(250)),
+    ///         read_timeout: Some(Duration::from_secs(5)),
+    ///     },
+    /// )?;
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Client::dial(&addrs, &config)?;
         Ok(Client {
             stream,
             max_frame_bytes: MAX_FRAME_BYTES,
+            addrs,
+            config,
         })
+    }
+
+    fn dial(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+        let mut last_err = None;
+        for addr in addrs {
+            let attempt = match config.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_nodelay(true)?;
+                    return Ok(stream);
+                }
+                Err(err) => last_err = Some(err),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    /// Drop the current connection and dial the same server again (same
+    /// resolved addresses, same [`ClientConfig`]).  Used after a
+    /// `shutting_down` refusal — the server closes the socket behind that
+    /// refusal, so the next attempt needs a fresh connection.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Client::dial(&self.addrs, &self.config)?;
+        Ok(())
     }
 
     /// Raise (or lower) the cap on response frames this client will accept.
@@ -186,7 +278,14 @@ impl Client {
     /// per-op results) on success, or the typed refusal as
     /// [`ClientError::Server`].
     pub fn batch(&mut self, ops: Vec<Op>) -> Result<Batch, ClientError> {
-        let request = Request { ops };
+        self.batch_at(ops, None)
+    }
+
+    /// Send one batch pinned to a specific server epoch (`at_epoch`); the
+    /// server answers `epoch_unavailable` if its current snapshot differs.
+    /// Routers use this to keep multi-chunk shard requests on one cut.
+    pub fn batch_at(&mut self, ops: Vec<Op>, at_epoch: Option<u64>) -> Result<Batch, ClientError> {
+        let request = Request { ops, at_epoch };
         write_frame(&mut self.stream, &request.encode())?;
         self.stream.flush()?;
         let payload = read_frame(&mut self.stream, self.max_frame_bytes)?;
@@ -235,13 +334,18 @@ impl Client {
     }
 
     /// Run `call`, retrying with bounded exponential backoff while the server
-    /// refuses with backpressure ([`ClientError::is_overloaded`]).
+    /// refuses for transient reasons ([`ClientError::is_retryable`]).
     ///
-    /// Only `overloaded` refusals are retried — a queue-full refusal leaves
-    /// the connection healthy, so the retry reuses it.  Transport errors,
-    /// framing errors, and every other server refusal return immediately:
-    /// they are not load, and retrying them blind would mask real failures.
-    /// The last attempt's error is returned when the budget runs out.
+    /// `overloaded` refusals leave the connection healthy, so their retries
+    /// reuse it.  `shutting_down` refusals are followed by a socket close on
+    /// the server side — here the backoff sleep is followed by a
+    /// [`Client::reconnect`] attempt, so a shard restarting behind the same
+    /// address is ridden out within the budget (a failed reconnect leaves
+    /// the dead socket in place, and the next attempt's transport error
+    /// returns immediately).  Transport errors, framing errors, and every
+    /// other server refusal return immediately: they are not load, and
+    /// retrying them blind would mask real failures.  The last attempt's
+    /// error is returned when the budget runs out.
     ///
     /// ```no_run
     /// use dd_server::{Client, RetryPolicy};
@@ -259,8 +363,15 @@ impl Client {
         let mut rng = policy.jitter_seed;
         for attempt in 0..attempts {
             match call(self) {
-                Err(err) if err.is_overloaded() && attempt + 1 < attempts => {
+                Err(err) if err.is_retryable() && attempt + 1 < attempts => {
                     std::thread::sleep(policy.backoff_for(attempt, &mut rng));
+                    if err.is_shutting_down() {
+                        // The server closed this socket behind its refusal;
+                        // dial again so the next attempt has a live one.  A
+                        // refused dial (still restarting) is left for the
+                        // next attempt to surface as a transport error.
+                        let _ = self.reconnect();
+                    }
                 }
                 other => return other,
             }
@@ -382,6 +493,59 @@ mod tests {
             })
             .unwrap();
         assert_eq!(value, 3);
+    }
+
+    #[test]
+    fn shutting_down_refusals_are_retried_with_a_reconnect() {
+        let tiny = RetryPolicy {
+            max_attempts: 4,
+            initial_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(20),
+            jitter_seed: 1,
+        };
+        let (listener, mut client) = idle_client();
+
+        // A shutting_down refusal spends budget (it is a restart in
+        // progress, not a dead end) and triggers a reconnect between
+        // attempts — observable as fresh connections on the listener.
+        listener.set_nonblocking(true).unwrap();
+        // Drain the initial connection so only retry-driven dials remain.
+        while listener.accept().is_ok() {}
+        let mut attempts = 0;
+        let value = client
+            .call_with_retry(&tiny, |_| {
+                attempts += 1;
+                if attempts < 3 {
+                    Err(ClientError::Server {
+                        kind: ErrorKind::ShuttingDown,
+                        message: "server shutting down".to_string(),
+                    })
+                } else {
+                    Ok(attempts)
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 3, "two shutting_down refusals then success");
+        let mut reconnects = 0;
+        while listener.accept().is_ok() {
+            reconnects += 1;
+        }
+        assert_eq!(reconnects, 2, "one fresh dial per shutting_down refusal");
+
+        // Budget exhaustion returns the last shutting_down error.
+        let mut attempts = 0;
+        let err = client
+            .call_with_retry(&tiny, |_| -> Result<(), ClientError> {
+                attempts += 1;
+                Err(ClientError::Server {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "still going down".to_string(),
+                })
+            })
+            .unwrap_err();
+        assert_eq!(attempts, 4);
+        assert!(err.is_shutting_down());
+        assert!(err.is_retryable());
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use protocol::{
     Batch, DecodeError, ErrorKind, FactQuerySpec, Op, OpResult, Request, Response,
     MAX_OPS_PER_BATCH,
 };
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{BatchHandler, Server, ServerConfig, ServerStats, SnapshotBatchHandler};

@@ -13,6 +13,22 @@
 //! frame, never a dropped connection, so clients can distinguish *typed*
 //! overload/malformed-input conditions from transport failures.
 //!
+//! # Routing metadata (sharded deployments)
+//!
+//! Two optional envelope fields exist for the `dd-router` scatter-gather
+//! front door; unsharded clients and servers never need them:
+//!
+//! * A request may carry `"at_epoch": E` to demand that the batch be served
+//!   from exactly epoch `E`.  A server whose current snapshot is at any
+//!   other epoch answers with a typed [`ErrorKind::EpochUnavailable`] error
+//!   instead of silently serving a different cut.  The router uses this to
+//!   pin multi-chunk per-shard requests to one snapshot.
+//! * A batch response may carry `"epochs": [e0, null, e2, ...]` — the
+//!   **cross-shard epoch vector**: entry `i` is the epoch shard `i`'s
+//!   answers came from, `null` for shards the batch never consulted.  The
+//!   scalar `epoch` field then carries the maximum consulted entry as a
+//!   coarse cluster version; the vector is authoritative.
+//!
 //! # Operations
 //!
 //! | `op`             | arguments                                              | result |
@@ -102,10 +118,24 @@ impl Op {
     }
 }
 
-/// A decoded request: the operations of one batch.
+/// A decoded request: the operations of one batch, plus an optional epoch
+/// pin (see the module docs on routing metadata).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     pub ops: Vec<Op>,
+    /// Demand this exact snapshot epoch; the server answers
+    /// [`ErrorKind::EpochUnavailable`] if its current snapshot differs.
+    pub at_epoch: Option<u64>,
+}
+
+impl Request {
+    /// A request with no epoch pin (the common case).
+    pub fn new(ops: Vec<Op>) -> Self {
+        Request {
+            ops,
+            at_epoch: None,
+        }
+    }
 }
 
 /// Why a request payload could not be decoded, already classified into the
@@ -136,11 +166,16 @@ pub enum OpResult {
     AllFacts(Vec<(String, Tuple, f64)>),
 }
 
-/// A successful batch response: one epoch, one result per operation.
+/// A successful batch response: one epoch, one result per operation, and —
+/// when a router answered — the cross-shard epoch vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Batch {
     pub epoch: u64,
     pub results: Vec<OpResult>,
+    /// Per-shard epochs this batch was served from (`None` entries are
+    /// shards the batch never consulted).  `None` as a whole on direct,
+    /// unsharded responses.
+    pub epochs: Option<Vec<Option<u64>>>,
 }
 
 /// The typed failure taxonomy of the wire protocol.
@@ -158,6 +193,12 @@ pub enum ErrorKind {
     Oversized,
     /// The server is shutting down and will not serve this request.
     ShuttingDown,
+    /// A shard this batch needs is down or unreachable (router-originated;
+    /// the batch degraded with a typed error instead of hanging).
+    ShardUnavailable,
+    /// The request pinned `at_epoch` to an epoch this server's current
+    /// snapshot does not hold.
+    EpochUnavailable,
     /// A server-side invariant failure (should not happen).
     Internal,
 }
@@ -171,6 +212,8 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::Oversized => "oversized",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::ShardUnavailable => "shard_unavailable",
+            ErrorKind::EpochUnavailable => "epoch_unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -183,6 +226,8 @@ impl ErrorKind {
             "overloaded" => ErrorKind::Overloaded,
             "oversized" => ErrorKind::Oversized,
             "shutting_down" => ErrorKind::ShuttingDown,
+            "shard_unavailable" => ErrorKind::ShardUnavailable,
+            "epoch_unavailable" => ErrorKind::EpochUnavailable,
             "internal" => ErrorKind::Internal,
             _ => return None,
         })
@@ -292,6 +337,20 @@ fn optional_usize_field(obj: &Json, key: &str) -> Result<Option<usize>, String> 
     }
 }
 
+/// An optional non-negative integral field wide enough for epochs (exact up
+/// to 2⁵³, far beyond any update count).
+fn optional_u64_field(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Number(n))
+            if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.007_199_254_740_992e15 =>
+        {
+            Ok(Some(*n as u64))
+        }
+        Some(_) => Err(format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
 fn f64_field(obj: &Json, key: &str, default: f64) -> Result<f64, String> {
     match obj.get(key) {
         None | Some(Json::Null) => Ok(default),
@@ -385,12 +444,14 @@ fn op_from_json(json: &Json) -> Result<Op, String> {
 impl Request {
     /// Encode to the frame payload.
     pub fn encode(&self) -> Vec<u8> {
-        Json::Object(vec![(
+        let mut fields = vec![(
             "ops".to_string(),
             Json::Array(self.ops.iter().map(op_to_json).collect()),
-        )])
-        .encode()
-        .into_bytes()
+        )];
+        if let Some(epoch) = self.at_epoch {
+            fields.push(("at_epoch".to_string(), Json::Number(epoch as f64)));
+        }
+        Json::Object(fields).encode().into_bytes()
     }
 
     /// Decode a frame payload, classifying failures into the wire taxonomy
@@ -422,7 +483,8 @@ impl Request {
             .map(op_from_json)
             .collect::<Result<Vec<_>, _>>()
             .map_err(bad_request)?;
-        Ok(Request { ops })
+        let at_epoch = optional_u64_field(&doc, "at_epoch").map_err(bad_request)?;
+        Ok(Request { ops, at_epoch })
     }
 }
 
@@ -567,14 +629,28 @@ impl Response {
     /// Encode to the frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let doc = match self {
-            Response::Batch(batch) => Json::Object(vec![
-                ("ok".to_string(), Json::Bool(true)),
-                ("epoch".to_string(), Json::Number(batch.epoch as f64)),
-                (
+            Response::Batch(batch) => {
+                let mut fields = vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("epoch".to_string(), Json::Number(batch.epoch as f64)),
+                ];
+                if let Some(epochs) = &batch.epochs {
+                    fields.push((
+                        "epochs".to_string(),
+                        Json::Array(
+                            epochs
+                                .iter()
+                                .map(|e| e.map_or(Json::Null, |e| Json::Number(e as f64)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                fields.push((
                     "results".to_string(),
                     Json::Array(batch.results.iter().map(result_to_json).collect()),
-                ),
-            ]),
+                ));
+                Json::Object(fields)
+            }
             Response::Error { kind, message } => Json::Object(vec![
                 ("ok".to_string(), Json::Bool(false)),
                 (
@@ -603,6 +679,22 @@ impl Response {
                     .and_then(Json::as_f64)
                     .filter(|e| e.fract() == 0.0 && *e >= 0.0)
                     .ok_or("missing integral \"epoch\"")? as u64;
+                let epochs = match doc.get("epochs") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Array(entries)) => Some(
+                        entries
+                            .iter()
+                            .map(|e| match e {
+                                Json::Null => Ok(None),
+                                Json::Number(n) if n.fract() == 0.0 && *n >= 0.0 => {
+                                    Ok(Some(*n as u64))
+                                }
+                                _ => Err("\"epochs\" entries must be integers or null"),
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                    Some(_) => return Err("\"epochs\" must be an array".to_string()),
+                };
                 let results = doc
                     .get("results")
                     .and_then(Json::as_array)
@@ -610,7 +702,11 @@ impl Response {
                     .iter()
                     .map(result_from_json)
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Response::Batch(Batch { epoch, results }))
+                Ok(Response::Batch(Batch {
+                    epoch,
+                    results,
+                    epochs,
+                }))
             }
             Some(false) => {
                 let error = doc.get("error").ok_or("missing \"error\" object")?;
@@ -652,31 +748,42 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        let request = Request {
-            ops: vec![
-                Op::Epoch,
-                Op::Relations,
-                Op::Stats,
-                Op::probability_of("Fact", tuple![1i64, "a"]),
-                Op::query(
-                    "Fact",
-                    FactQuerySpec {
-                        min_probability: 0.5,
-                        top_k: Some(10),
-                        offset: 2,
-                        limit: Some(3),
-                    },
-                ),
-                Op::AllFacts {
-                    min_probability: 0.9,
-                    offset: 0,
-                    limit: 100,
+        let request = Request::new(vec![
+            Op::Epoch,
+            Op::Relations,
+            Op::Stats,
+            Op::probability_of("Fact", tuple![1i64, "a"]),
+            Op::query(
+                "Fact",
+                FactQuerySpec {
+                    min_probability: 0.5,
+                    top_k: Some(10),
+                    offset: 2,
+                    limit: Some(3),
                 },
-                Op::Sleep { millis: 5 },
-            ],
-        };
+            ),
+            Op::AllFacts {
+                min_probability: 0.9,
+                offset: 0,
+                limit: 100,
+            },
+            Op::Sleep { millis: 5 },
+        ]);
         let decoded = Request::decode(&request.encode()).unwrap();
         assert_eq!(decoded, request);
+    }
+
+    #[test]
+    fn epoch_pin_round_trips_and_rejects_junk() {
+        let pinned = Request {
+            ops: vec![Op::Epoch],
+            at_epoch: Some(41),
+        };
+        assert_eq!(Request::decode(&pinned.encode()).unwrap(), pinned);
+        // Absent pin decodes to None.
+        assert_eq!(Request::decode(br#"{"ops": []}"#).unwrap().at_epoch, None);
+        let err = Request::decode(br#"{"ops": [], "at_epoch": -3}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
     }
 
     #[test]
@@ -709,9 +816,7 @@ mod tests {
             kind(br#"{"ops": [{"op": "query", "relation": "F", "top_k": -1}]}"#),
             ErrorKind::BadRequest
         );
-        let too_many = Request {
-            ops: vec![Op::Epoch; MAX_OPS_PER_BATCH + 1],
-        };
+        let too_many = Request::new(vec![Op::Epoch; MAX_OPS_PER_BATCH + 1]);
         let err = Request::decode(&too_many.encode()).unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);
         assert!(err.message.contains("cap"));
@@ -721,6 +826,7 @@ mod tests {
     fn responses_round_trip() {
         let response = Response::Batch(Batch {
             epoch: 7,
+            epochs: None,
             results: vec![
                 OpResult::Empty,
                 OpResult::Relations(vec!["Fact".to_string(), "Other".to_string()]),
@@ -747,6 +853,27 @@ mod tests {
     }
 
     #[test]
+    fn epoch_vectors_round_trip_including_unconsulted_shards() {
+        let response = Response::Batch(Batch {
+            epoch: 9,
+            epochs: Some(vec![Some(9), None, Some(4), None]),
+            results: vec![OpResult::Empty],
+        });
+        let decoded = Response::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+        // A vector-free response stays vector-free (direct servers).
+        let plain = Response::Batch(Batch {
+            epoch: 1,
+            epochs: None,
+            results: Vec::new(),
+        });
+        assert_eq!(Response::decode(&plain.encode()).unwrap(), plain);
+        assert!(
+            Response::decode(br#"{"ok": true, "epoch": 1, "epochs": 5, "results": []}"#).is_err()
+        );
+    }
+
+    #[test]
     fn every_error_kind_round_trips_its_wire_name() {
         for kind in [
             ErrorKind::MalformedFrame,
@@ -754,6 +881,8 @@ mod tests {
             ErrorKind::Overloaded,
             ErrorKind::Oversized,
             ErrorKind::ShuttingDown,
+            ErrorKind::ShardUnavailable,
+            ErrorKind::EpochUnavailable,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_wire_name(kind.wire_name()), Some(kind));

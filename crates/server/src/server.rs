@@ -97,6 +97,60 @@ impl Default for ServerConfig {
     }
 }
 
+/// What a worker runs a decoded batch through.  The default is
+/// [`SnapshotBatchHandler`] (pin one snapshot, answer every op from it);
+/// the `dd-router` front door substitutes a scatter-gather implementation
+/// behind the same acceptor/queue/worker machinery via
+/// [`Server::bind_with_handler`].
+///
+/// Implementations never see transport concerns: framing, decode
+/// classification, backpressure, and shutdown refusals are all handled
+/// before `execute` is called, and worker panics are caught and turned into
+/// typed `internal` errors after it.
+pub trait BatchHandler: Send + Sync + 'static {
+    /// Execute one decoded batch, returning the response frame's content.
+    fn execute(&self, request: &Request) -> Response;
+}
+
+/// The default [`BatchHandler`]: pins `reader.snapshot()` once per batch so
+/// every op answers from the same epoch, honoring the request's `at_epoch`
+/// pin (answering [`ErrorKind::EpochUnavailable`] when the current snapshot
+/// is at any other epoch).
+pub struct SnapshotBatchHandler {
+    reader: SnapshotReader,
+    allow_sleep: bool,
+}
+
+impl SnapshotBatchHandler {
+    /// Wrap a snapshot reader; `allow_sleep` enables the fault-injection
+    /// `sleep` op (see [`ServerConfig::allow_sleep_op`]).
+    pub fn new(reader: SnapshotReader, allow_sleep: bool) -> Self {
+        SnapshotBatchHandler {
+            reader,
+            allow_sleep,
+        }
+    }
+}
+
+impl BatchHandler for SnapshotBatchHandler {
+    fn execute(&self, request: &Request) -> Response {
+        // One snapshot pin per batch: every op below reads this epoch.
+        let snapshot = self.reader.snapshot();
+        if let Some(want) = request.at_epoch {
+            if snapshot.epoch() != want {
+                return Response::error(
+                    ErrorKind::EpochUnavailable,
+                    format!(
+                        "pinned epoch {want} is not this server's current epoch {}",
+                        snapshot.epoch()
+                    ),
+                );
+            }
+        }
+        execute_batch(&snapshot, request, self.allow_sleep)
+    }
+}
+
 /// Monotonic counters, readable while the server runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -193,6 +247,18 @@ impl Server {
         reader: SnapshotReader,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        let handler = Arc::new(SnapshotBatchHandler::new(reader, config.allow_sleep_op));
+        Server::bind_with_handler(addr, handler, config)
+    }
+
+    /// Bind `addr` and serve batches through a custom [`BatchHandler`]
+    /// (acceptor, bounded queue, typed backpressure, and worker-panic
+    /// containment all behave exactly as with [`Server::bind`]).
+    pub fn bind_with_handler(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn BatchHandler>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -210,10 +276,10 @@ impl Server {
         let workers = (0..config.workers.max(1))
             .map(|index| {
                 let shared = Arc::clone(&shared);
-                let reader = reader.clone();
+                let handler = Arc::clone(&handler);
                 std::thread::Builder::new()
                     .name(format!("dd-server-worker-{index}"))
-                    .spawn(move || worker_loop(&shared, &reader))
+                    .spawn(move || worker_loop(&shared, handler.as_ref()))
                     .expect("spawn server worker")
             })
             .collect();
@@ -508,14 +574,10 @@ fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()
     writer.flush()
 }
 
-fn worker_loop(shared: &Shared, reader: &SnapshotReader) {
+fn worker_loop(shared: &Shared, handler: &dyn BatchHandler) {
     while let Some(QueuedRequest { request, respond }) = shared.pop() {
-        // One snapshot pin per batch: every op below reads this epoch.
-        let snapshot = reader.snapshot();
-        let response = catch_unwind(AssertUnwindSafe(|| {
-            execute_batch(&snapshot, &request, shared.config.allow_sleep_op)
-        }))
-        .unwrap_or_else(|_| Response::error(ErrorKind::Internal, "batch execution panicked"));
+        let response = catch_unwind(AssertUnwindSafe(|| handler.execute(&request)))
+            .unwrap_or_else(|_| Response::error(ErrorKind::Internal, "batch execution panicked"));
         if matches!(response, Response::Batch(_)) {
             shared.batches_served.fetch_add(1, Ordering::Relaxed);
         }
@@ -585,6 +647,7 @@ fn execute_batch(snapshot: &Snapshot, request: &Request, allow_sleep: bool) -> R
     }
     Response::Batch(Batch {
         epoch: snapshot.epoch(),
+        epochs: None,
         results,
     })
 }
@@ -594,7 +657,7 @@ mod tests {
     use super::*;
     use crate::protocol::FactQuerySpec;
     use dd_relstore::tuple;
-    use deepdive::{CatalogShards, Snapshot};
+    use deepdive::{CatalogShards, Snapshot, SnapshotReader};
 
     fn test_snapshot() -> Snapshot {
         let mut catalog = std::collections::HashMap::new();
@@ -606,27 +669,25 @@ mod tests {
     #[test]
     fn execute_batch_pins_one_epoch_and_answers_in_order() {
         let snapshot = test_snapshot();
-        let request = Request {
-            ops: vec![
-                Op::Epoch,
-                Op::Relations,
-                Op::probability_of("Fact", tuple![1i64]),
-                Op::probability_of("Fact", tuple![404i64]),
-                Op::query(
-                    "Fact",
-                    FactQuerySpec {
-                        min_probability: 0.5,
-                        ..FactQuerySpec::default()
-                    },
-                ),
-                Op::AllFacts {
-                    min_probability: 0.0,
-                    offset: 0,
-                    limit: 10,
+        let request = Request::new(vec![
+            Op::Epoch,
+            Op::Relations,
+            Op::probability_of("Fact", tuple![1i64]),
+            Op::probability_of("Fact", tuple![404i64]),
+            Op::query(
+                "Fact",
+                FactQuerySpec {
+                    min_probability: 0.5,
+                    ..FactQuerySpec::default()
                 },
-                Op::Stats,
-            ],
-        };
+            ),
+            Op::AllFacts {
+                min_probability: 0.0,
+                offset: 0,
+                limit: 10,
+            },
+            Op::Stats,
+        ]);
         let Response::Batch(batch) = execute_batch(&snapshot, &request, false) else {
             panic!("expected a batch response");
         };
@@ -659,9 +720,7 @@ mod tests {
     #[test]
     fn sleep_op_is_rejected_unless_enabled() {
         let snapshot = test_snapshot();
-        let request = Request {
-            ops: vec![Op::Sleep { millis: 0 }],
-        };
+        let request = Request::new(vec![Op::Sleep { millis: 0 }]);
         assert!(matches!(
             execute_batch(&snapshot, &request, false),
             Response::Error {
@@ -694,7 +753,7 @@ mod tests {
         let item = || {
             let (respond, _rx) = mpsc::channel();
             QueuedRequest {
-                request: Request { ops: Vec::new() },
+                request: Request::new(Vec::new()),
                 respond,
             }
         };
@@ -706,5 +765,36 @@ mod tests {
         shared.stop.store(true, Ordering::Release);
         assert!(shared.try_enqueue(item()).is_err()); // stopping: refuse
         assert!(shared.pop().is_none()); // stopping: workers exit
+    }
+
+    #[test]
+    fn snapshot_handler_enforces_the_epoch_pin() {
+        let handler = SnapshotBatchHandler::new(SnapshotReader::fixed(test_snapshot()), false);
+        // Matching pin (the synthetic snapshot is at epoch 3): served.
+        let pinned = Request {
+            ops: vec![Op::Epoch],
+            at_epoch: Some(3),
+        };
+        let Response::Batch(batch) = handler.execute(&pinned) else {
+            panic!("matching pin must be served");
+        };
+        assert_eq!(batch.epoch, 3);
+        // Any other pin: the typed epoch_unavailable error, not a stale cut.
+        let stale = Request {
+            ops: vec![Op::Epoch],
+            at_epoch: Some(2),
+        };
+        assert!(matches!(
+            handler.execute(&stale),
+            Response::Error {
+                kind: ErrorKind::EpochUnavailable,
+                ..
+            }
+        ));
+        // No pin: served from whatever is current.
+        assert!(matches!(
+            handler.execute(&Request::new(vec![Op::Epoch])),
+            Response::Batch(_)
+        ));
     }
 }

@@ -30,6 +30,18 @@ pub struct DurabilityConfig {
     /// How many checkpoint files to keep after a successful checkpoint
     /// (at least 1; the newest is never pruned).
     pub keep_checkpoints: usize,
+    /// Automatically checkpoint after this many WAL records have been
+    /// appended since the last checkpoint (`None` — the default — keeps
+    /// checkpoints manual-only).  The trigger fires right after the
+    /// state-changing call that crossed the threshold completes, so the WAL
+    /// replay window on recovery stays bounded without anyone calling
+    /// `checkpoint()` by hand.
+    pub checkpoint_every_records: Option<u64>,
+    /// Like `checkpoint_every_records`, but counting encoded WAL bytes —
+    /// the natural bound when updates vary wildly in size.  Both thresholds
+    /// may be set; whichever trips first triggers the checkpoint (and both
+    /// counters reset).
+    pub checkpoint_every_bytes: Option<u64>,
 }
 
 impl DurabilityConfig {
@@ -40,6 +52,8 @@ impl DurabilityConfig {
             data_dir: data_dir.into(),
             fsync: FsyncPolicy::Always,
             keep_checkpoints: 2,
+            checkpoint_every_records: None,
+            checkpoint_every_bytes: None,
         }
     }
 
@@ -54,6 +68,20 @@ impl DurabilityConfig {
         self.keep_checkpoints = keep.max(1);
         self
     }
+
+    /// Auto-checkpoint once this many WAL records accumulate since the last
+    /// checkpoint (clamped to at least 1; `None` disables the trigger).
+    pub fn checkpoint_every_records(mut self, records: impl Into<Option<u64>>) -> Self {
+        self.checkpoint_every_records = records.into().map(|n| n.max(1));
+        self
+    }
+
+    /// Auto-checkpoint once this many encoded WAL bytes accumulate since
+    /// the last checkpoint (clamped to at least 1; `None` disables).
+    pub fn checkpoint_every_bytes(mut self, bytes: impl Into<Option<u64>>) -> Self {
+        self.checkpoint_every_bytes = bytes.into().map(|n| n.max(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -65,8 +93,30 @@ mod tests {
         let cfg = DurabilityConfig::new("/tmp/dd");
         assert_eq!(cfg.fsync, FsyncPolicy::Always);
         assert_eq!(cfg.keep_checkpoints, 2);
+        assert_eq!(cfg.checkpoint_every_records, None);
+        assert_eq!(cfg.checkpoint_every_bytes, None);
         let cfg = cfg.fsync(FsyncPolicy::EveryN(8)).keep_checkpoints(0);
         assert_eq!(cfg.fsync, FsyncPolicy::EveryN(8));
         assert_eq!(cfg.keep_checkpoints, 1);
+    }
+
+    #[test]
+    fn checkpoint_policy_builders_clamp_and_disable() {
+        let cfg = DurabilityConfig::new("/tmp/dd")
+            .checkpoint_every_records(16)
+            .checkpoint_every_bytes(1 << 20);
+        assert_eq!(cfg.checkpoint_every_records, Some(16));
+        assert_eq!(cfg.checkpoint_every_bytes, Some(1 << 20));
+        // Zero thresholds clamp to 1 (checkpoint after every record/byte)
+        // rather than silently meaning "never".
+        let cfg = cfg.checkpoint_every_records(0).checkpoint_every_bytes(0);
+        assert_eq!(cfg.checkpoint_every_records, Some(1));
+        assert_eq!(cfg.checkpoint_every_bytes, Some(1));
+        // And None turns the trigger back off.
+        let cfg = cfg
+            .checkpoint_every_records(None)
+            .checkpoint_every_bytes(None);
+        assert_eq!(cfg.checkpoint_every_records, None);
+        assert_eq!(cfg.checkpoint_every_bytes, None);
     }
 }

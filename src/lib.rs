@@ -23,7 +23,11 @@
 //!   behind [`engine::DeepDiveBuilder::durability`];
 //! * [`server`] — the TCP front door: batched snapshot reads over a
 //!   length-prefixed JSON protocol with bounded-queue backpressure, plus the
-//!   blocking [`server::Client`].
+//!   blocking [`server::Client`];
+//! * [`router`] — multi-engine KB sharding: a cluster of engines partitioned
+//!   under a [`engine::ShardAssignment`], presented as one logical KB by a
+//!   scatter-gather router with cross-shard epoch vectors and typed
+//!   degradation.
 //!
 //! See `README.md` for a quickstart and `ARCHITECTURE.md` for the
 //! paper-to-module map.
@@ -32,6 +36,7 @@ pub use dd_factorgraph as factorgraph;
 pub use dd_grounding as grounding;
 pub use dd_inference as inference;
 pub use dd_relstore as relstore;
+pub use dd_router as router;
 pub use dd_server as server;
 pub use dd_storage as storage;
 pub use dd_wire as wire;
@@ -46,15 +51,20 @@ pub mod prelude {
     };
     pub use dd_inference::{GibbsOptions, GibbsSampler, LearnOptions, Learner, Marginals};
     pub use dd_relstore::{DataType, Database, RelError, Schema, Tuple, Value};
+    pub use dd_router::{
+        Cluster, ClusterConfig, ClusterError, Router, RouterBatch, RouterConfig, RouterError,
+        RouterHandler,
+    };
     pub use dd_server::{
-        Client, ClientError, FactQuerySpec, Op, OpResult, RetryPolicy, Server, ServerConfig,
-        ServerStats,
+        Client, ClientConfig, ClientError, FactQuerySpec, Op, OpResult, RetryPolicy, Server,
+        ServerConfig, ServerStats,
     };
     pub use dd_workloads::{KbcSystem, RuleTemplate, SystemKind};
     pub use deepdive::{
         decode_snapshot, encode_snapshot, CatalogShard, CatalogShards, DeepDive, DeepDiveBuilder,
         DurabilityConfig, EngineConfig, EngineError, ExecutionMode, FactQuery, FsyncPolicy,
-        RelationIndex, Snapshot, SnapshotReader, StorageError, StrategyChoice,
+        RelationIndex, ShardAssignment, ShardingError, Snapshot, SnapshotReader, StorageError,
+        StrategyChoice,
     };
 }
 

@@ -743,6 +743,147 @@ fn replay_divergence_from_a_changed_udf_registry_is_surfaced() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+// ----------------------------------------------------- auto-checkpoint policy
+
+/// The newest WAL sequence any checkpoint file in `dir` covers (filenames
+/// are `ckpt-<covered seq>.ckpt`); the baseline checkpoint the builder
+/// writes on a pristine open covers sequence 0.
+fn newest_covered_seq(dir: &Path) -> u64 {
+    fs::read_dir(dir.join("checkpoints"))
+        .unwrap()
+        .filter_map(|entry| {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            name.strip_prefix("ckpt-")?
+                .strip_suffix(".ckpt")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .expect("at least the baseline checkpoint exists")
+}
+
+/// Without a policy, nothing checkpoints behind the caller's back: after the
+/// whole op sequence only the builder's baseline checkpoint (covering seq 0)
+/// exists.
+#[test]
+fn manual_only_engines_never_checkpoint_automatically() {
+    let dir = temp_dir("manual-only");
+    {
+        let mut dd = durable(&dir);
+        for op in 1..=NUM_OPS {
+            apply_op(&mut dd, op);
+        }
+    }
+    assert_eq!(newest_covered_seq(&dir), 0, "only the baseline checkpoint");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `checkpoint_every_records(2)` checkpoints after every second logged
+/// operation, bounding the replay window, and the recovered state stays
+/// byte-identical to a never-crashed reference engine.
+#[test]
+fn records_policy_checkpoints_automatically_and_recovers_exactly() {
+    let dir = temp_dir("auto-records");
+    {
+        let mut dd = DeepDive::builder()
+            .program_text(PROGRAM)
+            .database(database())
+            .config(EngineConfig::fast())
+            .durability(
+                DurabilityConfig::new(&dir)
+                    .fsync(FsyncPolicy::Never)
+                    .checkpoint_every_records(2),
+            )
+            .build()
+            .unwrap();
+        for op in 1..=NUM_OPS {
+            apply_op(&mut dd, op);
+        }
+        // 7 logged records, trigger every 2: auto-checkpoints covered seqs
+        // 2, 4, and 6 — the newest on disk must cover 6, with one record
+        // (seq 7) left for replay.
+        assert_eq!(newest_covered_seq(&dir), 6);
+    }
+    let (epoch, bytes) = recovered_state(&dir);
+    let (want_epoch, want_bytes) = reference_state(NUM_OPS);
+    assert_eq!(epoch, want_epoch);
+    assert_eq!(
+        bytes, want_bytes,
+        "auto-checkpointed recovery is byte-exact"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `checkpoint_every_bytes(1)` is the most aggressive byte policy: every
+/// state-changing call ends in a checkpoint, so the WAL never needs replay.
+#[test]
+fn bytes_policy_checkpoints_after_every_operation() {
+    let dir = temp_dir("auto-bytes");
+    {
+        let mut dd = DeepDive::builder()
+            .program_text(PROGRAM)
+            .database(database())
+            .config(EngineConfig::fast())
+            .durability(
+                DurabilityConfig::new(&dir)
+                    .fsync(FsyncPolicy::Never)
+                    .checkpoint_every_bytes(1),
+            )
+            .build()
+            .unwrap();
+        for op in 1..=5 {
+            apply_op(&mut dd, op);
+            // Every op crosses the 1-byte threshold immediately, so the
+            // newest checkpoint always covers the op just logged.
+            assert_eq!(newest_covered_seq(&dir), op);
+        }
+    }
+    let (epoch, bytes) = recovered_state(&dir);
+    let (want_epoch, want_bytes) = reference_state(5);
+    assert_eq!(epoch, want_epoch);
+    assert_eq!(bytes, want_bytes);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A manual checkpoint resets the policy counters: the window restarts from
+/// the manual call, so the next auto-trigger lands `n` records later.
+#[test]
+fn manual_checkpoints_restart_the_policy_window() {
+    let dir = temp_dir("auto-restart");
+    {
+        let mut dd = DeepDive::builder()
+            .program_text(PROGRAM)
+            .database(database())
+            .config(EngineConfig::fast())
+            .durability(
+                DurabilityConfig::new(&dir)
+                    .fsync(FsyncPolicy::Never)
+                    .checkpoint_every_records(3),
+            )
+            .build()
+            .unwrap();
+        apply_op(&mut dd, 1);
+        apply_op(&mut dd, 2);
+        assert_eq!(newest_covered_seq(&dir), 0, "2 of 3 records: not yet due");
+        dd.checkpoint().unwrap(); // manual — covers seq 2, resets counters
+        assert_eq!(newest_covered_seq(&dir), 2);
+        apply_op(&mut dd, 3);
+        apply_op(&mut dd, 4);
+        assert_eq!(
+            newest_covered_seq(&dir),
+            2,
+            "window restarted at the manual call"
+        );
+        apply_op(&mut dd, 5);
+        assert_eq!(
+            newest_covered_seq(&dir),
+            5,
+            "third record after the reset triggers"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 // ------------------------------------------------------------- measurement
 
 /// Prints the numbers quoted in PERFORMANCE.md ("Durability cost" section):

@@ -359,6 +359,7 @@ fn malformed_frames_get_typed_errors_and_the_connection_survives() {
         &mut stream,
         &Request {
             ops: vec![Op::Epoch],
+            at_epoch: None,
         }
         .encode(),
     );
