@@ -1,0 +1,161 @@
+//! Append one per-commit snapshot to the bench history (`dev/bench/data.js`).
+//!
+//! The history file follows the github-action-benchmark `data.js` convention:
+//! an append-only array of `{commit, date, tool, benches}` snapshots under
+//! one suite, assigned to `window.BENCHMARK_DATA` so the stock dashboard
+//! HTML can load it directly.  CI calls this after the bench gates pass, so
+//! every green commit extends the trajectory.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p dd-bench --bin bench_history -- \
+//!     [--data dev/bench/data.js] [--commit <sha>] [--message <subject>] \
+//!     [--timestamp-ms <ms>] [--repo-url <url>] BENCH_sweeps.json [more.json...]
+//! ```
+//!
+//! Unset commit metadata is resolved from `git` (then `$GITHUB_SHA`, then
+//! "unknown"), and the timestamp from the system clock.  The rewritten file
+//! is re-parsed before being reported, so a corrupt append cannot land.
+
+use dd_bench::history::{append_point, encode_history, parse_history, run_count, HistoryPoint};
+use dd_bench::sweeps::parse_bench_entries;
+use std::process::{Command, ExitCode};
+
+fn git(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    out.status
+        .success()
+        .then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+fn main() -> ExitCode {
+    let mut data_path = "dev/bench/data.js".to_string();
+    let mut commit: Option<String> = None;
+    let mut message: Option<String> = None;
+    let mut timestamp_ms: Option<f64> = None;
+    let mut repo_url: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().ok_or_else(|| {
+                eprintln!("bench_history: {flag} expects a value");
+            })
+        };
+        match arg.as_str() {
+            "--data" => match value("--data") {
+                Ok(v) => data_path = v,
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--commit" => match value("--commit") {
+                Ok(v) => commit = Some(v),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--message" => match value("--message") {
+                Ok(v) => message = Some(v),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            "--timestamp-ms" => match value("--timestamp-ms").map(|v| v.parse::<f64>()) {
+                Ok(Ok(v)) => timestamp_ms = Some(v),
+                _ => return ExitCode::FAILURE,
+            },
+            "--repo-url" => match value("--repo-url") {
+                Ok(v) => repo_url = Some(v),
+                Err(()) => return ExitCode::FAILURE,
+            },
+            path => inputs.push(path.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("bench_history: no input BENCH_*.json files given");
+        return ExitCode::FAILURE;
+    }
+
+    let mut benches = Vec::new();
+    for input in &inputs {
+        let text = match std::fs::read_to_string(input) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("bench_history: cannot read {input}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_bench_entries(&text) {
+            Ok(entries) => benches.extend(entries),
+            Err(err) => {
+                eprintln!("bench_history: {input} is not a valid benchmark file: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let commit_id = commit
+        .or_else(|| git(&["rev-parse", "HEAD"]))
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    let message = message
+        .or_else(|| git(&["log", "-1", "--format=%s"]))
+        .unwrap_or_else(|| "unknown".to_string());
+    let timestamp_ms = timestamp_ms.unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0.0, |d| d.as_millis() as f64)
+    });
+
+    let existing = std::fs::read_to_string(&data_path).unwrap_or_default();
+    let mut history = match parse_history(&existing) {
+        Ok(history) => history,
+        Err(err) => {
+            eprintln!("bench_history: {data_path} is corrupt: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(url) = repo_url {
+        if let dd_wire::json::Json::Object(fields) = &mut history {
+            for (key, value) in fields.iter_mut() {
+                if key == "repoUrl" {
+                    *value = dd_wire::json::Json::String(url.clone());
+                }
+            }
+        }
+    }
+
+    let point = HistoryPoint {
+        commit_id,
+        message,
+        timestamp_ms,
+        benches,
+    };
+    let appended = match append_point(&history, &point) {
+        Ok(appended) => appended,
+        Err(err) => {
+            eprintln!("bench_history: cannot append: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = encode_history(&appended);
+    // Verify the write parses back before it lands.
+    if let Err(err) = parse_history(&text) {
+        eprintln!("bench_history: refusing to write unparseable history: {err}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(parent) = std::path::Path::new(&data_path).parent() {
+        if let Err(err) = std::fs::create_dir_all(parent) {
+            eprintln!("bench_history: cannot create {}: {err}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(err) = std::fs::write(&data_path, &text) {
+        eprintln!("bench_history: cannot write {data_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_history: {} now holds {} snapshot(s); appended {} series for commit {}",
+        data_path,
+        run_count(&appended),
+        point.benches.len(),
+        point.commit_id
+    );
+    ExitCode::SUCCESS
+}

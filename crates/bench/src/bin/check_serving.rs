@@ -1,0 +1,59 @@
+//! CI serving gate over a `BENCH_serving.json` produced by `dd-loadgen`.
+//!
+//! Exits non-zero when the file is unreadable, malformed, missing any
+//! required series for either target (`serving_server/`, `serving_router/`),
+//! holds non-finite values or non-monotone percentiles, saw any unexpected
+//! error (the zero-hang proxy — every loadgen client runs under a read
+//! timeout, so a wedged server lands here instead of wedging the harness),
+//! or refused more than half its traffic (`overload_rate` bound).
+//!
+//! Usage: `cargo run --release -p dd-bench --bin check_serving [file.json]`
+//! (default `BENCH_serving.json`).  CI runs it against a fresh smoke file:
+//!
+//! ```sh
+//! cargo run --release -p dd-bench --bin dd-loadgen -- --smoke ci-serving.json
+//! cargo run --release -p dd-bench --bin check_serving -- ci-serving.json
+//! ```
+
+use dd_bench::serving::serving_violations;
+use dd_bench::sweeps::parse_bench_entries;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("check_serving: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match parse_bench_entries(&text) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("check_serving: {path} is not a valid benchmark file: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("check_serving: {path}: {} entries", entries.len());
+    for entry in entries
+        .iter()
+        .filter(|e| e.name.ends_with("_p99_ms") || e.name.contains("rate"))
+    {
+        println!("  {:<48} {:>12.4} {}", entry.name, entry.value, entry.unit);
+    }
+
+    let violations = serving_violations(&entries);
+    if violations.is_empty() {
+        println!("check_serving: all serving gates pass");
+        ExitCode::SUCCESS
+    } else {
+        for violation in &violations {
+            eprintln!("check_serving: FAIL {violation}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,90 @@
+//! The serving-path load generator: drive a live `dd-server` and a sharded
+//! routed front door over loopback with mixed read traffic plus concurrent
+//! update/retraction rounds, and write the measured latency/overload/
+//! staleness series to `BENCH_serving.json`.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p dd-bench --bin dd-loadgen -- \
+//!     [--smoke] [--streaming] [--target server|router] [output.json]
+//! ```
+//!
+//! `--smoke` runs the seconds-long CI profile instead of the nominal one;
+//! `--streaming` switches the percentile estimator to the bounded-memory
+//! sketch; `--target` restricts the run to one deployment (the emitted file
+//! then fails `check_serving`'s coverage floor by design — it is for local
+//! iteration, not CI).  Default output: `BENCH_serving.json`.
+
+use dd_bench::loadgen::{run, run_target, LoadgenConfig, Target};
+use dd_bench::serving::encode_bench_entries;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = LoadgenConfig::nominal();
+    let mut smoke = false;
+    let mut target: Option<Target> = None;
+    let mut output = "BENCH_serving.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--streaming" => config.streaming = true,
+            "--target" => match args.next().as_deref() {
+                Some("server") => target = Some(Target::Server),
+                Some("router") => target = Some(Target::Router),
+                other => {
+                    eprintln!("dd-loadgen: --target expects server|router, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dd-loadgen [--smoke] [--streaming] [--target server|router] [out.json]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            path => output = path.to_string(),
+        }
+    }
+    if smoke {
+        let streaming = config.streaming;
+        config = LoadgenConfig::smoke();
+        config.streaming = streaming;
+    }
+
+    let profile = if smoke { "smoke" } else { "nominal" };
+    println!(
+        "dd-loadgen: {profile} profile — {}s per target, {} closed + {} open clients, {} shards",
+        config.duration.as_secs_f64(),
+        config.closed_clients,
+        config.open_clients,
+        config.shards
+    );
+    let result = match target {
+        None => run(&config),
+        Some(t) => {
+            println!(
+                "dd-loadgen: single target {:?} (coverage gate will not pass)",
+                t
+            );
+            run_target(t, &config)
+        }
+    };
+    let entries = match result {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("dd-loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in &entries {
+        println!("  {:<48} {:>14.4} {}", entry.name, entry.value, entry.unit);
+    }
+    if let Err(err) = std::fs::write(&output, encode_bench_entries(&entries)) {
+        eprintln!("dd-loadgen: cannot write {output}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("dd-loadgen: wrote {} entries to {output}", entries.len());
+    ExitCode::SUCCESS
+}

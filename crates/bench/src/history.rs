@@ -1,0 +1,279 @@
+//! The append-only per-commit bench history: `dev/bench/data.js`.
+//!
+//! Follows the github-action-benchmark convention (the same file shape
+//! simpledb and friends publish to GitHub Pages): a JS file assigning one
+//! object to `window.BENCHMARK_DATA`, holding `lastUpdate`, `repoUrl`, and
+//! `entries` — a map from suite name to an append-only array of per-commit
+//! snapshots, each carrying the commit id/message, a timestamp, and the flat
+//! `benches: [{name, value, unit}]` list.  CI appends one snapshot per run
+//! (`bench_history` binary), so regressions show up as a trajectory instead
+//! of a point and the file stays loadable by the stock dashboard HTML.
+//!
+//! The file is JS, not JSON, by exactly one prefix and one suffix; parsing
+//! strips `window.BENCHMARK_DATA =` and the trailing `;`, then hands the
+//! rest to [`dd_wire::json`].  Writing pretty-prints (2-space indent) so
+//! per-commit appends produce reviewable diffs.
+
+use crate::sweeps::BenchEntry;
+use dd_wire::json::{self, Json};
+
+/// The suite name our CI appends under.
+pub const SUITE: &str = "DeepDive repro benches";
+
+/// Direction metadata carried per snapshot.  The workspace mixes
+/// smaller-is-better (latency ms) and bigger-is-better (speedups, ops/s)
+/// series in one file, so the real gating lives in `check_sweeps` /
+/// `check_serving`; this tag just keeps the file loadable by stock
+/// dashboards.
+pub const TOOL: &str = "customSmallerIsBetter";
+
+/// One per-commit snapshot to append.
+#[derive(Debug, Clone)]
+pub struct HistoryPoint {
+    /// Commit id (full or short hash; "unknown" when not in a git checkout).
+    pub commit_id: String,
+    /// Commit subject line.
+    pub message: String,
+    /// Milliseconds since the Unix epoch.
+    pub timestamp_ms: f64,
+    /// The measured series, usually the union of every `BENCH_*.json`.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// Parse a `data.js` document into its JSON payload.  An empty or
+/// whitespace-only file is a fresh history.
+pub fn parse_history(text: &str) -> Result<Json, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(empty_history("unknown"));
+    }
+    let rest = trimmed
+        .strip_prefix("window.BENCHMARK_DATA")
+        .ok_or("data.js must start with `window.BENCHMARK_DATA`")?
+        .trim_start()
+        .strip_prefix('=')
+        .ok_or("missing `=` after window.BENCHMARK_DATA")?;
+    let payload = rest.trim().trim_end_matches(';');
+    json::parse(payload)
+}
+
+/// A fresh history document with no snapshots.
+pub fn empty_history(repo_url: &str) -> Json {
+    Json::Object(vec![
+        ("lastUpdate".into(), Json::Number(0.0)),
+        ("repoUrl".into(), Json::String(repo_url.into())),
+        (
+            "entries".into(),
+            Json::Object(vec![(SUITE.into(), Json::Array(Vec::new()))]),
+        ),
+    ])
+}
+
+/// Append one snapshot to the history document, updating `lastUpdate`.
+/// The document must have the `window.BENCHMARK_DATA` object shape.
+pub fn append_point(history: &Json, point: &HistoryPoint) -> Result<Json, String> {
+    let fields = history
+        .as_object()
+        .ok_or("history root must be an object")?;
+    let benches = Json::Array(
+        point
+            .benches
+            .iter()
+            .map(|e| {
+                Json::Object(vec![
+                    ("name".into(), Json::String(e.name.clone())),
+                    ("unit".into(), Json::String(e.unit.clone())),
+                    ("value".into(), Json::Number(e.value)),
+                ])
+            })
+            .collect(),
+    );
+    let snapshot = Json::Object(vec![
+        (
+            "commit".into(),
+            Json::Object(vec![
+                ("id".into(), Json::String(point.commit_id.clone())),
+                ("message".into(), Json::String(point.message.clone())),
+                (
+                    "timestamp".into(),
+                    Json::String(format!("{}", point.timestamp_ms)),
+                ),
+            ]),
+        ),
+        ("date".into(), Json::Number(point.timestamp_ms)),
+        ("tool".into(), Json::String(TOOL.into())),
+        ("benches".into(), benches),
+    ]);
+
+    let mut out = Vec::with_capacity(fields.len());
+    let mut saw_entries = false;
+    for (key, value) in fields {
+        match key.as_str() {
+            "lastUpdate" => out.push(("lastUpdate".into(), Json::Number(point.timestamp_ms))),
+            "entries" => {
+                saw_entries = true;
+                let suites = value.as_object().ok_or("entries must be an object")?;
+                let mut new_suites = Vec::with_capacity(suites.len().max(1));
+                let mut saw_suite = false;
+                for (suite, runs) in suites {
+                    if suite == SUITE {
+                        saw_suite = true;
+                        let mut runs = runs
+                            .as_array()
+                            .ok_or("suite runs must be an array")?
+                            .to_vec();
+                        runs.push(snapshot.clone());
+                        new_suites.push((suite.clone(), Json::Array(runs)));
+                    } else {
+                        new_suites.push((suite.clone(), runs.clone()));
+                    }
+                }
+                if !saw_suite {
+                    new_suites.push((SUITE.into(), Json::Array(vec![snapshot.clone()])));
+                }
+                out.push(("entries".into(), Json::Object(new_suites)));
+            }
+            _ => out.push((key.clone(), value.clone())),
+        }
+    }
+    if !saw_entries {
+        out.push((
+            "entries".into(),
+            Json::Object(vec![(SUITE.into(), Json::Array(vec![snapshot]))]),
+        ));
+    }
+    Ok(Json::Object(out))
+}
+
+/// Number of snapshots currently banked under [`SUITE`].
+pub fn run_count(history: &Json) -> usize {
+    history
+        .get("entries")
+        .and_then(|e| e.get(SUITE))
+        .and_then(Json::as_array)
+        .map_or(0, <[Json]>::len)
+}
+
+/// Render the history document back to `data.js` text (pretty-printed so
+/// appends diff line-by-line).
+pub fn encode_history(history: &Json) -> String {
+    let mut out = String::from("window.BENCHMARK_DATA = ");
+    write_pretty(history, 0, &mut out);
+    out.push_str(";\n");
+    out
+}
+
+fn write_pretty(value: &Json, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth + 1);
+    let close = "  ".repeat(depth);
+    match value {
+        Json::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                write_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push(']');
+        }
+        Json::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, val)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&Json::String(key.clone()).encode());
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push('}');
+        }
+        other => out.push_str(&other.encode()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(name: &str, value: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            unit: "ms".into(),
+            value,
+        }
+    }
+
+    fn point(id: &str, ts: f64) -> HistoryPoint {
+        HistoryPoint {
+            commit_id: id.into(),
+            message: format!("commit {id}"),
+            timestamp_ms: ts,
+            benches: vec![bench("serving_server/point_read_p50_ms", 0.4)],
+        }
+    }
+
+    #[test]
+    fn empty_file_is_a_fresh_history() {
+        let history = parse_history("").unwrap();
+        assert_eq!(run_count(&history), 0);
+        assert_eq!(
+            history.get("repoUrl").and_then(Json::as_str),
+            Some("unknown")
+        );
+    }
+
+    #[test]
+    fn append_then_reparse_round_trips() {
+        let history = empty_history("https://example.invalid/repo");
+        let one = append_point(&history, &point("abc123", 1000.0)).unwrap();
+        let two = append_point(&one, &point("def456", 2000.0)).unwrap();
+        assert_eq!(run_count(&two), 2);
+        assert_eq!(two.get("lastUpdate").and_then(Json::as_f64), Some(2000.0));
+
+        let text = encode_history(&two);
+        assert!(text.starts_with("window.BENCHMARK_DATA = {"));
+        assert!(text.trim_end().ends_with(';'));
+        let reparsed = parse_history(&text).unwrap();
+        assert_eq!(reparsed, two);
+        let runs = reparsed.get("entries").unwrap().get(SUITE).unwrap();
+        let last = runs.as_array().unwrap().last().unwrap();
+        assert_eq!(
+            last.get("commit").unwrap().get("id").and_then(Json::as_str),
+            Some("def456")
+        );
+        assert_eq!(last.get("tool").and_then(Json::as_str), Some(TOOL));
+    }
+
+    #[test]
+    fn foreign_suites_and_fields_are_preserved() {
+        let text = r#"window.BENCHMARK_DATA = {
+  "lastUpdate": 5,
+  "repoUrl": "x",
+  "custom": true,
+  "entries": {
+    "Other Suite": [{"date": 1}]
+  }
+};"#;
+        let history = parse_history(text).unwrap();
+        let appended = append_point(&history, &point("abc", 9.0)).unwrap();
+        assert_eq!(run_count(&appended), 1);
+        assert_eq!(appended.get("custom").and_then(Json::as_bool), Some(true));
+        let other = appended.get("entries").unwrap().get("Other Suite").unwrap();
+        assert_eq!(other.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_prefix_is_rejected() {
+        assert!(parse_history("var x = {};").is_err());
+        assert!(parse_history("window.BENCHMARK_DATA {").is_err());
+        assert!(parse_history("window.BENCHMARK_DATA = {truncated").is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! Latency recording for the serving harness: an exact sample recorder and a
+//! bounded-memory streaming histogram, interchangeable behind [`Recorder`].
+//!
+//! The exact recorder keeps every sample (a `u64`, typically nanoseconds) and
+//! answers percentiles by nearest-rank over the sorted samples — the ground
+//! truth, at O(n) memory.  The streaming histogram keeps geometric buckets
+//! (ratio [`GAMMA`]) instead, answering any percentile from O(log range)
+//! counters with a bounded relative error of `sqrt(GAMMA) - 1` (≈ 2.5%):
+//! a value lands in bucket `floor(log_γ v)` and is reported back as the
+//! geometric midpoint of that bucket's bounds.  Both merge across threads,
+//! which is how per-client recorders combine into one per-op-class series.
+
+/// Bucket growth ratio of [`StreamingHistogram`]: relative error ≤ √γ − 1.
+pub const GAMMA: f64 = 1.05;
+
+/// Exact latency recorder: every sample retained, percentiles by
+/// nearest-rank over the sorted data.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Record one sample (nanoseconds, epochs — any non-negative quantity).
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Fold another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 1]`); `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[nearest_rank_index(p, sorted.len())] as f64)
+    }
+
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
+/// The nearest-rank index for percentile `p` over `n` sorted samples:
+/// `ceil(p·n)` clamped into `[1, n]`, minus one.
+fn nearest_rank_index(p: f64, n: usize) -> usize {
+    let p = p.clamp(0.0, 1.0);
+    let rank = (p * n as f64).ceil() as usize;
+    rank.clamp(1, n) - 1
+}
+
+/// Bounded-memory percentile sketch over geometric buckets (DDSketch-style).
+///
+/// Values `v ≥ 1` land in bucket `floor(ln v / ln γ)`; zero has its own
+/// counter.  Memory is one `u64` per *occupied* bucket — for nanosecond
+/// latencies from 1µs to 100s that is at most ~380 buckets regardless of
+/// how many samples stream through.
+#[derive(Debug, Default, Clone)]
+pub struct StreamingHistogram {
+    /// Occupied buckets, keyed by bucket index, kept sorted by key.
+    buckets: Vec<(i64, u64)>,
+    zeros: u64,
+    count: u64,
+    max: u64,
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram::default()
+    }
+
+    fn bucket_of(value: u64) -> i64 {
+        ((value as f64).ln() / GAMMA.ln()).floor() as i64
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.max = self.max.max(value);
+        if value == 0 {
+            self.zeros += 1;
+            return;
+        }
+        let key = Self::bucket_of(value);
+        match self.buckets.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (key, 1)),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        self.count += other.count;
+        self.zeros += other.zeros;
+        self.max = self.max.max(other.max);
+        for &(key, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (key, n)),
+            }
+        }
+    }
+
+    /// Nearest-rank percentile with bounded relative error; `None` when
+    /// empty.  The returned value is the geometric midpoint `γ^(b + 0.5)` of
+    /// the bucket holding the rank.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (nearest_rank_index(p, self.count as usize) + 1) as u64;
+        if rank <= self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for &(key, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(GAMMA.powf(key as f64 + 0.5));
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Either estimator behind one API, so the loadgen can switch between exact
+/// percentiles (default; memory grows with the run) and the streaming sketch
+/// (bounded memory for long soaks) with a flag.
+#[derive(Debug, Clone)]
+pub enum Recorder {
+    /// Exact nearest-rank percentiles over retained samples.
+    Exact(LatencyRecorder),
+    /// Bounded-memory sketch with ≤ √γ − 1 relative error.
+    Streaming(StreamingHistogram),
+}
+
+impl Recorder {
+    /// A fresh recorder of the requested kind.
+    pub fn new(streaming: bool) -> Self {
+        if streaming {
+            Recorder::Streaming(StreamingHistogram::new())
+        } else {
+            Recorder::Exact(LatencyRecorder::new())
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        match self {
+            Recorder::Exact(r) => r.record(value),
+            Recorder::Streaming(h) => h.record(value),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        match self {
+            Recorder::Exact(r) => r.count(),
+            Recorder::Streaming(h) => h.count(),
+        }
+    }
+
+    /// Fold `other` into `self`.  Panics if the two kinds differ — the
+    /// harness always merges recorders it created with one flag.
+    pub fn merge(&mut self, other: &Recorder) {
+        match (self, other) {
+            (Recorder::Exact(a), Recorder::Exact(b)) => a.merge(b),
+            (Recorder::Streaming(a), Recorder::Streaming(b)) => a.merge(b),
+            _ => panic!("cannot merge exact and streaming recorders"),
+        }
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 1]`); `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        match self {
+            Recorder::Exact(r) => r.percentile(p),
+            Recorder::Streaming(h) => h.percentile(p),
+        }
+    }
+
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        match self {
+            Recorder::Exact(r) => r.max(),
+            Recorder::Streaming(h) => h.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentiles_are_nearest_rank() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.percentile(0.5), None);
+        for v in [10u64, 20, 30, 40, 50] {
+            r.record(v);
+        }
+        assert_eq!(r.count(), 5);
+        assert_eq!(r.percentile(0.0), Some(10.0));
+        assert_eq!(r.percentile(0.5), Some(30.0));
+        assert_eq!(r.percentile(0.9), Some(50.0));
+        assert_eq!(r.percentile(1.0), Some(50.0));
+        assert_eq!(r.max(), Some(50));
+    }
+
+    #[test]
+    fn exact_merge_is_union() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(1);
+        b.record(100);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(0.0), Some(1.0));
+        assert_eq!(a.max(), Some(200));
+    }
+
+    #[test]
+    fn streaming_tracks_exact_within_relative_error() {
+        // Deterministic log-uniform-ish spread: 1ns .. ~1s.
+        let mut exact = LatencyRecorder::new();
+        let mut sketch = StreamingHistogram::new();
+        let mut x = 0x243f6a8885a308d3u64; // splitmix-style walk, fixed seed
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let exponent = (x >> 59) as u32 % 30; // 2^0 .. 2^29
+            let value = (1u64 << exponent) + (x % (1u64 << exponent).max(1));
+            exact.record(value);
+            sketch.record(value);
+        }
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            let e = exact.percentile(p).unwrap();
+            let s = sketch.percentile(p).unwrap();
+            let rel = (s - e).abs() / e;
+            assert!(rel < 0.05, "p{p}: exact {e} vs streaming {s} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn streaming_handles_zero_and_merge() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        a.record(0);
+        a.record(0);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(0.5), Some(0.0));
+        let p99 = a.percentile(0.99).unwrap();
+        assert!((p99 - 1000.0).abs() / 1000.0 < 0.05, "p99 {p99}");
+        assert_eq!(a.max(), Some(1000));
+    }
+
+    #[test]
+    fn recorder_enum_dispatches_both_kinds() {
+        for streaming in [false, true] {
+            let mut r = Recorder::new(streaming);
+            for v in 1..=100u64 {
+                r.record(v * 1000);
+            }
+            assert_eq!(r.count(), 100);
+            let p50 = r.percentile(0.5).unwrap();
+            assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.05, "p50 {p50}");
+            let mut other = Recorder::new(streaming);
+            other.record(1_000_000);
+            r.merge(&other);
+            assert_eq!(r.count(), 101);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn recorder_enum_refuses_mixed_merge() {
+        let mut a = Recorder::new(false);
+        let b = Recorder::new(true);
+        a.merge(&b);
+    }
+}

@@ -10,6 +10,11 @@
 
 use std::time::Instant;
 
+pub mod docs;
+pub mod history;
+pub mod latency;
+pub mod loadgen;
+pub mod serving;
 pub mod sweeps;
 
 /// Time a closure, returning (result, seconds).

@@ -1,0 +1,826 @@
+//! The serving-path load generator behind the `dd-loadgen` binary.
+//!
+//! Drives two real deployments over loopback sockets — one unsharded
+//! [`dd_server::Server`] and one sharded [`dd_router::Cluster`] behind its
+//! scatter-gather front door — with mixed read traffic while a writer applies
+//! `run_update` / retraction rounds next door, and reduces every observation
+//! into the flat `BENCH_serving.json` series that [`crate::serving`] gates.
+//!
+//! # Dataflow
+//!
+//! ```text
+//! closed-loop clients ──┐                       ┌─▶ per-thread Recorder
+//! (back-to-back ops,    ├─▶ loopback socket ──▶ server queue ─▶ snapshot-
+//!  retry on overload)   │                       pinned worker ─▶ response
+//! open-loop clients ────┤                                          │
+//! (fixed arrival rate,  │   writer thread: run_update / retraction │
+//!  latency measured     │   rounds, publishing the epoch tracker   │
+//!  from *scheduled*     │                                          ▼
+//!  send time)           └──────────── merge logs ─▶ BENCH_serving.json
+//! ```
+//!
+//! Closed-loop clients measure service latency under self-limiting load;
+//! open-loop clients measure what an *arrival process* experiences — latency
+//! is taken from the scheduled send time, so when the harness falls behind
+//! the backlog counts against the percentiles (the standard correction for
+//! coordinated omission).  Epoch staleness is the gap between the epoch a
+//! batch was served at and the latest epoch the writer had already published
+//! when the response arrived — zero whenever serving keeps up with writes.
+//!
+//! The workload is the sharded-serving example's corpus: labelled claims
+//! partitionable on their document id, so marginals are exact (1.0/0.0) and
+//! every shard of the routed deployment owns a clean slice.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::latency::Recorder;
+use crate::sweeps::BenchEntry;
+use dd_grounding::{standard_udfs, KbcUpdate};
+use dd_relstore::{DataType, Database, Schema, Tuple, Value};
+use dd_router::{Cluster, ClusterConfig, RouterConfig};
+use dd_server::{Client, ClientConfig, FactQuerySpec, Op, Server, ServerConfig, ServerStats};
+use deepdive::{DeepDive, EngineConfig, ExecutionMode};
+
+/// The read op classes a closed-loop client cycles through.
+const CLASSES: [&str; 3] = ["point_read", "topk", "scan"];
+
+/// Give up on one op after this many overload retries (counted as an
+/// unexpected error — nominal profiles never get close).
+const MAX_RETRIES_PER_OP: u32 = 200;
+
+/// Knobs of one loadgen run (one value drives both targets).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Measured read window per target.
+    pub duration: Duration,
+    /// Closed-loop client threads (back-to-back requests).
+    pub closed_clients: usize,
+    /// Open-loop client threads (fixed arrival rate each).
+    pub open_clients: usize,
+    /// Arrival rate per open-loop client.
+    pub open_rate_hz: f64,
+    /// Shards in the routed deployment.
+    pub shards: usize,
+    /// Documents seeded before serving starts.
+    pub seed_docs: i64,
+    /// Claims per document.
+    pub ids_per_doc: i64,
+    /// Writer pause between update rounds.
+    pub write_pause: Duration,
+    /// Per-client read timeout: the zero-hang bound — a wedged server turns
+    /// into a counted unexpected error instead of a stuck harness.
+    pub read_timeout: Duration,
+    /// Use the bounded-memory streaming estimator instead of exact samples.
+    pub streaming: bool,
+}
+
+impl LoadgenConfig {
+    /// The nominal profile: what `BENCH_serving.json` banks per commit.
+    pub fn nominal() -> Self {
+        LoadgenConfig {
+            duration: Duration::from_secs(8),
+            closed_clients: 4,
+            open_clients: 2,
+            open_rate_hz: 100.0,
+            shards: 4,
+            seed_docs: 48,
+            ids_per_doc: 6,
+            write_pause: Duration::from_millis(25),
+            read_timeout: Duration::from_secs(30),
+            streaming: false,
+        }
+    }
+
+    /// The CI smoke profile: same series, seconds not minutes.
+    pub fn smoke() -> Self {
+        LoadgenConfig {
+            duration: Duration::from_millis(1000),
+            closed_clients: 2,
+            open_clients: 1,
+            open_rate_hz: 50.0,
+            shards: 2,
+            seed_docs: 12,
+            ids_per_doc: 4,
+            write_pause: Duration::from_millis(20),
+            read_timeout: Duration::from_secs(30),
+            streaming: false,
+        }
+    }
+}
+
+/// Which deployment a run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// One unsharded `dd-server` over one engine (`serving_server/`).
+    Server,
+    /// A sharded cluster behind the routed front door (`serving_router/`).
+    Router,
+}
+
+impl Target {
+    /// The series prefix this target emits under.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Target::Server => "serving_server/",
+            Target::Router => "serving_router/",
+        }
+    }
+}
+
+/// The sharded-serving example's program: labelled claims with exact
+/// supervision, partitionable on the document id column.
+const PROGRAM: &str = "\
+    relation Claim(doc: int, id: int) base.\n\
+    relation Pos(doc: int, id: int) base.\n\
+    relation Neg(doc: int, id: int) base.\n\
+    relation Fact(doc: int, id: int) variable.\n\
+    rule F feature: Fact(doc, id) :- Claim(doc, id) weight = 1.5.\n\
+    rule SP supervision+: Fact(doc, id) :- Claim(doc, id), Pos(doc, id).\n\
+    rule SN supervision-: Fact(doc, id) :- Claim(doc, id), Neg(doc, id).\n";
+
+fn add_claim(update: &mut KbcUpdate, doc: i64, id: i64) {
+    update.insert("Claim", Tuple::from_iter([Value::Int(doc), Value::Int(id)]));
+    let label = if id % 2 == 0 { "Pos" } else { "Neg" };
+    update.insert(label, Tuple::from_iter([Value::Int(doc), Value::Int(id)]));
+}
+
+fn remove_claim(update: &mut KbcUpdate, doc: i64, id: i64) {
+    update.delete("Claim", Tuple::from_iter([Value::Int(doc), Value::Int(id)]));
+    let label = if id % 2 == 0 { "Pos" } else { "Neg" };
+    update.delete(label, Tuple::from_iter([Value::Int(doc), Value::Int(id)]));
+}
+
+fn corpus(config: &LoadgenConfig) -> Database {
+    let mut db = Database::new();
+    let schema = || Schema::of(&[("doc", DataType::Int), ("id", DataType::Int)]);
+    for table in ["Claim", "Pos", "Neg"] {
+        db.create_table(table, schema()).expect("fresh table");
+    }
+    let mut seed = KbcUpdate::new();
+    for doc in 0..config.seed_docs {
+        for id in 0..config.ids_per_doc {
+            add_claim(&mut seed, doc, id);
+        }
+    }
+    for (relation, delta) in &seed.base_deltas {
+        for (tuple, _) in delta.iter() {
+            db.insert(relation, tuple.clone()).expect("seed row");
+        }
+    }
+    db
+}
+
+/// What one client thread accumulated.
+struct ThreadLog {
+    /// Per read class: (latency recorder, successful op count).
+    classes: Vec<(Recorder, u64)>,
+    staleness: Recorder,
+    overloads: u64,
+    retries: u64,
+    unexpected: u64,
+}
+
+impl ThreadLog {
+    fn new(config: &LoadgenConfig, classes: usize) -> Self {
+        ThreadLog {
+            classes: (0..classes)
+                .map(|_| (Recorder::new(config.streaming), 0))
+                .collect(),
+            staleness: Recorder::new(config.streaming),
+            overloads: 0,
+            retries: 0,
+            unexpected: 0,
+        }
+    }
+}
+
+/// The published-epoch tracker the writer advances and readers compare
+/// against: one slot per shard (one slot total for the unsharded target).
+struct EpochTracker {
+    published: Vec<AtomicU64>,
+}
+
+impl EpochTracker {
+    fn new(slots: usize) -> Self {
+        EpochTracker {
+            published: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn publish(&self, slot: usize, epoch: u64) {
+        self.published[slot].fetch_max(epoch, Ordering::Release);
+    }
+
+    /// The max observed lag of `batch` behind the published tracker, in
+    /// epochs.  Readers can observe an epoch *newer* than the tracker (the
+    /// server publishes before the writer's store lands); that clamps to 0.
+    fn staleness(&self, epoch: u64, epochs: Option<&[Option<u64>]>) -> u64 {
+        match epochs {
+            None => self.published[0]
+                .load(Ordering::Acquire)
+                .saturating_sub(epoch),
+            Some(vector) => vector
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| {
+                    e.map(|e| {
+                        self.published
+                            .get(i)
+                            .map_or(0, |p| p.load(Ordering::Acquire).saturating_sub(e))
+                    })
+                })
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+fn op_for(class: usize, seq: u64, config: &LoadgenConfig) -> Op {
+    match CLASSES[class] {
+        "point_read" => {
+            let doc = (seq % config.seed_docs as u64) as i64;
+            let id = ((seq / 7) % config.ids_per_doc as u64) as i64;
+            Op::probability_of("Fact", Tuple::from_iter([Value::Int(doc), Value::Int(id)]))
+        }
+        "topk" => Op::Query {
+            relation: "Fact".to_string(),
+            spec: FactQuerySpec {
+                min_probability: 0.5,
+                top_k: Some(10),
+                offset: 0,
+                limit: Some(10),
+            },
+        },
+        _ => Op::AllFacts {
+            min_probability: 0.0,
+            offset: (seq % 4) as usize * 10,
+            limit: 50,
+        },
+    }
+}
+
+/// One closed-loop client: back-to-back single-op batches, cycling read
+/// classes, retrying overload refusals with a small linear backoff.
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    config: &LoadgenConfig,
+    tracker: &EpochTracker,
+    stop: &AtomicBool,
+    thread_index: usize,
+) -> ThreadLog {
+    let mut log = ThreadLog::new(config, CLASSES.len());
+    let client_config = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        read_timeout: Some(config.read_timeout),
+    };
+    let Ok(mut client) = Client::connect_with(addr, client_config) else {
+        log.unexpected += 1;
+        return log;
+    };
+    let mut seq = thread_index as u64;
+    while !stop.load(Ordering::Relaxed) {
+        let class = (seq % CLASSES.len() as u64) as usize;
+        let op = op_for(class, seq, config);
+        seq += 1;
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            match client.batch(vec![op.clone()]) {
+                Ok(batch) => {
+                    let entry = &mut log.classes[class];
+                    entry.0.record(started.elapsed().as_nanos() as u64);
+                    entry.1 += 1;
+                    log.staleness
+                        .record(tracker.staleness(batch.epoch, batch.epochs.as_deref()));
+                    break;
+                }
+                Err(err) if err.is_overloaded() => {
+                    log.overloads += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts > MAX_RETRIES_PER_OP {
+                        log.unexpected += 1;
+                        break;
+                    }
+                    log.retries += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(attempts.min(10))));
+                }
+                Err(err) => {
+                    // Shutdown refusals during teardown are expected; any
+                    // other failure (timeout, protocol surprise) is the
+                    // zero-hang gate's business.
+                    if !err.is_shutting_down() && !stop.load(Ordering::Relaxed) {
+                        log.unexpected += 1;
+                    }
+                    if client.reconnect().is_err() {
+                        return log;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    log
+}
+
+/// One open-loop client: ops dispatched on a fixed schedule, latency
+/// measured from the *scheduled* send time (coordinated-omission corrected).
+/// Overload refusals are counted and the arrival process moves on — an
+/// open-loop source does not slow down for a saturated server.
+fn open_loop(
+    addr: std::net::SocketAddr,
+    config: &LoadgenConfig,
+    tracker: &EpochTracker,
+    stop: &AtomicBool,
+    thread_index: usize,
+) -> ThreadLog {
+    // One synthetic class slot: everything lands in `open_mixed`.
+    let mut log = ThreadLog::new(config, 1);
+    let client_config = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        read_timeout: Some(config.read_timeout),
+    };
+    let Ok(mut client) = Client::connect_with(addr, client_config) else {
+        log.unexpected += 1;
+        return log;
+    };
+    let interval = Duration::from_secs_f64(1.0 / config.open_rate_hz.max(1.0));
+    let start = Instant::now();
+    let mut n = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let scheduled_offset = interval * n as u32;
+        let scheduled = start + scheduled_offset;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let class = ((n + thread_index as u64) % CLASSES.len() as u64) as usize;
+        let op = op_for(class, n, config);
+        n += 1;
+        match client.batch(vec![op]) {
+            Ok(batch) => {
+                let entry = &mut log.classes[0];
+                entry.0.record(scheduled.elapsed().as_nanos() as u64);
+                entry.1 += 1;
+                log.staleness
+                    .record(tracker.staleness(batch.epoch, batch.epochs.as_deref()));
+            }
+            Err(err) if err.is_overloaded() => log.overloads += 1,
+            Err(err) => {
+                if !err.is_shutting_down() && !stop.load(Ordering::Relaxed) {
+                    log.unexpected += 1;
+                }
+                if client.reconnect().is_err() {
+                    return log;
+                }
+            }
+        }
+    }
+    log
+}
+
+/// What the writer applies each round and how long rounds took.
+struct WriterLog {
+    rounds: Recorder,
+    unexpected: u64,
+}
+
+/// Reduce every thread's log plus server-side counters into the flat series.
+#[allow(clippy::too_many_arguments)]
+fn reduce(
+    target: Target,
+    read_logs: Vec<ThreadLog>,
+    open_logs: Vec<ThreadLog>,
+    writer: WriterLog,
+    elapsed: Duration,
+    server_stats: &[ServerStats],
+    front_stats: Option<ServerStats>,
+    config: &LoadgenConfig,
+) -> Vec<BenchEntry> {
+    let prefix = target.prefix();
+    let ms = |nanos: f64| nanos / 1e6;
+    let mut entries = Vec::new();
+    let entry = |entries: &mut Vec<BenchEntry>, name: String, unit: &str, value: f64| {
+        entries.push(BenchEntry {
+            name,
+            unit: unit.to_string(),
+            value,
+        });
+    };
+
+    // Closed-loop classes, merged across threads.
+    let mut merged: Vec<(Recorder, u64)> = (0..CLASSES.len())
+        .map(|_| (Recorder::new(config.streaming), 0))
+        .collect();
+    for log in &read_logs {
+        for (slot, (recorder, ops)) in log.classes.iter().enumerate() {
+            merged[slot].0.merge(recorder);
+            merged[slot].1 += ops;
+        }
+    }
+    // The open-loop class rides along as a fourth slot.
+    let mut open = (Recorder::new(config.streaming), 0u64);
+    for log in &open_logs {
+        open.0.merge(&log.classes[0].0);
+        open.1 += log.classes[0].1;
+    }
+    let classes = merged
+        .iter()
+        .enumerate()
+        .map(|(i, slot)| (CLASSES[i], slot))
+        .chain(std::iter::once(("open_mixed", &open)));
+    let mut total_ops = 0u64;
+    for (name, (recorder, ops)) in classes {
+        for (suffix, p) in [
+            ("p50_ms", 0.50),
+            ("p90_ms", 0.90),
+            ("p99_ms", 0.99),
+            ("p999_ms", 0.999),
+        ] {
+            entry(
+                &mut entries,
+                format!("{prefix}{name}_{suffix}"),
+                "ms",
+                recorder.percentile(p).map_or(0.0, ms),
+            );
+        }
+        entry(
+            &mut entries,
+            format!("{prefix}{name}_ops"),
+            "ops",
+            *ops as f64,
+        );
+        total_ops += ops;
+    }
+
+    // Writer rounds.
+    for (suffix, p) in [("update_round_p50_ms", 0.50), ("update_round_p99_ms", 0.99)] {
+        entry(
+            &mut entries,
+            format!("{prefix}{suffix}"),
+            "ms",
+            writer.rounds.percentile(p).map_or(0.0, ms),
+        );
+    }
+    entry(
+        &mut entries,
+        format!("{prefix}update_rounds"),
+        "rounds",
+        writer.rounds.count() as f64,
+    );
+
+    // Error economy + staleness, merged across every client thread.
+    let all_logs = read_logs.iter().chain(&open_logs);
+    let mut staleness = Recorder::new(config.streaming);
+    let (mut overloads, mut retries, mut unexpected) = (0u64, 0u64, writer.unexpected);
+    for log in all_logs {
+        staleness.merge(&log.staleness);
+        overloads += log.overloads;
+        retries += log.retries;
+        unexpected += log.unexpected;
+    }
+    let attempts = total_ops + overloads;
+    entry(
+        &mut entries,
+        format!("{prefix}throughput_ops_per_sec"),
+        "ops/s",
+        total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    entry(
+        &mut entries,
+        format!("{prefix}overload_rate"),
+        "fraction",
+        if attempts == 0 {
+            0.0
+        } else {
+            overloads as f64 / attempts as f64
+        },
+    );
+    entry(
+        &mut entries,
+        format!("{prefix}retries_per_op"),
+        "retries/op",
+        if total_ops == 0 {
+            0.0
+        } else {
+            retries as f64 / total_ops as f64
+        },
+    );
+    entry(
+        &mut entries,
+        format!("{prefix}epoch_staleness_p50"),
+        "epochs",
+        staleness.percentile(0.5).unwrap_or(0.0),
+    );
+    entry(
+        &mut entries,
+        format!("{prefix}epoch_staleness_max"),
+        "epochs",
+        staleness.max().unwrap_or(0) as f64,
+    );
+    entry(
+        &mut entries,
+        format!("{prefix}unexpected_errors"),
+        "errors",
+        unexpected as f64,
+    );
+
+    // Server-side counters: the PR's timing hooks, surfaced per target.
+    let sum = |f: fn(&ServerStats) -> u64| server_stats.iter().map(f).sum::<u64>();
+    let served = sum(|s| s.batches_served);
+    entry(
+        &mut entries,
+        format!("{prefix}server_mean_queue_wait_us"),
+        "us",
+        if served == 0 {
+            0.0
+        } else {
+            sum(|s| s.queue_wait_nanos_total) as f64 / served as f64 / 1e3
+        },
+    );
+    entry(
+        &mut entries,
+        format!("{prefix}server_mean_service_us"),
+        "us",
+        if served == 0 {
+            0.0
+        } else {
+            sum(|s| s.service_nanos_total) as f64 / served as f64 / 1e3
+        },
+    );
+    entry(
+        &mut entries,
+        format!("{prefix}shard_overload_rejections"),
+        "rejections",
+        sum(|s| s.overload_rejections) as f64,
+    );
+    if let Some(front) = front_stats {
+        entry(
+            &mut entries,
+            format!("{prefix}front_batches_served"),
+            "batches",
+            front.batches_served as f64,
+        );
+        entry(
+            &mut entries,
+            format!("{prefix}front_overload_rejections"),
+            "rejections",
+            front.overload_rejections as f64,
+        );
+    }
+    entries
+}
+
+/// Run one target end to end and reduce it to its series.
+pub fn run_target(target: Target, config: &LoadgenConfig) -> Result<Vec<BenchEntry>, String> {
+    match target {
+        Target::Server => run_server_target(config),
+        Target::Router => run_router_target(config),
+    }
+}
+
+/// Run both targets — the complete `BENCH_serving.json` document.
+pub fn run(config: &LoadgenConfig) -> Result<Vec<BenchEntry>, String> {
+    let mut entries = run_target(Target::Server, config)?;
+    entries.extend(run_target(Target::Router, config)?);
+    Ok(entries)
+}
+
+fn run_server_target(config: &LoadgenConfig) -> Result<Vec<BenchEntry>, String> {
+    let mut engine = DeepDive::builder()
+        .program_text(PROGRAM)
+        .database(corpus(config))
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
+        .map_err(|e| format!("build engine: {e}"))?;
+    engine
+        .initial_run()
+        .map_err(|e| format!("initial run: {e}"))?;
+    let server = Server::bind("127.0.0.1:0", engine.reader(), ServerConfig::default())
+        .map_err(|e| format!("bind server: {e}"))?;
+    let addr = server.local_addr();
+    let tracker = EpochTracker::new(1);
+    tracker.publish(0, engine.epoch());
+
+    let stop = AtomicBool::new(false);
+    let writer_log = Mutex::new(None);
+    let (read_logs, open_logs, elapsed) = std::thread::scope(|scope| {
+        let read_handles: Vec<_> = (0..config.closed_clients)
+            .map(|i| {
+                let (tracker, stop) = (&tracker, &stop);
+                scope.spawn(move || closed_loop(addr, config, tracker, stop, i))
+            })
+            .collect();
+        let open_handles: Vec<_> = (0..config.open_clients)
+            .map(|i| {
+                let (tracker, stop) = (&tracker, &stop);
+                scope.spawn(move || open_loop(addr, config, tracker, stop, i))
+            })
+            .collect();
+        let writer = {
+            let (tracker, stop, writer_log) = (&tracker, &stop, &writer_log);
+            let engine = &mut engine;
+            scope.spawn(move || {
+                let mut log = WriterLog {
+                    rounds: Recorder::new(config.streaming),
+                    unexpected: 0,
+                };
+                let mut next_doc = config.seed_docs;
+                let mut live: Vec<i64> = Vec::new();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    let result = if round % 4 == 3 && !live.is_empty() {
+                        let doc = live.remove(0);
+                        let mut update = KbcUpdate::new();
+                        for id in 0..config.ids_per_doc {
+                            remove_claim(&mut update, doc, id);
+                        }
+                        engine
+                            .retract_supervision(
+                                "Fact",
+                                Tuple::from_iter([Value::Int(doc), Value::Int(0)]),
+                            )
+                            .and_then(|_| engine.run_update(&update, ExecutionMode::Incremental))
+                            .map(|_| ())
+                    } else {
+                        let mut update = KbcUpdate::new();
+                        for id in 0..config.ids_per_doc {
+                            add_claim(&mut update, next_doc, id);
+                        }
+                        live.push(next_doc);
+                        next_doc += 1;
+                        engine
+                            .run_update(&update, ExecutionMode::Incremental)
+                            .map(|_| ())
+                    };
+                    match result {
+                        Ok(()) => log.rounds.record(started.elapsed().as_nanos() as u64),
+                        Err(_) => log.unexpected += 1,
+                    }
+                    tracker.publish(0, engine.epoch());
+                    round += 1;
+                    std::thread::sleep(config.write_pause);
+                }
+                *writer_log.lock().unwrap() = Some(log);
+            })
+        };
+        let started = Instant::now();
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        let read_logs: Vec<ThreadLog> = read_handles
+            .into_iter()
+            .map(|h| h.join().expect("closed-loop client panicked"))
+            .collect();
+        let open_logs: Vec<ThreadLog> = open_handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop client panicked"))
+            .collect();
+        writer.join().expect("writer panicked");
+        (read_logs, open_logs, elapsed)
+    });
+    let stats = server.stats();
+    server.shutdown();
+    let writer = writer_log
+        .into_inner()
+        .unwrap()
+        .expect("writer log recorded");
+    Ok(reduce(
+        Target::Server,
+        read_logs,
+        open_logs,
+        writer,
+        elapsed,
+        &[stats],
+        None,
+        config,
+    ))
+}
+
+fn run_router_target(config: &LoadgenConfig) -> Result<Vec<BenchEntry>, String> {
+    let mut cluster_config = ClusterConfig::new(config.shards);
+    cluster_config.engine = EngineConfig::fast();
+    let cluster = Cluster::build(PROGRAM, &corpus(config), &standard_udfs(), &cluster_config)
+        .map_err(|e| format!("build cluster: {e}"))?;
+    cluster
+        .initial_run()
+        .map_err(|e| format!("cluster initial run: {e}"))?;
+    let front = cluster
+        .serve_front(
+            "127.0.0.1:0",
+            RouterConfig::default(),
+            ServerConfig::default(),
+            config.closed_clients + config.open_clients,
+        )
+        .map_err(|e| format!("bind front door: {e}"))?;
+    let addr = front.local_addr();
+    let tracker = EpochTracker::new(config.shards);
+    for (slot, epoch) in cluster.epochs().into_iter().enumerate() {
+        tracker.publish(slot, epoch);
+    }
+
+    let stop = AtomicBool::new(false);
+    let writer_log = Mutex::new(None);
+    let (read_logs, open_logs, elapsed) = std::thread::scope(|scope| {
+        let read_handles: Vec<_> = (0..config.closed_clients)
+            .map(|i| {
+                let (tracker, stop) = (&tracker, &stop);
+                scope.spawn(move || closed_loop(addr, config, tracker, stop, i))
+            })
+            .collect();
+        let open_handles: Vec<_> = (0..config.open_clients)
+            .map(|i| {
+                let (tracker, stop) = (&tracker, &stop);
+                scope.spawn(move || open_loop(addr, config, tracker, stop, i))
+            })
+            .collect();
+        let writer = {
+            let (cluster, tracker, stop, writer_log) = (&cluster, &tracker, &stop, &writer_log);
+            scope.spawn(move || {
+                let mut log = WriterLog {
+                    rounds: Recorder::new(config.streaming),
+                    unexpected: 0,
+                };
+                let mut next_doc = config.seed_docs;
+                let mut live: Vec<i64> = Vec::new();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    let result = if round % 4 == 3 && !live.is_empty() {
+                        let doc = live.remove(0);
+                        let mut update = KbcUpdate::new();
+                        for id in 0..config.ids_per_doc {
+                            remove_claim(&mut update, doc, id);
+                        }
+                        cluster
+                            .retract_supervision(
+                                "Fact",
+                                Tuple::from_iter([Value::Int(doc), Value::Int(0)]),
+                            )
+                            .and_then(|_| cluster.run_update(&update, ExecutionMode::Incremental))
+                            .map(|_| ())
+                    } else {
+                        let mut update = KbcUpdate::new();
+                        for id in 0..config.ids_per_doc {
+                            add_claim(&mut update, next_doc, id);
+                        }
+                        live.push(next_doc);
+                        next_doc += 1;
+                        cluster
+                            .run_update(&update, ExecutionMode::Incremental)
+                            .map(|_| ())
+                    };
+                    match result {
+                        Ok(()) => log.rounds.record(started.elapsed().as_nanos() as u64),
+                        Err(_) => log.unexpected += 1,
+                    }
+                    for (slot, epoch) in cluster.epochs().into_iter().enumerate() {
+                        tracker.publish(slot, epoch);
+                    }
+                    round += 1;
+                    std::thread::sleep(config.write_pause);
+                }
+                *writer_log.lock().unwrap() = Some(log);
+            })
+        };
+        let started = Instant::now();
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = started.elapsed();
+        let read_logs: Vec<ThreadLog> = read_handles
+            .into_iter()
+            .map(|h| h.join().expect("closed-loop client panicked"))
+            .collect();
+        let open_logs: Vec<ThreadLog> = open_handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop client panicked"))
+            .collect();
+        writer.join().expect("writer panicked");
+        (read_logs, open_logs, elapsed)
+    });
+    let shard_stats: Vec<ServerStats> = (0..config.shards)
+        .filter_map(|i| cluster.server_stats(i))
+        .collect();
+    let front_stats = front.stats();
+    front.shutdown();
+    let writer = writer_log
+        .into_inner()
+        .unwrap()
+        .expect("writer log recorded");
+    Ok(reduce(
+        Target::Router,
+        read_logs,
+        open_logs,
+        writer,
+        elapsed,
+        &shard_stats,
+        Some(front_stats),
+        config,
+    ))
+}

@@ -1,0 +1,279 @@
+//! The `BENCH_serving.json` schema: emission and the CI serving gate.
+//!
+//! `dd-loadgen` writes the same flat `[{name, unit, value}]` array as
+//! `BENCH_sweeps.json`, under two series prefixes — `serving_server/` (one
+//! unsharded `dd-server`) and `serving_router/` (a sharded cluster behind its
+//! scatter-gather front door).  `check_serving` re-reads the file in CI and
+//! fails the build when required series are missing, percentiles are
+//! non-monotone, the harness saw unexpected errors (a proxy for hangs — every
+//! client runs under a read timeout, so a wedged server surfaces here), or
+//! the overload rate under the nominal profile exceeds its bound.
+//!
+//! Series naming: `<target>/<class>_<metric>` with op classes
+//! `point_read` (`probability_of`), `topk` (threshold + top-k `query`),
+//! `scan` (paginated `all_facts`), `open_mixed` (the open-loop arrival
+//! process, latency measured from the *scheduled* send time so coordinated
+//! omission cannot hide queueing delay), and `update_round` (writer-side
+//! `run_update` / retraction rounds).
+
+use crate::sweeps::BenchEntry;
+
+/// The two serving targets a complete `BENCH_serving.json` must cover.
+pub const SERVING_TARGETS: [&str; 2] = ["serving_server/", "serving_router/"];
+
+/// Read-side op classes measured per target.
+pub const READ_CLASSES: [&str; 4] = ["point_read", "topk", "scan", "open_mixed"];
+
+/// Percentile suffixes every latency class must publish.
+pub const PERCENTILE_SUFFIXES: [&str; 4] = ["p50_ms", "p90_ms", "p99_ms", "p999_ms"];
+
+/// Overload-rate ceiling the nominal profile must stay under: transient
+/// queue-full refusals are expected while the writer holds the engine lock,
+/// but a majority-refusal run means the profile is not measuring serving.
+pub const MAX_OVERLOAD_RATE: f64 = 0.5;
+
+/// Encode entries into the on-disk `[{name, unit, value}]` document.  The
+/// inverse of [`crate::sweeps::parse_bench_entries`]; the round-trip is
+/// unit-tested so the file CI gates is bit-identical in meaning to what the
+/// harness measured.
+pub fn encode_bench_entries(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\": {}, \"unit\": {}, \"value\": {}}}{comma}\n",
+            dd_wire::json::Json::String(e.name.clone()).encode(),
+            dd_wire::json::Json::String(e.unit.clone()).encode(),
+            format_value(e.value),
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Format a float so it survives the round-trip exactly enough (JSON has no
+/// NaN/Inf; the gate separately rejects non-finite values).
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn find<'a>(entries: &'a [BenchEntry], name: &str) -> Option<&'a BenchEntry> {
+    entries.iter().find(|e| e.name == name)
+}
+
+/// The serving gate: coverage floors plus sanity checks, returning one
+/// message per violation (empty means the file passes).
+///
+/// Floors and checks, per target in [`SERVING_TARGETS`]:
+/// - every read class publishes all four percentiles and served ≥ 1 op;
+/// - percentiles are monotone (p50 ≤ p90 ≤ p99 ≤ p999);
+/// - `update_round_p50_ms` exists and `update_rounds` ≥ 1;
+/// - `overload_rate` ∈ [0, [`MAX_OVERLOAD_RATE`]]; `retries_per_op` ≥ 0;
+/// - `epoch_staleness_p50` / `epoch_staleness_max` exist and are ≥ 0;
+/// - `unexpected_errors` == 0 (the zero-hang proxy: timeouts and protocol
+///   surprises land here);
+/// - every value in the file is finite.
+pub fn serving_violations(entries: &[BenchEntry]) -> Vec<String> {
+    let mut violations = Vec::new();
+    if entries.is_empty() {
+        violations.push("no serving entries found".to_string());
+        return violations;
+    }
+    for entry in entries {
+        if !entry.value.is_finite() {
+            violations.push(format!("{}: non-finite value {}", entry.name, entry.value));
+        }
+    }
+    for target in SERVING_TARGETS {
+        for class in READ_CLASSES {
+            let mut last = f64::NEG_INFINITY;
+            for suffix in PERCENTILE_SUFFIXES {
+                let name = format!("{target}{class}_{suffix}");
+                match find(entries, &name) {
+                    None => violations.push(format!("missing series {name}")),
+                    Some(e) if e.value.is_finite() => {
+                        if e.value + 1e-9 < last {
+                            violations.push(format!(
+                                "{name}: {} breaks percentile monotonicity (previous {})",
+                                e.value, last
+                            ));
+                        }
+                        last = e.value;
+                    }
+                    Some(_) => {}
+                }
+            }
+            let ops = format!("{target}{class}_ops");
+            match find(entries, &ops) {
+                None => violations.push(format!("missing series {ops}")),
+                Some(e) if e.value < 1.0 => {
+                    violations.push(format!("{ops}: {} is below the 1-op floor", e.value));
+                }
+                Some(_) => {}
+            }
+        }
+        for required in ["update_round_p50_ms", "update_round_p99_ms"] {
+            let name = format!("{target}{required}");
+            if find(entries, &name).is_none() {
+                violations.push(format!("missing series {name}"));
+            }
+        }
+        let rounds = format!("{target}update_rounds");
+        match find(entries, &rounds) {
+            None => violations.push(format!("missing series {rounds}")),
+            Some(e) if e.value < 1.0 => {
+                violations.push(format!("{rounds}: {} is below the 1-round floor", e.value));
+            }
+            Some(_) => {}
+        }
+        let overload = format!("{target}overload_rate");
+        match find(entries, &overload) {
+            None => violations.push(format!("missing series {overload}")),
+            Some(e) if !(0.0..=MAX_OVERLOAD_RATE).contains(&e.value) => {
+                violations.push(format!(
+                    "{overload}: {} outside [0, {MAX_OVERLOAD_RATE}] — the profile is refusing, not serving",
+                    e.value
+                ));
+            }
+            Some(_) => {}
+        }
+        let retries = format!("{target}retries_per_op");
+        match find(entries, &retries) {
+            None => violations.push(format!("missing series {retries}")),
+            Some(e) if e.value < 0.0 => {
+                violations.push(format!("{retries}: negative {}", e.value));
+            }
+            Some(_) => {}
+        }
+        for staleness in ["epoch_staleness_p50", "epoch_staleness_max"] {
+            let name = format!("{target}{staleness}");
+            match find(entries, &name) {
+                None => violations.push(format!("missing series {name}")),
+                Some(e) if e.value < 0.0 => {
+                    violations.push(format!("{name}: negative staleness {}", e.value));
+                }
+                Some(_) => {}
+            }
+        }
+        let errors = format!("{target}unexpected_errors");
+        match find(entries, &errors) {
+            None => violations.push(format!("missing series {errors}")),
+            Some(e) if e.value != 0.0 => {
+                violations.push(format!(
+                    "{errors}: {} — timeouts or protocol surprises during the run",
+                    e.value
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweeps::parse_bench_entries;
+
+    fn entry(name: &str, value: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            unit: "ms".into(),
+            value,
+        }
+    }
+
+    /// A minimal complete document that passes the gate.
+    pub(crate) fn complete_entries() -> Vec<BenchEntry> {
+        let mut entries = Vec::new();
+        for target in SERVING_TARGETS {
+            for class in READ_CLASSES {
+                for (i, suffix) in PERCENTILE_SUFFIXES.iter().enumerate() {
+                    entries.push(entry(&format!("{target}{class}_{suffix}"), (i + 1) as f64));
+                }
+                entries.push(entry(&format!("{target}{class}_ops"), 100.0));
+            }
+            entries.push(entry(&format!("{target}update_round_p50_ms"), 12.0));
+            entries.push(entry(&format!("{target}update_round_p99_ms"), 20.0));
+            entries.push(entry(&format!("{target}update_rounds"), 4.0));
+            entries.push(entry(&format!("{target}overload_rate"), 0.01));
+            entries.push(entry(&format!("{target}retries_per_op"), 0.02));
+            entries.push(entry(&format!("{target}epoch_staleness_p50"), 0.0));
+            entries.push(entry(&format!("{target}epoch_staleness_max"), 1.0));
+            entries.push(entry(&format!("{target}unexpected_errors"), 0.0));
+        }
+        entries
+    }
+
+    #[test]
+    fn complete_document_passes() {
+        assert_eq!(
+            serving_violations(&complete_entries()),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn encode_parse_round_trip_through_dd_wire() {
+        let entries = complete_entries();
+        let encoded = encode_bench_entries(&entries);
+        let parsed = parse_bench_entries(&encoded).expect("round-trip parses");
+        assert_eq!(parsed, entries);
+        // Names with JSON-hostile characters survive too.
+        let spicy = vec![entry("weird\"name\\with\u{1F680}", 0.125)];
+        assert_eq!(
+            parse_bench_entries(&encode_bench_entries(&spicy)).unwrap(),
+            spicy
+        );
+    }
+
+    #[test]
+    fn missing_series_and_empty_are_caught() {
+        assert!(!serving_violations(&[]).is_empty());
+        let mut entries = complete_entries();
+        entries.retain(|e| e.name != "serving_router/topk_p99_ms");
+        let violations = serving_violations(&entries);
+        assert!(violations.iter().any(|v| v.contains("topk_p99_ms")));
+    }
+
+    #[test]
+    fn non_monotone_percentiles_are_caught() {
+        let mut entries = complete_entries();
+        for e in &mut entries {
+            if e.name == "serving_server/scan_p999_ms" {
+                e.value = 0.5; // below the class's p50 of 1.0
+            }
+        }
+        let violations = serving_violations(&entries);
+        assert!(violations.iter().any(|v| v.contains("monotonicity")));
+    }
+
+    #[test]
+    fn overload_bound_errors_and_zero_ops_are_caught() {
+        let mut entries = complete_entries();
+        for e in &mut entries {
+            match e.name.as_str() {
+                "serving_server/overload_rate" => e.value = 0.9,
+                "serving_router/unexpected_errors" => e.value = 3.0,
+                "serving_server/point_read_ops" => e.value = 0.0,
+                "serving_router/update_rounds" => e.value = 0.0,
+                _ => {}
+            }
+        }
+        let violations = serving_violations(&entries);
+        assert_eq!(violations.len(), 4, "{violations:?}");
+    }
+
+    #[test]
+    fn non_finite_values_are_caught() {
+        let mut entries = complete_entries();
+        entries[0].value = f64::NAN;
+        assert!(serving_violations(&entries)
+            .iter()
+            .any(|v| v.contains("non-finite")));
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end smoke test of the serving harness: a short loadgen run against
+//! live loopback deployments must produce a well-formed `BENCH_serving.json`
+//! with every series the CI gate requires.
+//!
+//! This is the tier-1 guard for the whole measurement path: real sockets,
+//! real engines, concurrent update/retraction rounds, and the reduce step —
+//! if any of it wedges or drops a series, this test fails (clients run under
+//! read timeouts, so a hang surfaces as `unexpected_errors`, which the gate
+//! rejects).
+
+use dd_bench::loadgen::{run, LoadgenConfig};
+use dd_bench::serving::{encode_bench_entries, serving_violations};
+use dd_bench::sweeps::parse_bench_entries;
+use std::time::Duration;
+
+#[test]
+fn smoke_run_produces_a_well_formed_bench_serving() {
+    let mut config = LoadgenConfig::smoke();
+    // ~1s of measurement per target: long enough for every op class and
+    // several writer rounds, short enough for the tier-1 suite.
+    config.duration = Duration::from_millis(1000);
+    let entries = run(&config).expect("loadgen completes against live servers");
+
+    // The document must survive the encode → parse round-trip bit-exactly.
+    let encoded = encode_bench_entries(&entries);
+    let parsed = parse_bench_entries(&encoded).expect("emitted file parses");
+    assert_eq!(parsed, entries);
+
+    // And pass every CI gate: full coverage for both targets, monotone
+    // percentiles, zero unexpected errors, bounded overload rate.
+    let violations = serving_violations(&parsed);
+    assert!(
+        violations.is_empty(),
+        "serving gates failed:\n{}",
+        violations.join("\n")
+    );
+
+    // The harness's own sanity: reads actually observed both deployments.
+    let ops = |name: &str| {
+        parsed
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
+            .unwrap_or(0.0)
+    };
+    assert!(ops("serving_server/point_read_ops") >= 1.0);
+    assert!(ops("serving_router/point_read_ops") >= 1.0);
+    assert!(ops("serving_server/update_rounds") >= 1.0);
+    assert!(ops("serving_router/update_rounds") >= 1.0);
+}

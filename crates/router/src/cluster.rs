@@ -257,6 +257,14 @@ impl Cluster {
         self.shards[shard].server.is_some()
     }
 
+    /// One shard server's live counters (`None` once the shard is killed).
+    /// The loadgen harness sums these across shards to report shard-side
+    /// overload rejections and queue-wait/service-time totals that the
+    /// front door's own stats cannot see.
+    pub fn server_stats(&self, shard: usize) -> Option<dd_server::ServerStats> {
+        self.shards[shard].server.as_ref().map(Server::stats)
+    }
+
     /// A fresh scatter-gather client over this cluster's shards.
     pub fn router(&self, config: RouterConfig) -> Result<Router, ShardingError> {
         Router::new(self.assignment.clone(), &self.addrs(), config)

@@ -162,6 +162,13 @@ pub struct ServerStats {
     pub overload_rejections: u64,
     /// Frames refused as malformed / oversized / otherwise undecodable.
     pub malformed_frames: u64,
+    /// Total nanoseconds served batches spent waiting in the bounded queue
+    /// (enqueue → worker pop).  Divide by `batches_served` for the mean.
+    pub queue_wait_nanos_total: u64,
+    /// Total nanoseconds workers spent executing batches (pop → response).
+    pub service_nanos_total: u64,
+    /// The single longest queue wait observed, in nanoseconds.
+    pub max_queue_wait_nanos: u64,
 }
 
 /// One queued unit of work: a decoded batch plus the channel that hands the
@@ -169,6 +176,9 @@ pub struct ServerStats {
 struct QueuedRequest {
     request: Request,
     respond: mpsc::Sender<Response>,
+    /// When the request entered the queue; workers subtract this from their
+    /// pop time to account queue wait separately from service time.
+    enqueued_at: std::time::Instant,
 }
 
 /// One live connection in the server's registry: the thread serving it plus
@@ -189,6 +199,9 @@ struct Shared {
     batches_served: AtomicU64,
     overload_rejections: AtomicU64,
     malformed_frames: AtomicU64,
+    queue_wait_nanos: AtomicU64,
+    service_nanos: AtomicU64,
+    max_queue_wait_nanos: AtomicU64,
 }
 
 impl Shared {
@@ -271,6 +284,9 @@ impl Server {
             batches_served: AtomicU64::new(0),
             overload_rejections: AtomicU64::new(0),
             malformed_frames: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+            service_nanos: AtomicU64::new(0),
+            max_queue_wait_nanos: AtomicU64::new(0),
         });
 
         let workers = (0..config.workers.max(1))
@@ -315,6 +331,9 @@ impl Server {
             batches_served: self.shared.batches_served.load(Ordering::Relaxed),
             overload_rejections: self.shared.overload_rejections.load(Ordering::Relaxed),
             malformed_frames: self.shared.malformed_frames.load(Ordering::Relaxed),
+            queue_wait_nanos_total: self.shared.queue_wait_nanos.load(Ordering::Relaxed),
+            service_nanos_total: self.shared.service_nanos.load(Ordering::Relaxed),
+            max_queue_wait_nanos: self.shared.max_queue_wait_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -531,7 +550,12 @@ fn connection_loop(stream: &TcpStream, shared: &Shared) {
         };
 
         let (respond, result) = mpsc::channel();
-        let response = match shared.try_enqueue(QueuedRequest { request, respond }) {
+        let queued = QueuedRequest {
+            request,
+            respond,
+            enqueued_at: std::time::Instant::now(),
+        };
+        let response = match shared.try_enqueue(queued) {
             Ok(()) => match result.recv() {
                 Ok(response) => response,
                 // The worker (or queue) dropped the sender: shutdown.
@@ -575,9 +599,23 @@ fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()
 }
 
 fn worker_loop(shared: &Shared, handler: &dyn BatchHandler) {
-    while let Some(QueuedRequest { request, respond }) = shared.pop() {
+    while let Some(QueuedRequest {
+        request,
+        respond,
+        enqueued_at,
+    }) = shared.pop()
+    {
+        let wait = enqueued_at.elapsed().as_nanos() as u64;
+        shared.queue_wait_nanos.fetch_add(wait, Ordering::Relaxed);
+        shared
+            .max_queue_wait_nanos
+            .fetch_max(wait, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         let response = catch_unwind(AssertUnwindSafe(|| handler.execute(&request)))
             .unwrap_or_else(|_| Response::error(ErrorKind::Internal, "batch execution panicked"));
+        shared
+            .service_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         if matches!(response, Response::Batch(_)) {
             shared.batches_served.fetch_add(1, Ordering::Relaxed);
         }
@@ -749,12 +787,16 @@ mod tests {
             batches_served: AtomicU64::new(0),
             overload_rejections: AtomicU64::new(0),
             malformed_frames: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+            service_nanos: AtomicU64::new(0),
+            max_queue_wait_nanos: AtomicU64::new(0),
         };
         let item = || {
             let (respond, _rx) = mpsc::channel();
             QueuedRequest {
                 request: Request::new(Vec::new()),
                 respond,
+                enqueued_at: std::time::Instant::now(),
             }
         };
         assert!(shared.try_enqueue(item()).is_ok());
@@ -796,5 +838,35 @@ mod tests {
             handler.execute(&Request::new(vec![Op::Epoch])),
             Response::Batch(_)
         ));
+    }
+
+    #[test]
+    fn timing_counters_account_queue_wait_and_service_time() {
+        let config = ServerConfig {
+            allow_sleep_op: true,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(
+            "127.0.0.1:0",
+            SnapshotReader::fixed(test_snapshot()),
+            config,
+        )
+        .expect("bind loopback server");
+        let mut client =
+            crate::client::Client::connect(server.local_addr()).expect("connect test client");
+        client
+            .batch(vec![Op::Sleep { millis: 5 }])
+            .expect("sleep batch is served");
+        let stats = server.stats();
+        assert_eq!(stats.batches_served, 1);
+        // The worker slept 5ms inside execute, so service time must show it.
+        assert!(
+            stats.service_nanos_total >= 5_000_000,
+            "service time {} too small",
+            stats.service_nanos_total
+        );
+        // One batch: the max queue wait IS the total queue wait.
+        assert_eq!(stats.max_queue_wait_nanos, stats.queue_wait_nanos_total);
+        server.shutdown();
     }
 }

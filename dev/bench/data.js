@@ -1,0 +1,544 @@
+window.BENCHMARK_DATA = {
+  "lastUpdate": 1786249540803,
+  "repoUrl": "unknown",
+  "entries": {
+    "DeepDive repro benches": [
+      {
+        "commit": {
+          "id": "effaed514fc4c97cc668516c275750d22c332cf8",
+          "message": "serving harness baseline",
+          "timestamp": "1786249540803"
+        },
+        "date": 1786249540803,
+        "tool": "customSmallerIsBetter",
+        "benches": [
+          {
+            "name": "fig9_news_end_to_end/legacy_sequential",
+            "unit": "sweeps/s",
+            "value": 533052.829089
+          },
+          {
+            "name": "fig9_news_end_to_end/flat_sequential",
+            "unit": "sweeps/s",
+            "value": 2794466.955428
+          },
+          {
+            "name": "fig9_news_end_to_end/flat_parallel",
+            "unit": "sweeps/s",
+            "value": 2105144.974317
+          },
+          {
+            "name": "fig9_news_end_to_end/flat_vs_legacy_speedup",
+            "unit": "x",
+            "value": 5.242383
+          },
+          {
+            "name": "fig9_news_end_to_end/compile_seconds",
+            "unit": "s",
+            "value": 4.1e-5
+          },
+          {
+            "name": "fig9_news_end_to_end/parallel_pooled_t2",
+            "unit": "sweeps/s",
+            "value": 267805.494655
+          },
+          {
+            "name": "fig9_news_end_to_end/parallel_spawn_t2",
+            "unit": "sweeps/s",
+            "value": 52139.301615
+          },
+          {
+            "name": "fig9_news_end_to_end/pooled_vs_spawn_speedup_t2",
+            "unit": "x",
+            "value": 5.136346
+          },
+          {
+            "name": "fig9_news_end_to_end/parallel_pooled_t4",
+            "unit": "sweeps/s",
+            "value": 174729.969393
+          },
+          {
+            "name": "fig9_news_end_to_end/parallel_spawn_t4",
+            "unit": "sweeps/s",
+            "value": 14871.981979
+          },
+          {
+            "name": "fig9_news_end_to_end/pooled_vs_spawn_speedup_t4",
+            "unit": "x",
+            "value": 11.748936
+          },
+          {
+            "name": "fig5_synthetic_pairwise/legacy_sequential",
+            "unit": "sweeps/s",
+            "value": 526.067998
+          },
+          {
+            "name": "fig5_synthetic_pairwise/flat_sequential",
+            "unit": "sweeps/s",
+            "value": 1228.007008
+          },
+          {
+            "name": "fig5_synthetic_pairwise/flat_parallel",
+            "unit": "sweeps/s",
+            "value": 1238.642592
+          },
+          {
+            "name": "fig5_synthetic_pairwise/flat_vs_legacy_speedup",
+            "unit": "x",
+            "value": 2.334312
+          },
+          {
+            "name": "fig5_synthetic_pairwise/compile_seconds",
+            "unit": "s",
+            "value": 0.001797
+          },
+          {
+            "name": "fig5_synthetic_pairwise/parallel_pooled_t2",
+            "unit": "sweeps/s",
+            "value": 1236.942174
+          },
+          {
+            "name": "fig5_synthetic_pairwise/parallel_spawn_t2",
+            "unit": "sweeps/s",
+            "value": 1170.725466
+          },
+          {
+            "name": "fig5_synthetic_pairwise/pooled_vs_spawn_speedup_t2",
+            "unit": "x",
+            "value": 1.05656
+          },
+          {
+            "name": "fig5_synthetic_pairwise/parallel_pooled_t4",
+            "unit": "sweeps/s",
+            "value": 1236.097534
+          },
+          {
+            "name": "fig5_synthetic_pairwise/parallel_spawn_t4",
+            "unit": "sweeps/s",
+            "value": 1135.451327
+          },
+          {
+            "name": "fig5_synthetic_pairwise/pooled_vs_spawn_speedup_t4",
+            "unit": "x",
+            "value": 1.08864
+          },
+          {
+            "name": "publish_cost/full_rebuild_ms_n10000",
+            "unit": "ms",
+            "value": 1.418755
+          },
+          {
+            "name": "publish_cost/sharded_publish_ms_n10000",
+            "unit": "ms",
+            "value": 0.035986
+          },
+          {
+            "name": "publish_cost/publish_speedup_n10000",
+            "unit": "x",
+            "value": 39.425193
+          },
+          {
+            "name": "publish_cost/full_rebuild_ms_n100000",
+            "unit": "ms",
+            "value": 27.087841
+          },
+          {
+            "name": "publish_cost/sharded_publish_ms_n100000",
+            "unit": "ms",
+            "value": 0.287317
+          },
+          {
+            "name": "publish_cost/publish_speedup_n100000",
+            "unit": "x",
+            "value": 94.278588
+          },
+          {
+            "name": "publish_cost/full_rebuild_ms_n1000000",
+            "unit": "ms",
+            "value": 445.612249
+          },
+          {
+            "name": "publish_cost/sharded_publish_ms_n1000000",
+            "unit": "ms",
+            "value": 5.630074
+          },
+          {
+            "name": "publish_cost/publish_speedup_n1000000",
+            "unit": "x",
+            "value": 79.14856
+          },
+          {
+            "name": "retraction_cost/rerun_delete_ms_n2000",
+            "unit": "ms",
+            "value": 6.142224
+          },
+          {
+            "name": "retraction_cost/incremental_delete_ms_n2000",
+            "unit": "ms",
+            "value": 2.632606
+          },
+          {
+            "name": "retraction_cost/delete_speedup_n2000",
+            "unit": "x",
+            "value": 2.333135
+          },
+          {
+            "name": "retraction_cost/deletes_per_sec_n2000",
+            "unit": "deletes/s",
+            "value": 37985.175146
+          },
+          {
+            "name": "retraction_cost/rerun_delete_ms_n8000",
+            "unit": "ms",
+            "value": 32.837045
+          },
+          {
+            "name": "retraction_cost/incremental_delete_ms_n8000",
+            "unit": "ms",
+            "value": 16.102312
+          },
+          {
+            "name": "retraction_cost/delete_speedup_n8000",
+            "unit": "x",
+            "value": 2.039275
+          },
+          {
+            "name": "retraction_cost/deletes_per_sec_n8000",
+            "unit": "deletes/s",
+            "value": 24841.153246
+          },
+          {
+            "name": "serving_server/point_read_p50_ms",
+            "unit": "ms",
+            "value": 0.762349
+          },
+          {
+            "name": "serving_server/point_read_p90_ms",
+            "unit": "ms",
+            "value": 1.466019
+          },
+          {
+            "name": "serving_server/point_read_p99_ms",
+            "unit": "ms",
+            "value": 4.655981
+          },
+          {
+            "name": "serving_server/point_read_p999_ms",
+            "unit": "ms",
+            "value": 8.39632
+          },
+          {
+            "name": "serving_server/point_read_ops",
+            "unit": "ops",
+            "value": 16250
+          },
+          {
+            "name": "serving_server/topk_p50_ms",
+            "unit": "ms",
+            "value": 0.315003
+          },
+          {
+            "name": "serving_server/topk_p90_ms",
+            "unit": "ms",
+            "value": 0.74763
+          },
+          {
+            "name": "serving_server/topk_p99_ms",
+            "unit": "ms",
+            "value": 3.529833
+          },
+          {
+            "name": "serving_server/topk_p999_ms",
+            "unit": "ms",
+            "value": 6.409273
+          },
+          {
+            "name": "serving_server/topk_ops",
+            "unit": "ops",
+            "value": 16249
+          },
+          {
+            "name": "serving_server/scan_p50_ms",
+            "unit": "ms",
+            "value": 0.458034
+          },
+          {
+            "name": "serving_server/scan_p90_ms",
+            "unit": "ms",
+            "value": 0.893125
+          },
+          {
+            "name": "serving_server/scan_p99_ms",
+            "unit": "ms",
+            "value": 3.491642
+          },
+          {
+            "name": "serving_server/scan_p999_ms",
+            "unit": "ms",
+            "value": 7.212115
+          },
+          {
+            "name": "serving_server/scan_ops",
+            "unit": "ops",
+            "value": 16249
+          },
+          {
+            "name": "serving_server/open_mixed_p50_ms",
+            "unit": "ms",
+            "value": 0.776875
+          },
+          {
+            "name": "serving_server/open_mixed_p90_ms",
+            "unit": "ms",
+            "value": 3.970316
+          },
+          {
+            "name": "serving_server/open_mixed_p99_ms",
+            "unit": "ms",
+            "value": 12.811418
+          },
+          {
+            "name": "serving_server/open_mixed_p999_ms",
+            "unit": "ms",
+            "value": 21.795787
+          },
+          {
+            "name": "serving_server/open_mixed_ops",
+            "unit": "ops",
+            "value": 1602
+          },
+          {
+            "name": "serving_server/update_round_p50_ms",
+            "unit": "ms",
+            "value": 15.993641
+          },
+          {
+            "name": "serving_server/update_round_p99_ms",
+            "unit": "ms",
+            "value": 37.48696
+          },
+          {
+            "name": "serving_server/update_rounds",
+            "unit": "rounds",
+            "value": 199
+          },
+          {
+            "name": "serving_server/throughput_ops_per_sec",
+            "unit": "ops/s",
+            "value": 6293.504215059762
+          },
+          {
+            "name": "serving_server/overload_rate",
+            "unit": "fraction",
+            "value": 0
+          },
+          {
+            "name": "serving_server/retries_per_op",
+            "unit": "retries/op",
+            "value": 0
+          },
+          {
+            "name": "serving_server/epoch_staleness_p50",
+            "unit": "epochs",
+            "value": 0
+          },
+          {
+            "name": "serving_server/epoch_staleness_max",
+            "unit": "epochs",
+            "value": 2
+          },
+          {
+            "name": "serving_server/unexpected_errors",
+            "unit": "errors",
+            "value": 0
+          },
+          {
+            "name": "serving_server/server_mean_queue_wait_us",
+            "unit": "us",
+            "value": 47.81639604766634
+          },
+          {
+            "name": "serving_server/server_mean_service_us",
+            "unit": "us",
+            "value": 14.087895193644489
+          },
+          {
+            "name": "serving_server/shard_overload_rejections",
+            "unit": "rejections",
+            "value": 0
+          },
+          {
+            "name": "serving_router/point_read_p50_ms",
+            "unit": "ms",
+            "value": 3.51755
+          },
+          {
+            "name": "serving_router/point_read_p90_ms",
+            "unit": "ms",
+            "value": 6.191028
+          },
+          {
+            "name": "serving_router/point_read_p99_ms",
+            "unit": "ms",
+            "value": 9.072672
+          },
+          {
+            "name": "serving_router/point_read_p999_ms",
+            "unit": "ms",
+            "value": 12.160764
+          },
+          {
+            "name": "serving_router/point_read_ops",
+            "unit": "ops",
+            "value": 2482
+          },
+          {
+            "name": "serving_router/topk_p50_ms",
+            "unit": "ms",
+            "value": 3.240606
+          },
+          {
+            "name": "serving_router/topk_p90_ms",
+            "unit": "ms",
+            "value": 5.754454
+          },
+          {
+            "name": "serving_router/topk_p99_ms",
+            "unit": "ms",
+            "value": 8.916006
+          },
+          {
+            "name": "serving_router/topk_p999_ms",
+            "unit": "ms",
+            "value": 15.563828
+          },
+          {
+            "name": "serving_router/topk_ops",
+            "unit": "ops",
+            "value": 2483
+          },
+          {
+            "name": "serving_router/scan_p50_ms",
+            "unit": "ms",
+            "value": 5.336697
+          },
+          {
+            "name": "serving_router/scan_p90_ms",
+            "unit": "ms",
+            "value": 8.145565
+          },
+          {
+            "name": "serving_router/scan_p99_ms",
+            "unit": "ms",
+            "value": 11.373475
+          },
+          {
+            "name": "serving_router/scan_p999_ms",
+            "unit": "ms",
+            "value": 14.181608
+          },
+          {
+            "name": "serving_router/scan_ops",
+            "unit": "ops",
+            "value": 2484
+          },
+          {
+            "name": "serving_router/open_mixed_p50_ms",
+            "unit": "ms",
+            "value": 4.86367
+          },
+          {
+            "name": "serving_router/open_mixed_p90_ms",
+            "unit": "ms",
+            "value": 8.016509
+          },
+          {
+            "name": "serving_router/open_mixed_p99_ms",
+            "unit": "ms",
+            "value": 14.883009
+          },
+          {
+            "name": "serving_router/open_mixed_p999_ms",
+            "unit": "ms",
+            "value": 48.462231
+          },
+          {
+            "name": "serving_router/open_mixed_ops",
+            "unit": "ops",
+            "value": 1602
+          },
+          {
+            "name": "serving_router/update_round_p50_ms",
+            "unit": "ms",
+            "value": 1.210455
+          },
+          {
+            "name": "serving_router/update_round_p99_ms",
+            "unit": "ms",
+            "value": 11.896788
+          },
+          {
+            "name": "serving_router/update_rounds",
+            "unit": "rounds",
+            "value": 283
+          },
+          {
+            "name": "serving_router/throughput_ops_per_sec",
+            "unit": "ops/s",
+            "value": 1131.1972783026042
+          },
+          {
+            "name": "serving_router/overload_rate",
+            "unit": "fraction",
+            "value": 0
+          },
+          {
+            "name": "serving_router/retries_per_op",
+            "unit": "retries/op",
+            "value": 0
+          },
+          {
+            "name": "serving_router/epoch_staleness_p50",
+            "unit": "epochs",
+            "value": 0
+          },
+          {
+            "name": "serving_router/epoch_staleness_max",
+            "unit": "epochs",
+            "value": 2
+          },
+          {
+            "name": "serving_router/unexpected_errors",
+            "unit": "errors",
+            "value": 0
+          },
+          {
+            "name": "serving_router/server_mean_queue_wait_us",
+            "unit": "us",
+            "value": 136.9562359699514
+          },
+          {
+            "name": "serving_router/server_mean_service_us",
+            "unit": "us",
+            "value": 15.012331013404037
+          },
+          {
+            "name": "serving_router/shard_overload_rejections",
+            "unit": "rejections",
+            "value": 0
+          },
+          {
+            "name": "serving_router/front_batches_served",
+            "unit": "batches",
+            "value": 9051
+          },
+          {
+            "name": "serving_router/front_overload_rejections",
+            "unit": "rejections",
+            "value": 0
+          }
+        ]
+      }
+    ]
+  }
+};
