@@ -40,6 +40,13 @@
 //! O(n)-vs-O(Δ) factor incrementality buys at an N-claim KB, and
 //! `deletes_per_sec_n{N}` tracks absolute retraction throughput.
 //!
+//! A fifth series, `query_cost/*`, prices the serving read path: the
+//! probability-ordered index every publish maintains (`FactQuery::run`)
+//! raced against the full tuple-index scan (`FactQuery::run_scan`) on
+//! synthetic snapshots of growing size, for the top-k and selective
+//! threshold query shapes.  `{topk,threshold}_speedup_n{N}` is the factor
+//! the ranked index buys over rescanning at an N-fact relation.
+//!
 //! Usage: `cargo run --release -p dd-bench --bin bench_sweeps [--smoke] [output.json]`
 //!
 //! `--smoke` runs a reduced-iteration profile (fewer sweeps, smaller publish
@@ -50,10 +57,10 @@
 use dd_bench::secs;
 use dd_factorgraph::{FactorGraph, FlatGraph};
 use dd_grounding::{standard_udfs, KbcUpdate};
-use dd_inference::{sigmoid, GibbsSampler, ParallelGibbs, SweepRng};
+use dd_inference::{sigmoid, GibbsSampler, Marginals, ParallelGibbs, SweepRng};
 use dd_relstore::{tuple, DataType, Database, Schema, Tuple};
 use dd_workloads::{pairwise_graph, KbcSystem, RuleTemplate, SyntheticConfig, SystemKind};
-use deepdive::{CatalogShards, DeepDive, EngineConfig, ExecutionMode};
+use deepdive::{CatalogShards, DeepDive, EngineConfig, ExecutionMode, Snapshot};
 use rand::{Rng, SeedableRng};
 use rayon::ThreadPool;
 use std::collections::HashMap;
@@ -282,7 +289,17 @@ fn bench_publish_cost(sizes: &[usize], reps: usize, entries: &mut Vec<Entry>) {
                 ((relation, tuple![i as i64]), i)
             })
             .collect();
-        let base = CatalogShards::build(catalog.iter(), 1);
+        let mut base = CatalogShards::build(catalog.iter(), 1);
+        // Rank the base once against a fixed marginal vector, as the engine's
+        // cache is ranked by its first publish; the timed Δ-publish below then
+        // pays the realistic incremental ranked maintenance, not a first-time
+        // build.
+        let marginals = Marginals::from_values(
+            (0..n + PUBLISH_DELTA)
+                .map(|i| (i % 997) as f64 / 997.0)
+                .collect(),
+        );
+        base.refresh_ranked(&marginals, 1);
         let delta: Vec<(Tuple, usize)> = (0..PUBLISH_DELTA)
             .map(|i| (tuple![(n + i) as i64], n + i))
             .collect();
@@ -304,7 +321,7 @@ fn bench_publish_cost(sizes: &[usize], reps: usize, entries: &mut Vec<Entry>) {
         for _ in 0..reps {
             let start = Instant::now();
             let mut next = base.clone();
-            next.merge_delta("Rel00", delta.clone(), 2);
+            next.merge_delta("Rel00", delta.clone(), 2, &marginals);
             sharded_secs = sharded_secs.min(start.elapsed().as_secs_f64());
             assert_eq!(next.num_entries(), n + PUBLISH_DELTA);
         }
@@ -325,6 +342,85 @@ fn bench_publish_cost(sizes: &[usize], reps: usize, entries: &mut Vec<Entry>) {
                 unit,
                 value,
             });
+        }
+    }
+}
+
+/// Time the two read paths over synthetic snapshots of growing size: the
+/// full scan (`FactQuery::run_scan`, iterate the tuple-sorted index and
+/// filter) vs the ranked-index path (`FactQuery::run`, prefix/partition-point
+/// reads of the probability-ordered view every publish maintains).  Two
+/// query shapes per size — a top-k page over a threshold (the serving
+/// harness's `topk` op) and a selective threshold selection — with the
+/// indexed result asserted byte-identical to the scan before timing.
+/// Emits `query_cost/{scan,indexed}_{shape}_us_n{N}` and
+/// `query_cost/{shape}_speedup_n{N}`.
+fn bench_query_cost(sizes: &[usize], reps: usize, entries: &mut Vec<Entry>) {
+    println!("\nquery_cost: ranked-index read path vs full scan");
+    for &n in sizes {
+        // One n-tuple relation with marginals spread over [0, 1): the shape
+        // a catalog shard holds after grounding and inferring a large KB.
+        let catalog: HashMap<(String, Tuple), usize> = (0..n)
+            .map(|i| (("Fact".to_string(), tuple![i as i64]), i))
+            .collect();
+        let marginals: Vec<f64> = (0..n).map(|i| (i % 997) as f64 / 997.0).collect();
+        let snapshot = Snapshot::synthetic(1, marginals, CatalogShards::build(catalog.iter(), 1));
+
+        // (label, min_probability, top_k, limit): the top-k page mirrors the
+        // serving harness's `topk` op; the threshold shape selects the ~1%
+        // high-confidence slice without pagination.
+        let shapes: [(&str, f64, Option<usize>, Option<usize>); 2] = [
+            ("topk", 0.5, Some(10), Some(10)),
+            ("threshold", 0.99, None, None),
+        ];
+        for (label, min_p, top_k, limit) in shapes {
+            let make = || {
+                let mut query = snapshot.facts("Fact").min_probability(min_p);
+                if let Some(k) = top_k {
+                    query = query.top_k(k);
+                }
+                if let Some(l) = limit {
+                    query = query.limit(l);
+                }
+                query
+            };
+            // The indexed path must answer byte-identically to the scan.
+            assert_eq!(make().run(), make().run_scan());
+
+            let iters = (1_000_000 / n).clamp(3, 200);
+            let (mut indexed_secs, mut scan_secs) = (f64::INFINITY, f64::INFINITY);
+            let mut sink = 0usize;
+            for _ in 0..reps {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    sink += make().run().len();
+                }
+                indexed_secs = indexed_secs.min(start.elapsed().as_secs_f64() / iters as f64);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    sink += make().run_scan().len();
+                }
+                scan_secs = scan_secs.min(start.elapsed().as_secs_f64() / iters as f64);
+            }
+            assert!(sink > 0, "queries returned no facts — nothing was measured");
+
+            let speedup = scan_secs / indexed_secs;
+            println!(
+                "  n={n:>8} {label:>9}: scan {:>10} | indexed {:>10}  ({speedup:.1}x)",
+                secs(scan_secs),
+                secs(indexed_secs)
+            );
+            for (kind, value, unit) in [
+                (format!("scan_{label}_us_n{n}"), scan_secs * 1e6, "us"),
+                (format!("indexed_{label}_us_n{n}"), indexed_secs * 1e6, "us"),
+                (format!("{label}_speedup_n{n}"), speedup, "x"),
+            ] {
+                entries.push(Entry {
+                    name: format!("query_cost/{kind}"),
+                    unit,
+                    value,
+                });
+            }
         }
     }
 }
@@ -484,6 +580,7 @@ fn main() {
     );
     bench_publish_cost(publish_sizes, publish_reps, &mut entries);
     bench_retraction_cost(retraction_sizes, publish_reps, &mut entries);
+    bench_query_cost(publish_sizes, publish_reps, &mut entries);
 
     let mut json = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {

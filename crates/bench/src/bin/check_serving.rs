@@ -7,15 +7,25 @@
 //! timeout, so a wedged server lands here instead of wedging the harness),
 //! or refused more than half its traffic (`overload_rate` bound).
 //!
-//! Usage: `cargo run --release -p dd-bench --bin check_serving [file.json]`
-//! (default `BENCH_serving.json`).  CI runs it against a fresh smoke file:
+//! When the per-commit history (`dev/bench/data.js`) is present, the
+//! trailing-window regression gate also runs: each target's top-k/threshold
+//! p99 must stay within `MAX_REGRESSION_FACTOR`× the median of the last
+//! `REGRESSION_WINDOW` banked runs.  A missing history file or one with too
+//! few usable points skips that gate cleanly; a *malformed* history fails
+//! the build (it is a CI artifact, not user input).
+//!
+//! Usage:
+//! `cargo run --release -p dd-bench --bin check_serving [file.json] [history.js]`
+//! (defaults `BENCH_serving.json` and `dev/bench/data.js`).  CI runs it
+//! against a fresh smoke file:
 //!
 //! ```sh
 //! cargo run --release -p dd-bench --bin dd-loadgen -- --smoke ci-serving.json
-//! cargo run --release -p dd-bench --bin check_serving -- ci-serving.json
+//! cargo run --release -p dd-bench --bin check_serving -- ci-serving.json dev/bench/data.js
 //! ```
 
-use dd_bench::serving::serving_violations;
+use dd_bench::history::{parse_history, run_count};
+use dd_bench::serving::{regression_violations, serving_violations};
 use dd_bench::sweeps::parse_bench_entries;
 use std::process::ExitCode;
 
@@ -23,6 +33,9 @@ fn main() -> ExitCode {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let history_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "dev/bench/data.js".to_string());
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(err) => {
@@ -46,7 +59,27 @@ fn main() -> ExitCode {
         println!("  {:<48} {:>12.4} {}", entry.name, entry.value, entry.unit);
     }
 
-    let violations = serving_violations(&entries);
+    let mut violations = serving_violations(&entries);
+
+    match std::fs::read_to_string(&history_path) {
+        Err(_) => {
+            println!("check_serving: no history at {history_path} — regression gate skipped");
+        }
+        Ok(history_text) => match parse_history(&history_text) {
+            Err(err) => {
+                eprintln!("check_serving: {history_path} is not a valid history: {err}");
+                return ExitCode::FAILURE;
+            }
+            Ok(history) => {
+                println!(
+                    "check_serving: regression gate against {} banked runs in {history_path}",
+                    run_count(&history)
+                );
+                violations.extend(regression_violations(&entries, &history));
+            }
+        },
+    }
+
     if violations.is_empty() {
         println!("check_serving: all serving gates pass");
         ExitCode::SUCCESS

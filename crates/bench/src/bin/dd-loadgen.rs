@@ -7,22 +7,27 @@
 //!
 //! ```sh
 //! cargo run --release -p dd-bench --bin dd-loadgen -- \
-//!     [--smoke] [--streaming] [--target server|router] [output.json]
+//!     [--smoke] [--streaming] [--overload] [--target server|router] [output.json]
 //! ```
 //!
 //! `--smoke` runs the seconds-long CI profile instead of the nominal one;
 //! `--streaming` switches the percentile estimator to the bounded-memory
 //! sketch; `--target` restricts the run to one deployment (the emitted file
 //! then fails `check_serving`'s coverage floor by design — it is for local
-//! iteration, not CI).  Default output: `BENCH_serving.json`.
+//! iteration, not CI).  `--overload` runs the deliberate-overload profile
+//! instead: a one-worker, tiny-queue server is flooded above its *measured*
+//! capacity so the bounded queue fills, then probed for recovery; the
+//! emitted `serving_overload/` series likewise skip the coverage floor.
+//! Default output: `BENCH_serving.json`.
 
-use dd_bench::loadgen::{run, run_target, LoadgenConfig, Target};
+use dd_bench::loadgen::{run, run_overload, run_target, LoadgenConfig, OverloadConfig, Target};
 use dd_bench::serving::encode_bench_entries;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut config = LoadgenConfig::nominal();
     let mut smoke = false;
+    let mut overload = false;
     let mut target: Option<Target> = None;
     let mut output = "BENCH_serving.json".to_string();
     let mut args = std::env::args().skip(1);
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--streaming" => config.streaming = true,
+            "--overload" => overload = true,
             "--target" => match args.next().as_deref() {
                 Some("server") => target = Some(Target::Server),
                 Some("router") => target = Some(Target::Router),
@@ -40,7 +46,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: dd-loadgen [--smoke] [--streaming] [--target server|router] [out.json]"
+                    "usage: dd-loadgen [--smoke] [--streaming] [--overload] \
+                     [--target server|router] [out.json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -54,21 +61,38 @@ fn main() -> ExitCode {
     }
 
     let profile = if smoke { "smoke" } else { "nominal" };
-    println!(
-        "dd-loadgen: {profile} profile — {}s per target, {} closed + {} open clients, {} shards",
-        config.duration.as_secs_f64(),
-        config.closed_clients,
-        config.open_clients,
-        config.shards
-    );
-    let result = match target {
-        None => run(&config),
-        Some(t) => {
-            println!(
-                "dd-loadgen: single target {:?} (coverage gate will not pass)",
-                t
-            );
-            run_target(t, &config)
+    let result = if overload {
+        let overload_config = if smoke {
+            OverloadConfig::smoke()
+        } else {
+            OverloadConfig::nominal()
+        };
+        println!(
+            "dd-loadgen: {profile} overload profile — {} flood clients at {}x measured \
+             capacity, {} worker(s), queue of {}",
+            overload_config.flood_clients,
+            overload_config.rate_factor,
+            overload_config.workers,
+            overload_config.queue_capacity
+        );
+        run_overload(&overload_config)
+    } else {
+        println!(
+            "dd-loadgen: {profile} profile — {}s per target, {} closed + {} open clients, {} shards",
+            config.duration.as_secs_f64(),
+            config.closed_clients,
+            config.open_clients,
+            config.shards
+        );
+        match target {
+            None => run(&config),
+            Some(t) => {
+                println!(
+                    "dd-loadgen: single target {:?} (coverage gate will not pass)",
+                    t
+                );
+                run_target(t, &config)
+            }
         }
     };
     let entries = match result {

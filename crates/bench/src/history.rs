@@ -145,6 +145,30 @@ pub fn append_point(history: &Json, point: &HistoryPoint) -> Result<Json, String
     Ok(Json::Object(out))
 }
 
+/// The values one named series took across every banked snapshot under
+/// [`SUITE`], in append order.  Snapshots that did not publish the series
+/// are skipped, so the result is the series' trajectory, not a padded grid.
+pub fn series_values(history: &Json, name: &str) -> Vec<f64> {
+    let Some(runs) = history
+        .get("entries")
+        .and_then(|e| e.get(SUITE))
+        .and_then(Json::as_array)
+    else {
+        return Vec::new();
+    };
+    runs.iter()
+        .filter_map(|run| {
+            run.get("benches")?.as_array()?.iter().find_map(|bench| {
+                if bench.get("name").and_then(Json::as_str) == Some(name) {
+                    bench.get("value").and_then(Json::as_f64)
+                } else {
+                    None
+                }
+            })
+        })
+        .collect()
+}
+
 /// Number of snapshots currently banked under [`SUITE`].
 pub fn run_count(history: &Json) -> usize {
     history
@@ -268,6 +292,30 @@ mod tests {
         assert_eq!(appended.get("custom").and_then(Json::as_bool), Some(true));
         let other = appended.get("entries").unwrap().get("Other Suite").unwrap();
         assert_eq!(other.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn series_values_walks_snapshots_in_order_and_skips_absences() {
+        let mut history = empty_history("x");
+        for (i, value) in [3.0, 7.0, 5.0].iter().enumerate() {
+            let mut p = point(&format!("c{i}"), 1000.0 * (i + 1) as f64);
+            p.benches = vec![bench("serving_server/topk_p99_ms", *value)];
+            // Every other snapshot also carries an unrelated series.
+            if i % 2 == 0 {
+                p.benches.push(bench("other/series", 99.0));
+            }
+            history = append_point(&history, &p).unwrap();
+        }
+        assert_eq!(
+            series_values(&history, "serving_server/topk_p99_ms"),
+            vec![3.0, 7.0, 5.0]
+        );
+        assert_eq!(series_values(&history, "other/series"), vec![99.0, 99.0]);
+        assert_eq!(series_values(&history, "missing/series"), Vec::<f64>::new());
+        assert_eq!(
+            series_values(&empty_history("x"), "serving_server/topk_p99_ms"),
+            Vec::<f64>::new()
+        );
     }
 
     #[test]

@@ -153,14 +153,18 @@ fn remove_claim(update: &mut KbcUpdate, doc: i64, id: i64) {
 }
 
 fn corpus(config: &LoadgenConfig) -> Database {
+    corpus_of(config.seed_docs, config.ids_per_doc)
+}
+
+fn corpus_of(seed_docs: i64, ids_per_doc: i64) -> Database {
     let mut db = Database::new();
     let schema = || Schema::of(&[("doc", DataType::Int), ("id", DataType::Int)]);
     for table in ["Claim", "Pos", "Neg"] {
         db.create_table(table, schema()).expect("fresh table");
     }
     let mut seed = KbcUpdate::new();
-    for doc in 0..config.seed_docs {
-        for id in 0..config.ids_per_doc {
+    for doc in 0..seed_docs {
+        for id in 0..ids_per_doc {
             add_claim(&mut seed, doc, id);
         }
     }
@@ -823,4 +827,302 @@ fn run_router_target(config: &LoadgenConfig) -> Result<Vec<BenchEntry>, String> 
         Some(front_stats),
         config,
     ))
+}
+
+// --------------------------------------------------------------- overload
+
+/// Knobs of the deliberate-overload profile ([`run_overload`]).
+///
+/// The profile shrinks the server to one worker over a few-slot queue,
+/// measures its capacity with a single uncontended client, then floods it at
+/// `rate_factor` times that measured rate from `flood_clients` connections —
+/// typed `overloaded` refusals become a sized-in property of the run instead
+/// of an accident of host speed.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Capacity-measurement window (one client, no contention).
+    pub calibrate: Duration,
+    /// Flood window driven above measured capacity.
+    pub flood: Duration,
+    /// Concurrent flood connections; must exceed `workers + queue_capacity`
+    /// or the offered concurrency alone can never fill the queue.
+    pub flood_clients: usize,
+    /// Offered rate = `rate_factor` × measured capacity.
+    pub rate_factor: f64,
+    /// Worker threads of the deliberately small server.
+    pub workers: usize,
+    /// Bounded-queue slots of the deliberately small server.
+    pub queue_capacity: usize,
+    /// Documents seeded before serving starts.
+    pub seed_docs: i64,
+    /// Claims per document.
+    pub ids_per_doc: i64,
+    /// Per-client read timeout (the zero-hang bound).
+    pub read_timeout: Duration,
+    /// Ops the post-drain probe must complete for `recovered` to read 1.
+    pub recovery_probes: u32,
+}
+
+impl OverloadConfig {
+    /// The nominal profile for manual `dd-loadgen --overload` runs.
+    pub fn nominal() -> Self {
+        OverloadConfig {
+            calibrate: Duration::from_millis(1500),
+            flood: Duration::from_secs(4),
+            flood_clients: 16,
+            rate_factor: 4.0,
+            workers: 1,
+            queue_capacity: 2,
+            seed_docs: 16,
+            ids_per_doc: 4,
+            read_timeout: Duration::from_secs(30),
+            recovery_probes: 50,
+        }
+    }
+
+    /// The CI smoke profile: same phases, under two seconds end to end.
+    pub fn smoke() -> Self {
+        OverloadConfig {
+            calibrate: Duration::from_millis(300),
+            flood: Duration::from_millis(800),
+            flood_clients: 12,
+            rate_factor: 4.0,
+            workers: 1,
+            queue_capacity: 2,
+            seed_docs: 8,
+            ids_per_doc: 3,
+            read_timeout: Duration::from_secs(30),
+            recovery_probes: 20,
+        }
+    }
+}
+
+/// The overload traffic mix: alternating point reads and indexed top-k —
+/// the two shapes the ranked index answers without a scan.
+fn overload_op(seq: u64, config: &OverloadConfig) -> Op {
+    if seq % 2 == 0 {
+        let doc = (seq % config.seed_docs as u64) as i64;
+        let id = ((seq / 5) % config.ids_per_doc as u64) as i64;
+        Op::probability_of("Fact", Tuple::from_iter([Value::Int(doc), Value::Int(id)]))
+    } else {
+        Op::Query {
+            relation: "Fact".to_string(),
+            spec: FactQuerySpec {
+                min_probability: 0.5,
+                top_k: Some(10),
+                offset: 0,
+                limit: Some(10),
+            },
+        }
+    }
+}
+
+/// One flood client: arrivals scheduled at its slice of the offered rate.
+/// Overload refusals are counted and the arrival process moves on — no retry
+/// budget exists to exhaust, so a saturated run cannot manufacture
+/// unexpected errors.  Returns `(ok, overloads, unexpected)`.
+fn flood_loop(
+    addr: std::net::SocketAddr,
+    config: &OverloadConfig,
+    interval: Duration,
+    stop: &AtomicBool,
+    thread_index: usize,
+) -> (u64, u64, u64) {
+    let client_config = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        read_timeout: Some(config.read_timeout),
+    };
+    let Ok(mut client) = Client::connect_with(addr, client_config) else {
+        return (0, 0, 1);
+    };
+    let (mut ok, mut overloads, mut unexpected) = (0u64, 0u64, 0u64);
+    let start = Instant::now();
+    let mut n = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let scheduled = start + interval.mul_f64(n as f64);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let op = overload_op(n + thread_index as u64, config);
+        n += 1;
+        match client.batch(vec![op]) {
+            Ok(_) => ok += 1,
+            Err(err) if err.is_overloaded() => overloads += 1,
+            Err(err) => {
+                if !err.is_shutting_down() && !stop.load(Ordering::Relaxed) {
+                    unexpected += 1;
+                }
+                if client.reconnect().is_err() {
+                    return (ok, overloads, unexpected);
+                }
+            }
+        }
+    }
+    (ok, overloads, unexpected)
+}
+
+/// Drive the deliberate-overload profile against one small unsharded server
+/// and reduce it to the `serving_overload/` series.
+///
+/// Three phases against one deployment:
+///
+/// 1. **Calibrate** — one client measures capacity with no contention.
+/// 2. **Flood** — `flood_clients` connections offer `rate_factor` × that
+///    measured rate at a one-worker, few-slot server, so the bounded queue
+///    fills and typed `overloaded` refusals flow back.  Flooders count
+///    refusals and move on, so `unexpected_errors` stays 0 by construction
+///    unless something actually breaks.
+/// 3. **Recover** — once the flood stops and the queue drains, a fresh
+///    client must complete `recovery_probes` ops (overload retries allowed
+///    while the tail drains) for `recovered` to read 1.
+///
+/// The emitted series live under their own `serving_overload/` prefix:
+/// [`crate::serving::serving_violations`] only enforces per-target coverage
+/// for `serving_server/` / `serving_router/`, so these entries ride along in
+/// a bench document subject to the global finiteness gate alone.
+pub fn run_overload(config: &OverloadConfig) -> Result<Vec<BenchEntry>, String> {
+    let mut engine = DeepDive::builder()
+        .program_text(PROGRAM)
+        .database(corpus_of(config.seed_docs, config.ids_per_doc))
+        .udfs(standard_udfs())
+        .config(EngineConfig::fast())
+        .build()
+        .map_err(|e| format!("build engine: {e}"))?;
+    engine
+        .initial_run()
+        .map_err(|e| format!("initial run: {e}"))?;
+    let server_config = ServerConfig {
+        workers: config.workers.max(1),
+        queue_capacity: config.queue_capacity.max(1),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", engine.reader(), server_config)
+        .map_err(|e| format!("bind server: {e}"))?;
+    let addr = server.local_addr();
+    let client_config = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(5)),
+        read_timeout: Some(config.read_timeout),
+    };
+
+    // Phase 1: measure what the small server can actually do.
+    let mut client = Client::connect_with(addr, client_config.clone())
+        .map_err(|e| format!("connect calibration client: {e}"))?;
+    let started = Instant::now();
+    let (mut calibration_ops, mut calibration_unexpected) = (0u64, 0u64);
+    let mut seq = 0u64;
+    while started.elapsed() < config.calibrate {
+        match client.batch(vec![overload_op(seq, config)]) {
+            Ok(_) => calibration_ops += 1,
+            // One uncontended client can only race the occasional internal
+            // hiccup into the queue bound; just resend.
+            Err(err) if err.is_overloaded() => {}
+            Err(err) => {
+                if !err.is_shutting_down() {
+                    calibration_unexpected += 1;
+                }
+                if client.reconnect().is_err() {
+                    break;
+                }
+            }
+        }
+        seq += 1;
+    }
+    drop(client);
+    if calibration_ops == 0 {
+        server.shutdown();
+        return Err("overload calibration made no progress".to_string());
+    }
+    let capacity = calibration_ops as f64 / started.elapsed().as_secs_f64().max(1e-9);
+
+    // Phase 2: flood above measured capacity.  Each client offers an equal
+    // slice of the target rate; when the host cannot keep the schedule the
+    // clients degrade to back-to-back sends, which with
+    // `flood_clients > workers + queue_capacity` still overruns the queue.
+    let offered_rate = (capacity * config.rate_factor).max(1.0);
+    let clients = config.flood_clients.max(1);
+    let interval = Duration::from_secs_f64(clients as f64 / offered_rate);
+    let stop = AtomicBool::new(false);
+    let (flood_ok, flood_overloads, flood_unexpected, flood_elapsed) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    let stop = &stop;
+                    scope.spawn(move || flood_loop(addr, config, interval, stop, i))
+                })
+                .collect();
+            let started = Instant::now();
+            std::thread::sleep(config.flood);
+            stop.store(true, Ordering::Relaxed);
+            let elapsed = started.elapsed();
+            let mut totals = (0u64, 0u64, 0u64);
+            for handle in handles {
+                let (ok, overloads, unexpected) = handle.join().expect("flood client panicked");
+                totals.0 += ok;
+                totals.1 += overloads;
+                totals.2 += unexpected;
+            }
+            (totals.0, totals.1, totals.2, elapsed)
+        });
+
+    // Phase 3: the queue drains in a few service times; a fresh client must
+    // then make clean progress for the run to count as recovered.
+    let mut probe = Client::connect_with(addr, client_config)
+        .map_err(|e| format!("connect recovery client: {e}"))?;
+    let (mut recovered_ops, mut recovery_unexpected) = (0u64, 0u64);
+    'probe: for seq in 0..u64::from(config.recovery_probes) {
+        let mut attempts = 0u32;
+        loop {
+            match probe.batch(vec![overload_op(seq, config)]) {
+                Ok(_) => {
+                    recovered_ops += 1;
+                    break;
+                }
+                Err(err) if err.is_overloaded() => {
+                    attempts += 1;
+                    if attempts > MAX_RETRIES_PER_OP {
+                        recovery_unexpected += 1;
+                        break 'probe;
+                    }
+                    std::thread::sleep(Duration::from_millis(u64::from(attempts.min(5))));
+                }
+                Err(_) => {
+                    recovery_unexpected += 1;
+                    if probe.reconnect().is_err() {
+                        break 'probe;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let stats = server.stats();
+    server.shutdown();
+
+    let unexpected = calibration_unexpected + flood_unexpected + recovery_unexpected;
+    let recovered = recovered_ops == u64::from(config.recovery_probes) && recovery_unexpected == 0;
+    let entry = |name: &str, unit: &str, value: f64| BenchEntry {
+        name: format!("serving_overload/{name}"),
+        unit: unit.to_string(),
+        value,
+    };
+    Ok(vec![
+        entry("capacity_ops_per_sec", "ops/s", capacity),
+        entry("offered_rate_ops_per_sec", "ops/s", offered_rate),
+        entry("flood_ops", "ops", flood_ok as f64),
+        entry(
+            "flood_throughput_ops_per_sec",
+            "ops/s",
+            flood_ok as f64 / flood_elapsed.as_secs_f64().max(1e-9),
+        ),
+        entry("overload_rejections", "rejections", flood_overloads as f64),
+        entry(
+            "server_overload_rejections",
+            "rejections",
+            stats.overload_rejections as f64,
+        ),
+        entry("recovered", "bool", if recovered { 1.0 } else { 0.0 }),
+        entry("recovery_ops", "ops", recovered_ops as f64),
+        entry("unexpected_errors", "errors", unexpected as f64),
+    ])
 }

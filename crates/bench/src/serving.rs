@@ -16,7 +16,9 @@
 //! omission cannot hide queueing delay), and `update_round` (writer-side
 //! `run_update` / retraction rounds).
 
+use crate::history::series_values;
 use crate::sweeps::BenchEntry;
+use dd_wire::json::Json;
 
 /// The two serving targets a complete `BENCH_serving.json` must cover.
 pub const SERVING_TARGETS: [&str; 2] = ["serving_server/", "serving_router/"];
@@ -174,9 +176,84 @@ pub fn serving_violations(entries: &[BenchEntry]) -> Vec<String> {
     violations
 }
 
+// -------------------------------------------------- trailing-window gate
+
+/// The per-target series the trailing-window regression gate watches: the
+/// threshold + top-k read class — exactly the shape the ranked index serves,
+/// so an index regression shows up here first.
+pub const REGRESSION_SUFFIX: &str = "topk_p99_ms";
+
+/// How many trailing history points form the comparison window.
+pub const REGRESSION_WINDOW: usize = 5;
+
+/// The gate stays silent until this many usable history points exist — a
+/// young history (or a series that just started being published) must not
+/// fail CI.
+pub const MIN_REGRESSION_HISTORY: usize = 3;
+
+/// Ceiling on the current run relative to the trailing median.  Serving p99
+/// on shared CI hosts is noisy, so the bound is a 2× step, not a drift
+/// detector — the per-commit trajectory in `dev/bench/data.js` is the place
+/// to read slow drift.
+pub const MAX_REGRESSION_FACTOR: f64 = 2.0;
+
+/// Median of a non-empty slice (midpoint average for even lengths).
+fn median_of(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// The trailing-window regression gate: compare this run's top-k/threshold
+/// p99 per target against the median of the last [`REGRESSION_WINDOW`]
+/// banked runs in the parsed `dev/bench/data.js` history.
+///
+/// Skips cleanly — returns no violation — whenever there is nothing sound to
+/// compare: the series is absent from the current run or the history, fewer
+/// than [`MIN_REGRESSION_HISTORY`] usable (finite, positive) history points
+/// exist, or the current value itself is non-finite (the main gate already
+/// rejects that).  A violation means the current value exceeds
+/// [`MAX_REGRESSION_FACTOR`] × the trailing median.
+pub fn regression_violations(entries: &[BenchEntry], history: &Json) -> Vec<String> {
+    let mut violations = Vec::new();
+    for target in SERVING_TARGETS {
+        let name = format!("{target}{REGRESSION_SUFFIX}");
+        let Some(current) = find(entries, &name) else {
+            continue;
+        };
+        if !current.value.is_finite() || current.value <= 0.0 {
+            continue;
+        }
+        let usable: Vec<f64> = series_values(history, &name)
+            .into_iter()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .collect();
+        if usable.len() < MIN_REGRESSION_HISTORY {
+            continue;
+        }
+        let window = &usable[usable.len().saturating_sub(REGRESSION_WINDOW)..];
+        let median = median_of(window);
+        if current.value > median * MAX_REGRESSION_FACTOR {
+            violations.push(format!(
+                "{name}: {:.4} ms exceeds {MAX_REGRESSION_FACTOR}x the trailing median \
+                 {median:.4} ms (window of {} runs)",
+                current.value,
+                window.len()
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::history::{append_point, empty_history, HistoryPoint};
     use crate::sweeps::parse_bench_entries;
 
     fn entry(name: &str, value: f64) -> BenchEntry {
@@ -275,5 +352,74 @@ mod tests {
         assert!(serving_violations(&entries)
             .iter()
             .any(|v| v.contains("non-finite")));
+    }
+
+    /// A synthetic history whose snapshots publish the given per-run p99
+    /// values for both targets' `topk_p99_ms` series.
+    fn history_of(p99s: &[f64]) -> Json {
+        let mut history = empty_history("x");
+        for (i, value) in p99s.iter().enumerate() {
+            let point = HistoryPoint {
+                commit_id: format!("c{i}"),
+                message: format!("commit {i}"),
+                timestamp_ms: 1000.0 * (i + 1) as f64,
+                benches: SERVING_TARGETS
+                    .iter()
+                    .map(|t| entry(&format!("{t}{REGRESSION_SUFFIX}"), *value))
+                    .collect(),
+            };
+            history = append_point(&history, &point).unwrap();
+        }
+        history
+    }
+
+    /// Current-run entries with the given `topk_p99_ms` for both targets.
+    fn current_p99(value: f64) -> Vec<BenchEntry> {
+        SERVING_TARGETS
+            .iter()
+            .map(|t| entry(&format!("{t}{REGRESSION_SUFFIX}"), value))
+            .collect()
+    }
+
+    #[test]
+    fn regression_gate_skips_cleanly_on_short_or_absent_history() {
+        // Fewer than MIN_REGRESSION_HISTORY usable points: silent, even when
+        // the current value would be a blatant regression against them.
+        let short = history_of(&[1.0, 1.0]);
+        assert!(regression_violations(&current_p99(100.0), &short).is_empty());
+        assert!(regression_violations(&current_p99(100.0), &empty_history("x")).is_empty());
+        // Current run missing the series entirely: nothing to gate.
+        let deep = history_of(&[1.0; 6]);
+        assert!(regression_violations(&[entry("other/series", 9.0)], &deep).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_passes_values_near_the_trailing_median() {
+        let history = history_of(&[1.0, 1.2, 0.9, 1.1, 1.0]);
+        assert!(regression_violations(&current_p99(1.3), &history).is_empty());
+        // Exactly at the bound is still a pass (the gate is strict-greater).
+        assert!(regression_violations(&current_p99(2.0), &history).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_flags_a_step_past_the_factor() {
+        let history = history_of(&[1.0, 1.2, 0.9, 1.1, 1.0]);
+        let violations = regression_violations(&current_p99(2.5), &history);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("trailing median"));
+    }
+
+    #[test]
+    fn regression_window_is_trailing_and_median_resists_outliers() {
+        // Old slow runs fall outside the 5-run window: only the recent fast
+        // regime sets the bar.
+        let history = history_of(&[50.0, 50.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(regression_violations(&current_p99(2.5), &history).len(), 2);
+        // One spike inside the window does not drag the median up...
+        let spiky = history_of(&[1.0, 1.0, 40.0, 1.0, 1.0]);
+        assert_eq!(regression_violations(&current_p99(2.5), &spiky).len(), 2);
+        // ...and zero/non-finite history points are not usable evidence.
+        let degenerate = history_of(&[0.0, 0.0, 0.0, 1.0, 1.0]);
+        assert!(regression_violations(&current_p99(2.5), &degenerate).is_empty());
     }
 }

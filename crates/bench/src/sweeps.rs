@@ -65,14 +65,15 @@ pub fn parse_bench_entries(text: &str) -> Result<Vec<BenchEntry>, String> {
 
 /// The benchmark series a `BENCH_sweeps.json` must cover: each of these
 /// prefixes has banked at least one `*speedup*` gate (flat-graph inference,
-/// pooled dispatch, sharded publish, incremental retraction), and a file
-/// missing a whole series means a sweep silently stopped running — which the
-/// per-entry gate alone cannot see.
-pub const REQUIRED_SPEEDUP_SERIES: [&str; 4] = [
+/// pooled dispatch, sharded publish, incremental retraction, indexed reads),
+/// and a file missing a whole series means a sweep silently stopped running —
+/// which the per-entry gate alone cannot see.
+pub const REQUIRED_SPEEDUP_SERIES: [&str; 5] = [
     "fig9_news_end_to_end/",
     "fig5_synthetic_pairwise/",
     "publish_cost/",
     "retraction_cost/",
+    "query_cost/",
 ];
 
 /// The coverage floor: every series in [`REQUIRED_SPEEDUP_SERIES`] must
@@ -208,11 +209,11 @@ mod tests {
         let partial = &full[..full.len() - 1];
         let violations = coverage_violations(partial);
         assert_eq!(violations.len(), 1);
-        assert!(violations[0].contains("retraction_cost/"));
+        assert!(violations[0].contains("query_cost/"));
 
         // A raw (non-speedup) metric does not satisfy the floor.
         let mut decoy = partial.to_vec();
-        decoy.push(entry("retraction_cost/deletes_per_sec_n1"));
+        decoy.push(entry("query_cost/indexed_topk_us_n1"));
         assert_eq!(coverage_violations(&decoy).len(), 1);
     }
 

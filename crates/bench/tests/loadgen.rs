@@ -8,7 +8,7 @@
 //! read timeouts, so a hang surfaces as `unexpected_errors`, which the gate
 //! rejects).
 
-use dd_bench::loadgen::{run, LoadgenConfig};
+use dd_bench::loadgen::{run, run_overload, LoadgenConfig, OverloadConfig};
 use dd_bench::serving::{encode_bench_entries, serving_violations};
 use dd_bench::sweeps::parse_bench_entries;
 use std::time::Duration;
@@ -47,4 +47,53 @@ fn smoke_run_produces_a_well_formed_bench_serving() {
     assert!(ops("serving_router/point_read_ops") >= 1.0);
     assert!(ops("serving_server/update_rounds") >= 1.0);
     assert!(ops("serving_router/update_rounds") >= 1.0);
+}
+
+#[test]
+fn overload_smoke_rejects_typed_and_recovers_clean() {
+    let config = OverloadConfig::smoke();
+    let entries = run_overload(&config).expect("overload run completes");
+
+    // Same round-trip contract as the main document.
+    let encoded = encode_bench_entries(&entries);
+    let parsed = parse_bench_entries(&encoded).expect("emitted file parses");
+    assert_eq!(parsed, entries);
+
+    let value = |name: &str| {
+        parsed
+            .iter()
+            .find(|e| e.name == format!("serving_overload/{name}"))
+            .map(|e| e.value)
+            .unwrap_or_else(|| panic!("missing series serving_overload/{name}"))
+    };
+
+    // The flood was sized above measured capacity, so the bounded queue must
+    // actually have filled: clients saw typed `overloaded` refusals and the
+    // server counted the matching rejections.
+    assert!(
+        value("overload_rejections") >= 1.0,
+        "flood produced no typed overload refusals (capacity {} ops/s, offered {} ops/s)",
+        value("capacity_ops_per_sec"),
+        value("offered_rate_ops_per_sec"),
+    );
+    assert!(value("server_overload_rejections") >= value("overload_rejections"));
+    assert!(value("offered_rate_ops_per_sec") > value("capacity_ops_per_sec"));
+
+    // Refusals are load shedding, not failure: nothing hung, nothing broke,
+    // and once the flood stopped a fresh client made clean progress.
+    assert_eq!(
+        value("unexpected_errors"),
+        0.0,
+        "unexpected errors under overload"
+    );
+    assert_eq!(
+        value("recovered"),
+        1.0,
+        "server did not recover after drain"
+    );
+    assert_eq!(value("recovery_ops"), f64::from(config.recovery_probes));
+    assert!(
+        value("flood_ops") >= 1.0,
+        "flood made no successful progress"
+    );
 }

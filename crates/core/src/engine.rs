@@ -389,8 +389,12 @@ impl DeepDive {
                     }
                 }
             }
-            self.catalog_cache
-                .apply_delta(&relation, net.into_iter().collect(), self.epoch);
+            self.catalog_cache.apply_delta(
+                &relation,
+                net.into_iter().collect(),
+                self.epoch,
+                &marginals,
+            );
             resharded.push(relation);
         }
         // Self-healing backstop: every grounder-side catalog change is
@@ -408,6 +412,13 @@ impl DeepDive {
                 .map(String::from)
                 .collect();
         }
+        // Re-rank the engine-owned cache against this epoch's marginals so
+        // the cache's Arcs — not per-publish rebuilds inside the snapshot —
+        // are what consecutive epochs share.  Shards the loop above already
+        // Δ-merged, and shards whose marginals are bit-stable, validate and
+        // keep their Arcs; the clone handed to `Snapshot::publish` then
+        // revalidates without rebuilding anything.
+        self.catalog_cache.refresh_ranked(&marginals, self.epoch);
         let snapshot = Snapshot::publish(
             self.epoch,
             marginals,

@@ -76,7 +76,7 @@ pub use optimizer::{choose_strategy, StrategyChoice};
 pub use quality::{evaluate_quality, QualityReport};
 pub use sharding::{ShardAssignment, ShardingError};
 pub use snapshot::{
-    CatalogShard, CatalogShards, FactQuery, RelationIndex, Snapshot, SnapshotReader,
+    CatalogShard, CatalogShards, FactQuery, RankedIndex, RelationIndex, Snapshot, SnapshotReader,
 };
 
 // Durability configuration lives in `dd-storage`; re-exported so callers can

@@ -26,6 +26,27 @@
 //! incremental-maintenance asymmetry is exactly what the paper's Δ-grounding
 //! is designed to preserve end to end.
 //!
+//! # Probability-ordered read indexes
+//!
+//! Next to its tuple-sorted index every shard carries a [`RankedIndex`]: the
+//! same entries with the publish-time marginal baked in, sorted by
+//! `(probability desc, tuple asc)` — the exact comparator [`FactQuery`] uses
+//! for `top_k`.  Threshold (`min_probability`) and `top_k` queries answer
+//! from an ordered *prefix* of this view (a `partition_point` cut) instead of
+//! scanning the relation's full marginal set per request; pure-pagination
+//! queries keep using the tuple-sorted index.  The ranked view is
+//! Δ-maintained during the publish ([`CatalogShards::merge_delta`] /
+//! [`CatalogShards::apply_delta`] merge the delta into both views without a
+//! full re-sort) and then revalidated bitwise against the new marginal
+//! vector ([`CatalogShards::refresh_ranked`]): a shard whose catalog *and*
+//! marginals are unchanged keeps both views `Arc`-shared with the previous
+//! epoch, while a shard whose marginals moved is re-ranked with one sort.
+//! The revalidation is an O(catalog) bitwise compare piggybacking on the
+//! publish's existing O(#variables) marginal passes; the structural catalog
+//! work stays O(Δ).  The indexed path is byte-identical to the scan path
+//! ([`FactQuery::run_scan`]) — proven per-op by the `tests/indexes.rs`
+//! differential oracle.
+//!
 //! Shards are kept sorted by relation name, which makes every catalog
 //! enumeration ([`Snapshot::relation_names`], [`Snapshot::all_facts`])
 //! deterministic across processes — no `HashMap` iteration order leaks into
@@ -182,14 +203,146 @@ impl RelationIndex {
     }
 }
 
-/// One relation's shard of the catalog: its serving index plus the epoch that
-/// last re-indexed it.  The index is behind an `Arc`, so consecutive epochs
-/// whose updates did not touch this relation share it pointer-identically.
+/// The `(probability desc, tuple asc)` comparator — byte-for-byte the order
+/// `FactQuery::top_k` has always served, so a prefix of a [`RankedIndex`] is
+/// exactly what the scan path would have sorted out.
+fn rank_order(a: &(f64, Tuple, usize), b: &(f64, Tuple, usize)) -> std::cmp::Ordering {
+    b.0.partial_cmp(&a.0)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.1.cmp(&b.1))
+}
+
+/// One relation's probability-ordered serving view: the shard's `(tuple,
+/// variable)` entries with the publish-time marginal baked in, sorted by
+/// `(probability desc, tuple asc)`.  Threshold and top-k queries answer from
+/// a prefix of this vector (`partition_point` on the probability) instead of
+/// scanning and re-sorting the relation per request.
+///
+/// Entries whose variable id is out of range for the marginal vector are
+/// excluded — the scan path skips them too, so the two paths agree on every
+/// query shape.  Like [`RelationIndex`], instances are immutable and shared
+/// by `Arc` across epochs; a publish Δ-merges a *new* ranked view
+/// (`RankedIndex::apply_changes`) or, when the relation's marginals moved,
+/// rebuilds it with one sort ([`CatalogShards::refresh_ranked`]).
+#[derive(Debug, Default)]
+pub struct RankedIndex {
+    /// `(probability, tuple, variable)` sorted by [`rank_order`].
+    sorted: Vec<(f64, Tuple, usize)>,
+}
+
+impl RankedIndex {
+    /// Rank a relation's entries against a marginal vector: one O(m log m)
+    /// sort.  The full-rebuild leg; publishes prefer
+    /// [`RankedIndex::apply_changes`].
+    pub(crate) fn build(entries: &[(Tuple, usize)], marginals: &Marginals) -> Self {
+        let mut sorted: Vec<(f64, Tuple, usize)> = entries
+            .iter()
+            .filter(|(_, var)| *var < marginals.len())
+            .map(|(tuple, var)| (marginals.get(*var), tuple.clone(), *var))
+            .collect();
+        sorted.sort_by(rank_order);
+        RankedIndex { sorted }
+    }
+
+    /// Δ-maintain the ranked view through one publish: drop entries for
+    /// tuples the delta touched, rank the delta's upserts, and merge the two
+    /// ordered runs — O(m + Δ log Δ), no full re-sort.
+    ///
+    /// Every *retained* entry's baked probability is revalidated bitwise
+    /// against the new marginal vector in the same pass.  A mismatch means
+    /// this publish moved the relation's marginals (inference re-ran over
+    /// it), so the retained order itself is stale: returns `None` and the
+    /// caller falls back to a full [`RankedIndex::build`].
+    pub(crate) fn apply_changes(
+        &self,
+        changes: &[(Tuple, Option<usize>)],
+        marginals: &Marginals,
+    ) -> Option<RankedIndex> {
+        let mut touched: Vec<&Tuple> = changes.iter().map(|(tuple, _)| tuple).collect();
+        touched.sort_unstable();
+        let mut delta: Vec<(f64, Tuple, usize)> = changes
+            .iter()
+            .filter_map(|(tuple, change)| {
+                let var = (*change)?;
+                (var < marginals.len()).then(|| (marginals.get(var), tuple.clone(), var))
+            })
+            .collect();
+        delta.sort_by(rank_order);
+        let mut merged = Vec::with_capacity(self.sorted.len() + delta.len());
+        let mut delta = delta.into_iter().peekable();
+        for entry in &self.sorted {
+            let (p, tuple, var) = entry;
+            if touched.binary_search(&tuple).is_ok() {
+                continue; // upserted (re-ranked via the delta run) or retracted
+            }
+            if *var >= marginals.len() || marginals.get(*var).to_bits() != p.to_bits() {
+                return None; // marginal drift: the retained order is stale
+            }
+            while delta
+                .peek()
+                .is_some_and(|d| rank_order(d, entry) == std::cmp::Ordering::Less)
+            {
+                merged.push(delta.next().unwrap());
+            }
+            merged.push(entry.clone());
+        }
+        merged.extend(delta);
+        Some(RankedIndex { sorted: merged })
+    }
+
+    /// True when this ranked view is exactly the ranking of `index` under
+    /// `marginals`: same in-range entry count and every baked probability
+    /// bitwise equal to the variable's current marginal.  O(m), no sort —
+    /// the validation [`CatalogShards::refresh_ranked`] runs per publish.
+    fn is_consistent(&self, index: &RelationIndex, marginals: &Marginals) -> bool {
+        let in_range = index
+            .entries()
+            .iter()
+            .filter(|(_, var)| *var < marginals.len())
+            .count();
+        self.sorted.len() == in_range
+            && self.sorted.iter().all(|(p, _, var)| {
+                *var < marginals.len() && marginals.get(*var).to_bits() == p.to_bits()
+            })
+    }
+
+    /// Number of ranked entries (equals the relation's in-range catalog size).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the relation has no ranked entries.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The ranked `(probability, tuple, variable)` entries, probability
+    /// descending with ties broken by tuple ascending.
+    pub fn entries(&self) -> &[(f64, Tuple, usize)] {
+        &self.sorted
+    }
+
+    /// Index of the first entry below `min_probability` — the prefix
+    /// `[0, cut)` is exactly the facts a threshold scan would keep.
+    /// O(log m).
+    pub fn threshold_cut(&self, min_probability: f64) -> usize {
+        self.sorted
+            .partition_point(|(p, _, _)| *p >= min_probability)
+    }
+}
+
+/// One relation's shard of the catalog: its tuple-sorted serving index, its
+/// probability-ordered [`RankedIndex`], and the epochs that last rebuilt
+/// each.  Both views are behind `Arc`s, so consecutive epochs whose updates
+/// touched neither this relation's catalog nor its marginals share them
+/// pointer-identically.
 #[derive(Debug, Clone)]
 pub struct CatalogShard {
     relation: String,
     generation: u64,
     index: Arc<RelationIndex>,
+    ranked: Arc<RankedIndex>,
+    ranked_generation: u64,
 }
 
 impl CatalogShard {
@@ -210,7 +363,22 @@ impl CatalogShard {
         &self.index
     }
 
+    /// The shared probability-ordered view.  `Arc::ptr_eq`-comparable across
+    /// epochs exactly like [`CatalogShard::index`].
+    pub fn ranked(&self) -> &Arc<RankedIndex> {
+        &self.ranked
+    }
+
+    /// Epoch whose publish last re-ranked this shard (Δ-merge or rebuild).
+    /// Stays put across epochs whose marginals left this relation bit-stable.
+    pub fn ranked_generation(&self) -> u64 {
+        self.ranked_generation
+    }
+
     /// Rebuild a shard from its persisted parts (checkpoint codec access).
+    /// Only the tuple-sorted entries are persisted; the ranked view is
+    /// derived, so it starts empty here and [`CatalogShards::refresh_ranked`]
+    /// rebuilds it when the decoded snapshot is published.
     pub(crate) fn from_parts(
         relation: String,
         generation: u64,
@@ -220,8 +388,32 @@ impl CatalogShard {
             relation,
             generation,
             index: Arc::new(RelationIndex::from_entries(entries)),
+            ranked: Arc::new(RankedIndex::default()),
+            ranked_generation: 0,
         }
     }
+}
+
+/// The ranked view a publish leaves on a Δ-touched shard: the O(m + Δ log Δ)
+/// merge when the old ranked view was complete, a full O(m log m) rebuild
+/// when it was stale (marginal drift mid-delta) or was never built (the
+/// entry-count check — [`RankedIndex::apply_changes`] validates retained
+/// entries but cannot see *missing* ones, e.g. on a catalog fresh from
+/// [`CatalogShards::build`] that skipped `refresh_ranked`).
+fn ranked_after_delta(
+    old: &RankedIndex,
+    changes: &[(Tuple, Option<usize>)],
+    merged: &RelationIndex,
+    marginals: &Marginals,
+) -> RankedIndex {
+    let in_range = merged
+        .entries()
+        .iter()
+        .filter(|(_, var)| *var < marginals.len())
+        .count();
+    old.apply_changes(changes, marginals)
+        .filter(|ranked| ranked.len() == in_range)
+        .unwrap_or_else(|| RankedIndex::build(merged.entries(), marginals))
 }
 
 /// The epoch-versioned, per-relation sharded variable catalog.
@@ -261,47 +453,79 @@ impl CatalogShards {
         CatalogShards {
             shards: per_relation
                 .into_iter()
-                .map(|(relation, entries)| CatalogShard {
-                    relation: relation.to_string(),
-                    generation,
-                    index: Arc::new(RelationIndex::from_entries(entries)),
+                .map(|(relation, entries)| {
+                    let index = RelationIndex::from_entries(entries);
+                    CatalogShard {
+                        relation: relation.to_string(),
+                        generation,
+                        index: Arc::new(index),
+                        ranked: Arc::new(RankedIndex::default()),
+                        ranked_generation: 0,
+                    }
                 })
                 .collect(),
         }
     }
 
-    /// Merge Δ catalog entries for one relation, replacing that shard's index
-    /// with a freshly merged one stamped `generation`.  Every other shard is
-    /// untouched (and stays `Arc`-shared with previously published epochs).
-    /// Cost: O(|shard| + |Δ| log |Δ|) for the touched shard only.
-    pub fn merge_delta(&mut self, relation: &str, entries: Vec<(Tuple, usize)>, generation: u64) {
+    /// Merge Δ catalog entries for one relation, replacing that shard's
+    /// tuple-sorted and ranked views with freshly merged ones stamped
+    /// `generation` (`marginals` ranks the upserts; see
+    /// `RankedIndex::apply_changes`).  Every other shard is untouched (and
+    /// stays `Arc`-shared with previously published epochs).  Cost:
+    /// O(|shard| + |Δ| log |Δ|) for the touched shard only.
+    pub fn merge_delta(
+        &mut self,
+        relation: &str,
+        entries: Vec<(Tuple, usize)>,
+        generation: u64,
+        marginals: &Marginals,
+    ) {
         if entries.is_empty() {
             return;
         }
+        let changes = entries
+            .iter()
+            .map(|(tuple, var)| (tuple.clone(), Some(*var)))
+            .collect::<Vec<_>>();
         match self
             .shards
             .binary_search_by(|s| s.relation.as_str().cmp(relation))
         {
             Ok(i) => {
                 let shard = &mut self.shards[i];
-                shard.index = Arc::new(shard.index.merged_with(entries));
+                let index = shard.index.merged_with(entries);
+                shard.ranked = Arc::new(ranked_after_delta(
+                    &shard.ranked,
+                    &changes,
+                    &index,
+                    marginals,
+                ));
+                shard.index = Arc::new(index);
                 shard.generation = generation;
+                shard.ranked_generation = generation;
             }
-            Err(i) => self.shards.insert(
-                i,
-                CatalogShard {
-                    relation: relation.to_string(),
-                    generation,
-                    index: Arc::new(RelationIndex::from_entries(entries)),
-                },
-            ),
+            Err(i) => {
+                let index = RelationIndex::from_entries(entries);
+                let ranked = RankedIndex::build(index.entries(), marginals);
+                self.shards.insert(
+                    i,
+                    CatalogShard {
+                        relation: relation.to_string(),
+                        generation,
+                        index: Arc::new(index),
+                        ranked: Arc::new(ranked),
+                        ranked_generation: generation,
+                    },
+                );
+            }
         }
     }
 
     /// Apply a signed catalog delta for one relation: `Some(var)` upserts a
     /// tuple's mapping, `None` removes it.  Like
-    /// [`CatalogShards::merge_delta`], only the touched shard is re-indexed
-    /// and stamped `generation`; every other shard stays `Arc`-shared with
+    /// [`CatalogShards::merge_delta`], both of the touched shard's views are
+    /// Δ-merged and stamped `generation` — retractions shrink the ranked view
+    /// in the same pass — while every other shard stays `Arc`-shared with
     /// previously published epochs, so a retraction-bearing publish is still
     /// O(Δ) in the number of touched relations.
     pub fn apply_delta(
@@ -309,6 +533,7 @@ impl CatalogShards {
         relation: &str,
         changes: Vec<(Tuple, Option<usize>)>,
         generation: u64,
+        marginals: &Marginals,
     ) {
         if changes.is_empty() {
             return;
@@ -319,8 +544,16 @@ impl CatalogShards {
         {
             Ok(i) => {
                 let shard = &mut self.shards[i];
-                shard.index = Arc::new(shard.index.merged_with_changes(changes));
+                let index = shard.index.merged_with_changes(changes.clone());
+                shard.ranked = Arc::new(ranked_after_delta(
+                    &shard.ranked,
+                    &changes,
+                    &index,
+                    marginals,
+                ));
+                shard.index = Arc::new(index);
                 shard.generation = generation;
+                shard.ranked_generation = generation;
             }
             Err(i) => {
                 let entries: Vec<(Tuple, usize)> = changes
@@ -330,16 +563,45 @@ impl CatalogShards {
                 if entries.is_empty() {
                     return;
                 }
+                let index = RelationIndex::from_entries(entries);
+                let ranked = RankedIndex::build(index.entries(), marginals);
                 self.shards.insert(
                     i,
                     CatalogShard {
                         relation: relation.to_string(),
                         generation,
-                        index: Arc::new(RelationIndex::from_entries(entries)),
+                        index: Arc::new(index),
+                        ranked: Arc::new(ranked),
+                        ranked_generation: generation,
                     },
                 );
             }
         }
+    }
+
+    /// Bring every shard's ranked view in line with `marginals`, stamping
+    /// rebuilt shards `generation`; returns the relations that had to be
+    /// re-ranked.
+    ///
+    /// Each shard gets an O(m) bitwise validation (no sort): a shard this
+    /// publish already Δ-merged passes by construction, as does any shard
+    /// whose marginals are bit-stable since its last ranking — those keep
+    /// their `Arc`s, preserving cross-epoch sharing.  Only genuine drift
+    /// (inference re-ran over the relation, or a decoded checkpoint whose
+    /// ranked views start empty) pays the O(m log m) rebuild.  Called from
+    /// every [`Snapshot`] constructor that takes a catalog, so a published
+    /// snapshot's ranked views are consistent by construction.
+    pub fn refresh_ranked(&mut self, marginals: &Marginals, generation: u64) -> Vec<String> {
+        let mut reranked = Vec::new();
+        for shard in &mut self.shards {
+            if shard.ranked.is_consistent(&shard.index, marginals) {
+                continue;
+            }
+            shard.ranked = Arc::new(RankedIndex::build(shard.index.entries(), marginals));
+            shard.ranked_generation = generation;
+            reranked.push(shard.relation.clone());
+        }
+        reranked
     }
 
     /// The shard of `relation`, if any (binary search by name).
@@ -424,13 +686,15 @@ impl Snapshot {
     /// ([`crate::durability::encode_snapshot`] /
     /// [`crate::durability::decode_snapshot`]), so storage tests can run
     /// without a full engine.
-    pub fn synthetic(epoch: u64, marginals: Vec<f64>, catalog: CatalogShards) -> Self {
+    pub fn synthetic(epoch: u64, marginals: Vec<f64>, mut catalog: CatalogShards) -> Self {
         let num_variables = marginals.len();
         let mut stats = Snapshot::empty(0.9).stats;
         stats.num_variables = num_variables;
+        let marginals = Marginals::from_values(marginals);
+        catalog.refresh_ranked(&marginals, epoch);
         Snapshot {
             epoch,
-            marginals: Marginals::from_values(marginals),
+            marginals,
             weights: Vec::new(),
             catalog,
             stats,
@@ -461,10 +725,14 @@ impl Snapshot {
         epoch: u64,
         marginals: Marginals,
         weights: Vec<f64>,
-        catalog: CatalogShards,
+        mut catalog: CatalogShards,
         stats: GraphStats,
         fact_threshold: f64,
     ) -> Self {
+        // Ranked views the publish already Δ-merged validate and keep their
+        // Arcs; anything stale (marginal drift, decoded checkpoints) is
+        // re-ranked here, so consistency is an invariant of every snapshot.
+        catalog.refresh_ranked(&marginals, epoch);
         Snapshot {
             epoch,
             marginals,
@@ -678,10 +946,66 @@ impl<'a> FactQuery<'a> {
         self
     }
 
-    /// Execute the query.  The per-relation index is pre-sorted by tuple, so
-    /// an un-ranked page costs O(offset + limit) clones; only ranked
-    /// (`top_k`) queries materialize (and sort) the whole surviving set.
+    /// Execute the query over the snapshot's indexes.
+    ///
+    /// Routing, by query shape:
+    /// - `top_k` → a prefix read of the shard's [`RankedIndex`]: O(log m)
+    ///   `partition_point` threshold cut, then at most `k` entries cloned.
+    ///   No per-request sort.
+    /// - `min_probability` without `top_k` → the same O(log m) cut selects
+    ///   the surviving set; only those entries are re-ordered by tuple to
+    ///   keep the documented result order, so cost scales with the *answer*,
+    ///   not the relation.
+    /// - pure pagination (no threshold, no `top_k`) → the tuple-sorted index
+    ///   as before: O(offset + limit) clones.  A threshold the whole
+    ///   relation passes degenerates to this path too.
+    ///
+    /// Results are byte-identical to [`FactQuery::run_scan`] for every query
+    /// shape — pinned per-op by the `tests/indexes.rs` differential oracle.
     pub fn run(self) -> Vec<(Tuple, f64)> {
+        let Some(shard) = self.snapshot.catalog.shard(self.relation) else {
+            return Vec::new();
+        };
+        let ranked = shard.ranked();
+        let limit = self.limit.unwrap_or(usize::MAX);
+        match self.top_k {
+            Some(k) => {
+                let cut = ranked.threshold_cut(self.min_probability).min(k);
+                ranked.entries()[..cut]
+                    .iter()
+                    .skip(self.offset)
+                    .take(limit)
+                    .map(|(p, tuple, _)| (tuple.clone(), *p))
+                    .collect()
+            }
+            None if self.min_probability > 0.0 => {
+                let cut = ranked.threshold_cut(self.min_probability);
+                if cut == ranked.len() {
+                    // Nothing filtered: the tuple-sorted index already holds
+                    // the answer in result order.
+                    return self.run_scan();
+                }
+                let mut facts: Vec<(&Tuple, f64)> = ranked.entries()[..cut]
+                    .iter()
+                    .map(|(p, tuple, _)| (tuple, *p))
+                    .collect();
+                facts.sort_by(|a, b| a.0.cmp(b.0));
+                facts
+                    .into_iter()
+                    .skip(self.offset)
+                    .take(limit)
+                    .map(|(tuple, p)| (tuple.clone(), p))
+                    .collect()
+            }
+            None => self.run_scan(),
+        }
+    }
+
+    /// Execute the query by scanning the tuple-sorted index — the reference
+    /// implementation [`FactQuery::run`] must stay byte-identical to.  Kept
+    /// public for the differential oracle and the `query_cost` benchmarks;
+    /// un-ranked pages also route here (it *is* the fast path for them).
+    pub fn run_scan(self) -> Vec<(Tuple, f64)> {
         let Some(shard) = self.snapshot.catalog.shard(self.relation) else {
             return Vec::new();
         };
@@ -812,44 +1136,165 @@ mod tests {
 
     #[test]
     fn merge_delta_reindexes_only_the_touched_shard() {
-        let base = CatalogShards::build(catalog_entries().iter(), 1);
+        let marginals = Marginals::from_values(vec![1.0, 0.7, 0.2, 0.5, 0.6]);
+        let mut base = CatalogShards::build(catalog_entries().iter(), 1);
+        base.refresh_ranked(&marginals, 1);
         let mut next = base.clone();
-        next.merge_delta("Fact", vec![(tuple![4i64], 4)], 2);
+        next.merge_delta("Fact", vec![(tuple![4i64], 4)], 2, &marginals);
 
-        // The touched shard was re-indexed (new Arc, new generation)...
+        // The touched shard was re-indexed (new Arcs, new generations)...
         assert!(!Arc::ptr_eq(
             base.shard("Fact").unwrap().index(),
             next.shard("Fact").unwrap().index()
         ));
+        assert!(!Arc::ptr_eq(
+            base.shard("Fact").unwrap().ranked(),
+            next.shard("Fact").unwrap().ranked()
+        ));
         assert_eq!(next.shard("Fact").unwrap().generation(), 2);
+        assert_eq!(next.shard("Fact").unwrap().ranked_generation(), 2);
         assert_eq!(next.shard("Fact").unwrap().index().len(), 4);
+        assert_eq!(next.shard("Fact").unwrap().ranked().len(), 4);
         assert_eq!(
             next.shard("Fact").unwrap().index().get(&tuple![4i64]),
             Some(4)
         );
-        // ...while the untouched shard is shared pointer-identically.
+        // ...while the untouched shard shares both views pointer-identically.
         assert!(Arc::ptr_eq(
             base.shard("Other").unwrap().index(),
             next.shard("Other").unwrap().index()
         ));
+        assert!(Arc::ptr_eq(
+            base.shard("Other").unwrap().ranked(),
+            next.shard("Other").unwrap().ranked()
+        ));
         assert_eq!(next.shard("Other").unwrap().generation(), 1);
         // The base catalog is unchanged.
         assert_eq!(base.shard("Fact").unwrap().index().len(), 3);
+        assert_eq!(base.shard("Fact").unwrap().ranked().len(), 3);
     }
 
     #[test]
     fn merge_delta_creates_missing_shards_in_sorted_position() {
+        let marginals = Marginals::from_values(vec![1.0; 10]);
         let mut shards = CatalogShards::build(catalog_entries().iter(), 1);
-        shards.merge_delta("Alpha", vec![(tuple![7i64], 9)], 2);
+        shards.merge_delta("Alpha", vec![(tuple![7i64], 9)], 2, &marginals);
         let names: Vec<&str> = shards.relation_names().collect();
         assert_eq!(names, vec!["Alpha", "Fact", "Other"]);
         assert_eq!(
             shards.shard("Alpha").unwrap().index().get(&tuple![7i64]),
             Some(9)
         );
+        assert_eq!(shards.shard("Alpha").unwrap().ranked().len(), 1);
         // An empty delta is a no-op (no shard created, no generation bump).
-        shards.merge_delta("Beta", Vec::new(), 3);
+        shards.merge_delta("Beta", Vec::new(), 3, &marginals);
         assert!(shards.shard("Beta").is_none());
+    }
+
+    #[test]
+    fn ranked_index_orders_by_probability_desc_then_tuple() {
+        let s = snapshot();
+        let ranked = s.catalog().shard("Fact").unwrap().ranked();
+        let probs: Vec<f64> = ranked.entries().iter().map(|(p, _, _)| *p).collect();
+        assert_eq!(probs, vec![1.0, 0.7, 0.2]);
+        assert_eq!(ranked.threshold_cut(0.5), 2);
+        assert_eq!(ranked.threshold_cut(0.7), 2); // inclusive: p >= 0.7 survives
+        assert_eq!(ranked.threshold_cut(1.5), 0);
+        assert_eq!(ranked.threshold_cut(0.0), 3);
+    }
+
+    #[test]
+    fn ranked_apply_changes_merges_upserts_and_retractions() {
+        let marginals = Marginals::from_values(vec![1.0, 0.7, 0.2, 0.5, 0.9]);
+        let index = RelationIndex::from_entries(vec![
+            (tuple![1i64], 0),
+            (tuple![2i64], 1),
+            (tuple![3i64], 2),
+        ]);
+        let ranked = RankedIndex::build(index.entries(), &marginals);
+        // Retract tuple 2, upsert tuple 4 at p=0.9, remap tuple 3 to var 3.
+        let next = ranked
+            .apply_changes(
+                &[
+                    (tuple![2i64], None),
+                    (tuple![4i64], Some(4)),
+                    (tuple![3i64], Some(3)),
+                ],
+                &marginals,
+            )
+            .expect("bit-stable marginals merge cleanly");
+        let got: Vec<(f64, Tuple)> = next
+            .entries()
+            .iter()
+            .map(|(p, t, _)| (*p, t.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1.0, tuple![1i64]),
+                (0.9, tuple![4i64]),
+                (0.5, tuple![3i64]),
+            ]
+        );
+        // Marginal drift on a retained entry signals a full re-rank.
+        let drifted = Marginals::from_values(vec![0.4, 0.7, 0.2, 0.5, 0.9]);
+        assert!(ranked
+            .apply_changes(&[(tuple![2i64], None)], &drifted)
+            .is_none());
+    }
+
+    #[test]
+    fn refresh_ranked_rebuilds_only_on_marginal_drift() {
+        let marginals = Marginals::from_values(vec![1.0, 0.7, 0.2, 0.5]);
+        let mut shards = CatalogShards::build(catalog_entries().iter(), 1);
+        assert_eq!(
+            shards.refresh_ranked(&marginals, 1),
+            vec!["Fact".to_string(), "Other".to_string()]
+        );
+        let before = Arc::clone(shards.shard("Fact").unwrap().ranked());
+        // Bit-stable marginals: validation keeps the Arc.
+        assert!(shards.refresh_ranked(&marginals, 2).is_empty());
+        assert!(Arc::ptr_eq(&before, shards.shard("Fact").unwrap().ranked()));
+        assert_eq!(shards.shard("Fact").unwrap().ranked_generation(), 1);
+        // Drift in one relation's marginal re-ranks only that shard.
+        let drifted = Marginals::from_values(vec![1.0, 0.7, 0.2, 0.8]);
+        assert_eq!(
+            shards.refresh_ranked(&drifted, 3),
+            vec!["Other".to_string()]
+        );
+        assert!(Arc::ptr_eq(&before, shards.shard("Fact").unwrap().ranked()));
+        assert_eq!(shards.shard("Other").unwrap().ranked_generation(), 3);
+    }
+
+    #[test]
+    fn indexed_run_matches_scan_on_every_query_shape() {
+        let s = snapshot();
+        for min_p in [0.0, 0.2, 0.5, 0.7, 0.9, 1.0, 1.1] {
+            for top_k in [None, Some(0), Some(1), Some(2), Some(10)] {
+                for offset in [0usize, 1, 3] {
+                    for limit in [None, Some(0), Some(1), Some(2)] {
+                        let build = |relation: &'static str| {
+                            let mut q = s.facts(relation).min_probability(min_p).offset(offset);
+                            if let Some(k) = top_k {
+                                q = q.top_k(k);
+                            }
+                            if let Some(l) = limit {
+                                q = q.limit(l);
+                            }
+                            q
+                        };
+                        for relation in ["Fact", "Other", "Nothing"] {
+                            assert_eq!(
+                                build(relation).run(),
+                                build(relation).run_scan(),
+                                "relation={relation} min_p={min_p} top_k={top_k:?} \
+                                 offset={offset} limit={limit:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

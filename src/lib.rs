@@ -63,8 +63,8 @@ pub mod prelude {
     pub use deepdive::{
         decode_snapshot, encode_snapshot, CatalogShard, CatalogShards, DeepDive, DeepDiveBuilder,
         DurabilityConfig, EngineConfig, EngineError, ExecutionMode, FactQuery, FsyncPolicy,
-        RelationIndex, ShardAssignment, ShardingError, Snapshot, SnapshotReader, StorageError,
-        StrategyChoice,
+        RankedIndex, RelationIndex, ShardAssignment, ShardingError, Snapshot, SnapshotReader,
+        StorageError, StrategyChoice,
     };
 }
 

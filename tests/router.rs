@@ -127,6 +127,28 @@ fn probe_ops() -> Vec<Op> {
             },
         });
     }
+    // Threshold + top-k: served from each shard's ranked prefix.  The seed
+    // corpus holds 16 true facts spread over 4 shards (~4 each), so k = 10
+    // exhausts every shard's local prefix and the front door's re-merge must
+    // still produce the global top-10; k = 1000 exhausts the global answer
+    // too, and min_probability = 1.5 makes every prefix empty.
+    for (min_p, k, offset, limit) in [
+        (0.5, 2usize, 0usize, None),
+        (0.5, 10, 0, None),
+        (0.5, 1_000, 0, None),
+        (0.5, 10, 3, Some(4usize)),
+        (1.5, 5, 0, None),
+    ] {
+        ops.push(Op::Query {
+            relation: "Fact".to_string(),
+            spec: FactQuerySpec {
+                min_probability: min_p,
+                top_k: Some(k),
+                offset,
+                limit,
+            },
+        });
+    }
     // Unfiltered scan: both probability classes, full and windowed.
     ops.push(Op::AllFacts {
         min_probability: 0.0,
@@ -340,6 +362,92 @@ fn a_killed_shard_degrades_into_typed_errors_not_hangs() {
     assert_eq!(alive.results, vec![OpResult::Probability(Some(1.0))]);
 
     front.shutdown();
+}
+
+/// The window-widening contract of the top-k re-merge: when `k` exceeds a
+/// shard's matching-fact count, that shard's ranked prefix is *exhausted*
+/// (it returns everything it has) and the front door must still assemble the
+/// exact global top-k from the short prefixes.  The test skews one shard
+/// extra-sparse with a deletion round first, verifies per-shard counts to
+/// prove the exhaustion actually happens, then compares against the
+/// unsharded engine byte for byte.
+#[test]
+fn top_k_re_merge_widens_over_exhausted_shard_prefixes() {
+    let cluster = cluster(SHARDS);
+    let mut router = cluster.router(RouterConfig::default()).expect("router");
+    let mut engine = reference();
+
+    // Delete every true (even-id) claim of doc 0: its owning shard now holds
+    // strictly fewer true facts than its peers.
+    let mut update = KbcUpdate::new();
+    for id in (0..IDS_PER_DOC).filter(|id| id % 2 == 0) {
+        delete_claim(&mut update, 0, id);
+    }
+    engine
+        .run_update(&update, ExecutionMode::Incremental)
+        .expect("reference update");
+    cluster
+        .run_update(&update, ExecutionMode::Incremental)
+        .expect("cluster update");
+
+    // Per-shard true-fact census from the reference engine's own answer.
+    let truths: Vec<Tuple> = engine
+        .snapshot()
+        .facts("Fact")
+        .min_probability(0.5)
+        .run()
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect();
+    let assignment = cluster.assignment().clone();
+    let mut per_shard = vec![0usize; SHARDS];
+    for t in &truths {
+        per_shard[assignment.shard_of(t, SHARDS).expect("routable")] += 1;
+    }
+    assert!(
+        per_shard.iter().all(|&n| n > 0),
+        "census must cover every shard for the probe to mean anything: {per_shard:?}"
+    );
+
+    // k = the global count: every shard holds fewer than k matching facts,
+    // so every local prefix is exhausted, yet the global answer is complete.
+    let k = truths.len();
+    assert!(
+        per_shard.iter().all(|&n| n < k),
+        "k={k} must exceed every per-shard count {per_shard:?}"
+    );
+    for (offset, limit) in [(0usize, None), (2, Some(5usize))] {
+        let snap = engine.snapshot();
+        let expected = {
+            let mut q = snap
+                .facts("Fact")
+                .min_probability(0.5)
+                .top_k(k)
+                .offset(offset);
+            if let Some(l) = limit {
+                q = q.limit(l);
+            }
+            q.run()
+        };
+        let routed = router
+            .batch(&[Op::Query {
+                relation: "Fact".to_string(),
+                spec: FactQuerySpec {
+                    min_probability: 0.5,
+                    top_k: Some(k),
+                    offset,
+                    limit,
+                },
+            }])
+            .expect("routed top-k");
+        let OpResult::Facts(got) = &routed.results[0] else {
+            panic!("query merges into facts");
+        };
+        assert_eq!(
+            got, &expected,
+            "exhausted-prefix re-merge diverged (offset={offset} limit={limit:?})"
+        );
+    }
 }
 
 /// Long randomized differential soak: hundreds of mixed insert/delete
